@@ -1,0 +1,73 @@
+"""Figure 3: varying the coflow width.
+
+The paper fixes the number of coflows to 10 and sweeps the coflow width over
+{4, 8, 16, 32} on a 128-server fat-tree, reporting (upper panel) the average
+completion time of LP-Based, Route-only, Schedule-only and Baseline and
+(lower panel) the same values normalised by Baseline.  The reported averages
+are over 10 random tries; LP-Based improves on Baseline / Schedule-only /
+Route-only by 126% / 96% / 22% on average.
+
+This benchmark regenerates both panels (scaled down by default; set
+``REPRO_PAPER_SCALE=1`` and ``REPRO_TRIES=10`` for the full configuration)
+and times one full sweep.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentSweep, improvement_summary, ratio_table, sweep_table
+from repro.baselines import (
+    BaselineScheme,
+    LPBasedScheme,
+    RouteOnlyScheme,
+    ScheduleOnlyScheme,
+)
+from repro.workloads import WorkloadConfig
+
+from common import (
+    evaluation_network,
+    figure3_num_coflows,
+    figure3_widths,
+    num_tries,
+    record,
+)
+
+
+def run_sweep():
+    network = evaluation_network()
+    schemes = [
+        LPBasedScheme(seed=0),
+        RouteOnlyScheme(),
+        ScheduleOnlyScheme(seed=0),
+        BaselineScheme(seed=0),
+    ]
+    sweep = ExperimentSweep(network, schemes, tries=num_tries())
+    config = WorkloadConfig(
+        num_coflows=figure3_num_coflows(), mean_flow_size=8.0, release_rate=4.0, seed=3000
+    )
+    return sweep.run(
+        config, "coflow_width", figure3_widths(), label_format="{value} flows"
+    )
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_coflow_width(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    title = (
+        f"Figure 3 — coflow width sweep "
+        f"({figure3_num_coflows()} coflows, {num_tries()} tries per point)"
+    )
+    blocks = [
+        sweep_table(result, title, value_label="avg weighted completion time"),
+        ratio_table(result, "Baseline", title),
+        improvement_summary(
+            result, "LP-Based", ["Baseline", "Schedule-only", "Route-only"]
+        ),
+    ]
+    record("fig3_coflow_width", "\n\n".join(blocks))
+
+    # Shape checks mirroring the paper's conclusions.
+    assert result.average_improvement("LP-Based", "Baseline") > 10.0
+    assert result.average_improvement("LP-Based", "Schedule-only") > 5.0
+    for point in result.points:
+        assert point.mean("LP-Based") <= point.mean("Baseline") * 1.05

@@ -1,0 +1,69 @@
+"""Figure 4: varying the number of coflows.
+
+The paper fixes the coflow width to 16 and sweeps the number of coflows over
+{10, 15, 20, 25, 30}, again reporting per-scheme averages and ratios to
+Baseline over 10 random tries; LP-Based improves on Baseline / Schedule-only /
+Route-only by 110% / 72% / 26% on average.
+
+The benchmark regenerates both panels (scaled down by default; set
+``REPRO_PAPER_SCALE=1`` for the paper's parameters) and times one full sweep.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentSweep, improvement_summary, ratio_table, sweep_table
+from repro.baselines import (
+    BaselineScheme,
+    LPBasedScheme,
+    RouteOnlyScheme,
+    ScheduleOnlyScheme,
+)
+from repro.workloads import WorkloadConfig
+
+from common import (
+    evaluation_network,
+    figure4_coflow_counts,
+    figure4_width,
+    num_tries,
+    record,
+)
+
+
+def run_sweep():
+    network = evaluation_network()
+    schemes = [
+        LPBasedScheme(seed=0),
+        RouteOnlyScheme(),
+        ScheduleOnlyScheme(seed=0),
+        BaselineScheme(seed=0),
+    ]
+    sweep = ExperimentSweep(network, schemes, tries=num_tries())
+    config = WorkloadConfig(
+        coflow_width=figure4_width(), mean_flow_size=8.0, release_rate=4.0, seed=4000
+    )
+    return sweep.run(
+        config, "num_coflows", figure4_coflow_counts(), label_format="{value} coflows"
+    )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_num_coflows(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    title = (
+        f"Figure 4 — number-of-coflows sweep "
+        f"(width {figure4_width()}, {num_tries()} tries per point)"
+    )
+    blocks = [
+        sweep_table(result, title, value_label="avg weighted completion time"),
+        ratio_table(result, "Baseline", title),
+        improvement_summary(
+            result, "LP-Based", ["Baseline", "Schedule-only", "Route-only"]
+        ),
+    ]
+    record("fig4_num_coflows", "\n\n".join(blocks))
+
+    assert result.average_improvement("LP-Based", "Baseline") > 10.0
+    assert result.average_improvement("LP-Based", "Schedule-only") > 5.0
+    for point in result.points:
+        assert point.mean("LP-Based") <= point.mean("Baseline") * 1.05

@@ -1,0 +1,71 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+paper's full scale (128-server fat-tree, widths up to 32, 10 random tries per
+point) takes hours with an open-source LP solver, the benchmarks default to a
+scaled-down configuration that preserves the comparison's shape and can be
+re-run quickly.  Two environment variables control the scale:
+
+* ``REPRO_PAPER_SCALE=1`` — use the paper's parameters (k=8 fat-tree,
+  widths {4, 8, 16, 32}, coflow counts {10, ..., 30}, width 16 for Figure 4);
+* ``REPRO_TRIES=<n>`` — number of random instances averaged per sweep point
+  (the paper uses 10; the default here is 2).
+
+Each benchmark prints the paper-style tables (the two panels of the figure it
+reproduces) and also appends them to ``benchmarks/results/*.txt`` so the
+output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+from repro.core import topologies
+from repro.core.network import Network
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def paper_scale() -> bool:
+    """Whether to run at the paper's full scale (slow)."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false", "False")
+
+
+def num_tries(default: int = 2) -> int:
+    """Random tries per sweep point (the paper averages 10)."""
+    return int(os.environ.get("REPRO_TRIES", default))
+
+
+def evaluation_network() -> Network:
+    """The evaluation topology: k=8 (128 servers) at paper scale, k=4 otherwise."""
+    return topologies.fat_tree(8 if paper_scale() else 4)
+
+
+def figure3_widths() -> List[int]:
+    """Coflow widths swept by Figure 3."""
+    return [4, 8, 16, 32] if paper_scale() else [4, 8, 16]
+
+
+def figure4_coflow_counts() -> List[int]:
+    """Coflow counts swept by Figure 4."""
+    return [10, 15, 20, 25, 30] if paper_scale() else [4, 6, 8, 10]
+
+
+def figure4_width() -> int:
+    """Coflow width used by Figure 4 (16 in the paper)."""
+    return 16 if paper_scale() else 6
+
+
+def figure3_num_coflows() -> int:
+    """Number of coflows used by Figure 3 (10 in the paper)."""
+    return 10 if paper_scale() else 6
+
+
+def record(name: str, text: str) -> None:
+    """Print a report block and persist it under ``benchmarks/results/``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Packet-based coflows (Section 3): routing and scheduling unit packets.
+
+Builds a small ring network, creates packet coflows (every flow is a single
+packet), and runs both packet algorithms:
+
+* paths given      — the job-shop style LP + list scheduling of Section 3.1;
+* paths not given  — the time-expanded-graph LP, half-interval assignment and
+  per-interval routing/scheduling of Section 3.2.
+
+For each, it prints the schedule objective, the LP lower bound and the
+measured approximation ratio (the quantity Table 1 bounds by O(1)).
+
+Run with:  python examples/packet_routing_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import topologies
+from repro.packet import schedule_packet_coflows
+from repro.workloads import CoflowGenerator, WorkloadConfig
+
+
+def main() -> None:
+    network = topologies.ring(6)
+    config = WorkloadConfig(
+        num_coflows=4, coflow_width=3, unit_sizes=True, release_rate=None, seed=5
+    )
+    instance = CoflowGenerator(network, config).instance()
+    print(f"network: 6-node ring; workload: {instance.num_coflows} coflows, "
+          f"{instance.num_flows} packets\n")
+
+    # Variant 1: joint routing + scheduling (Section 3.2).
+    outcome = schedule_packet_coflows(instance, network, seed=0)
+    print("paths NOT given (Section 3.2: time-expanded LP + per-interval scheduling)")
+    print(f"  weighted completion time : {outcome.objective:.0f}")
+    print(f"  LP lower bound           : {outcome.lower_bound:.1f}")
+    print(f"  measured ratio           : {outcome.approximation_ratio:.2f}  (paper: O(1))")
+    print(f"  makespan                 : {outcome.schedule.makespan()} steps")
+
+    # Variant 2: fix shortest paths first, then only schedule (Section 3.1).
+    routed = instance.with_paths(
+        {
+            fid: network.shortest_path(
+                instance.flow(fid).source, instance.flow(fid).destination
+            )
+            for fid in instance.flow_ids()
+        }
+    )
+    outcome_given = schedule_packet_coflows(routed, network)
+    print("\npaths given (Section 3.1: job-shop LP + list scheduling)")
+    print(f"  weighted completion time : {outcome_given.objective:.0f}")
+    print(f"  LP lower bound           : {outcome_given.lower_bound:.1f}")
+    print(f"  measured ratio           : {outcome_given.approximation_ratio:.2f}  (paper: O(1))")
+
+    # Peek at one packet's realised route and timing.
+    fid = instance.flow_ids()[0]
+    moves = outcome.schedule.moves(fid)
+    hops = " -> ".join(str(m.edge[0]) for m in moves) + f" -> {moves[-1].edge[1]}"
+    times = [m.time for m in moves]
+    print(f"\nexample packet {fid}: route {hops}")
+    print(f"  departs its hops at steps {times}, arrives at step "
+          f"{outcome.schedule.packet_completion_time(fid)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without network access.
+
+All project metadata lives in pyproject.toml; this file exists because the
+environment has no `wheel` package and no network, so pip falls back to the
+legacy setuptools editable-install path, which needs a setup.py.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Asymptotically Optimal Approximation Algorithms
+for Coflow Scheduling" (Jahanjou, Kantor & Rajaraman, SPAA 2017).
+
+The package implements the paper's LP-based coflow scheduling framework over
+general network topologies together with everything it depends on:
+
+* :mod:`repro.core` — coflow data model, capacitated networks, datacenter
+  topologies, interval grids, schedule representations and validators;
+* :mod:`repro.lp` — the sparse LP modelling layer (HiGHS back-end);
+* :mod:`repro.circuit` — circuit-based coflows: the Section-2.1
+  constant-factor algorithm (paths given) and Algorithm 1 of Section 2.2
+  (joint routing and scheduling);
+* :mod:`repro.packet` — packet-based coflows: the job-shop algorithm of
+  Section 3.1 and the time-expanded-graph algorithm of Section 3.2;
+* :mod:`repro.switch` — the non-blocking switch special case;
+* :mod:`repro.baselines` — the competing heuristics of Section 4.3
+  (Baseline, Schedule-only, Route-only) plus SEBF;
+* :mod:`repro.sim` — the flow-level datacenter simulator of Section 4;
+* :mod:`repro.workloads` — Poisson workload generation and synthetic traces;
+* :mod:`repro.analysis` — experiment sweeps and report tables used by the
+  benchmark harness that regenerates the paper's figures.
+
+Quickstart::
+
+    from repro.core import topologies
+    from repro.workloads import WorkloadConfig, CoflowGenerator
+    from repro.baselines import LPBasedScheme, BaselineScheme
+    from repro.sim import FlowLevelSimulator
+
+    network = topologies.fat_tree(k=4)
+    instance = CoflowGenerator(network, WorkloadConfig(num_coflows=10,
+                                                       coflow_width=8)).instance()
+    simulator = FlowLevelSimulator(network)
+    lp = simulator.run(instance, LPBasedScheme().plan(instance, network))
+    base = simulator.run(instance, BaselineScheme().plan(instance, network))
+    print(lp.weighted_completion_time, base.weighted_completion_time)
+"""
+
+from . import analysis, baselines, circuit, core, lp, packet, sim, switch, workloads
+from .core import Coflow, CoflowInstance, Flow, Network, topologies
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core",
+    "lp",
+    "circuit",
+    "packet",
+    "switch",
+    "baselines",
+    "sim",
+    "workloads",
+    "analysis",
+    "Flow",
+    "Coflow",
+    "CoflowInstance",
+    "Network",
+    "topologies",
+]

@@ -1,0 +1,14 @@
+"""Experiment sweeps and report formatting for the benchmark harness."""
+
+from .report import format_table, improvement_summary, ratio_table, sweep_table
+from .sweep import ExperimentSweep, SweepPoint, SweepResult
+
+__all__ = [
+    "ExperimentSweep",
+    "SweepPoint",
+    "SweepResult",
+    "format_table",
+    "sweep_table",
+    "ratio_table",
+    "improvement_summary",
+]

@@ -1,0 +1,81 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints, for every figure and table of the paper, the
+same rows/series the paper reports: per-point average completion times per
+scheme (the upper panel of Figures 3 and 4), the ratios with respect to the
+Baseline scheme (the lower panel), and the headline average-improvement
+percentages of Section 4.3.  Everything is formatted as aligned ASCII tables
+so the benchmark output is directly comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .sweep import SweepResult
+
+__all__ = ["format_table", "sweep_table", "ratio_table", "improvement_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sweep_table(
+    result: SweepResult, title: str, value_label: str = "avg completion time"
+) -> str:
+    """Upper panel of a figure: mean objective per scheme per sweep point."""
+    schemes = result.schemes()
+    headers = ["point"] + schemes
+    rows = []
+    for point in result.points:
+        rows.append([point.label] + [point.mean(s) for s in schemes])
+    return format_table(headers, rows, title=f"{title} — {value_label}")
+
+
+def ratio_table(result: SweepResult, reference: str, title: str) -> str:
+    """Lower panel of a figure: ratio of each scheme to the reference scheme."""
+    schemes = result.schemes()
+    headers = ["point"] + schemes
+    rows = []
+    for point in result.points:
+        rows.append(
+            [point.label] + [point.ratio_to(s, reference) for s in schemes]
+        )
+    return format_table(
+        headers, rows, title=f"{title} — ratio w.r.t. {reference}", float_format="{:.3f}"
+    )
+
+
+def improvement_summary(
+    result: SweepResult, scheme: str, references: Sequence[str]
+) -> str:
+    """Section-4.3 style sentence: average improvement of ``scheme`` over each reference."""
+    parts = []
+    for reference in references:
+        gain = result.average_improvement(scheme, reference)
+        parts.append(f"{gain:.0f}% over {reference}")
+    return f"Average improvement of {scheme}: " + ", ".join(parts)

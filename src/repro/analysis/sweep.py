@@ -1,0 +1,156 @@
+"""Experiment sweeps: the machinery behind Figures 3 and 4.
+
+The paper's evaluation varies one workload parameter at a time (coflow width
+in Figure 3, number of coflows in Figure 4), generates 10 random instances
+per point, runs every scheme on every instance through the flow-level
+simulator, and reports per-point averages plus ratios to the Baseline scheme.
+:class:`ExperimentSweep` implements exactly that loop; the benchmark modules
+only declare the parameter grid and print the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import Scheme
+from ..core.flows import CoflowInstance
+from ..core.network import Network
+from ..sim import FlowLevelSimulator, SchemeComparison, SimulationResult
+from ..workloads.generator import CoflowGenerator, WorkloadConfig
+
+__all__ = ["SweepPoint", "SweepResult", "ExperimentSweep"]
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated results of all schemes at one parameter value."""
+
+    label: str
+    #: scheme name -> list of objective values (one per random try)
+    values: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, scheme: str, value: float) -> None:
+        self.values.setdefault(scheme, []).append(value)
+
+    def mean(self, scheme: str) -> float:
+        return float(np.mean(self.values[scheme]))
+
+    def std(self, scheme: str) -> float:
+        return float(np.std(self.values[scheme]))
+
+    def ratio_to(self, scheme: str, reference: str) -> float:
+        """Mean of per-try ratios (scheme / reference), the paper's lower panel."""
+        ratios = [
+            v / r for v, r in zip(self.values[scheme], self.values[reference]) if r > 0
+        ]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    def improvement_percent(self, scheme: str, reference: str) -> float:
+        """Mean percentage improvement of ``scheme`` over ``reference``."""
+        gains = [
+            (r / v - 1.0) * 100.0
+            for v, r in zip(self.values[scheme], self.values[reference])
+            if v > 0
+        ]
+        return float(np.mean(gains)) if gains else float("nan")
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep (one figure)."""
+
+    metric: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def schemes(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for name in point.values:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, scheme: str) -> List[float]:
+        """Mean metric per sweep point for one scheme (a figure line)."""
+        return [point.mean(scheme) for point in self.points]
+
+    def ratio_series(self, scheme: str, reference: str) -> List[float]:
+        return [point.ratio_to(scheme, reference) for point in self.points]
+
+    def average_improvement(self, scheme: str, reference: str) -> float:
+        """Improvement of ``scheme`` over ``reference`` averaged over all points."""
+        values = [point.improvement_percent(scheme, reference) for point in self.points]
+        return float(np.mean(values)) if values else float("nan")
+
+
+class ExperimentSweep:
+    """Run a set of schemes over a one-dimensional workload sweep."""
+
+    def __init__(
+        self,
+        network: Network,
+        schemes: Sequence[Scheme],
+        tries: int = 10,
+        metric: str = "weighted_completion_time",
+    ) -> None:
+        if not schemes:
+            raise ValueError("need at least one scheme")
+        if tries < 1:
+            raise ValueError("need at least one try per point")
+        self.network = network
+        self.schemes = list(schemes)
+        self.tries = tries
+        self.metric = metric
+        self.simulator = FlowLevelSimulator(network)
+
+    # ----------------------------------------------------------------- pieces
+    def run_instance(self, instance: CoflowInstance) -> SchemeComparison:
+        """Run every scheme on one instance."""
+        comparison = SchemeComparison(metric=self.metric)
+        for scheme in self.schemes:
+            plan = scheme.plan(instance, self.network)
+            comparison.add(self.simulator.run(instance, plan))
+        return comparison
+
+    def run_point(
+        self, label: str, configs: Iterable[WorkloadConfig]
+    ) -> SweepPoint:
+        """Run every scheme on every instance generated from ``configs``."""
+        point = SweepPoint(label=label)
+        for config in configs:
+            instance = CoflowGenerator(self.network, config).instance()
+            comparison = self.run_instance(instance)
+            for name in comparison.schemes():
+                point.add(name, comparison.value(name))
+        return point
+
+    # ------------------------------------------------------------------- runs
+    def run(
+        self,
+        base_config: WorkloadConfig,
+        parameter: str,
+        values: Sequence[int],
+        label_format: str = "{value}",
+    ) -> SweepResult:
+        """Sweep ``parameter`` of the workload config over ``values``.
+
+        ``parameter`` is either ``"coflow_width"`` (Figure 3) or
+        ``"num_coflows"`` (Figure 4); each point is averaged over
+        ``self.tries`` random instances with distinct seeds.
+        """
+        if parameter not in ("coflow_width", "num_coflows"):
+            raise ValueError(f"unknown sweep parameter {parameter!r}")
+        result = SweepResult(metric=self.metric)
+        for value in values:
+            if parameter == "coflow_width":
+                config = base_config.with_width(int(value))
+            else:
+                config = base_config.with_num_coflows(int(value))
+            configs = [config.with_seed(config.seed + k) for k in range(self.tries)]
+            result.points.append(
+                self.run_point(label_format.format(value=value), configs)
+            )
+        return result

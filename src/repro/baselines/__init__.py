@@ -1,0 +1,23 @@
+"""Scheduling schemes: the paper's LP-Based algorithm and the Section-4.3 heuristics."""
+
+from .base import Scheme, load_balanced_route, random_route, respect_given_paths
+from .heuristics import (
+    BaselineScheme,
+    RouteOnlyScheme,
+    SEBFScheme,
+    ScheduleOnlyScheme,
+)
+from .lp_based import LPBasedScheme, LPGivenPathsScheme
+
+__all__ = [
+    "Scheme",
+    "random_route",
+    "load_balanced_route",
+    "respect_given_paths",
+    "BaselineScheme",
+    "ScheduleOnlyScheme",
+    "RouteOnlyScheme",
+    "SEBFScheme",
+    "LPBasedScheme",
+    "LPGivenPathsScheme",
+]

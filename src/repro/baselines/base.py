@@ -1,0 +1,136 @@
+"""Common machinery for the competing schemes of Section 4.3.
+
+Every scheme — the paper's LP-Based algorithm and the three heuristics it is
+compared against (Baseline, Schedule-only, Route-only), plus the Varys-style
+SEBF extension — is expressed as a :class:`Scheme`: an object that turns a
+coflow instance and a network into a :class:`~repro.sim.plan.SimulationPlan`
+(a path per flow and a priority order), which the flow-level simulator then
+executes.
+
+The routing helpers here implement the two routing rules the heuristics use:
+
+* :func:`random_route` — pick uniformly at random among the candidate
+  shortest paths (Baseline and Schedule-only: "flows are routed randomly");
+* :func:`load_balanced_route` — greedy least-congested candidate path, where
+  congestion is the running sum of volume-per-capacity already assigned to an
+  edge (Route-only: "flows are routed for achieving good load balance and
+  edge utilization").
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.flows import CoflowInstance, Flow, FlowId
+from ..core.network import Network, path_edges
+from ..sim.plan import SimulationPlan
+
+__all__ = ["Scheme", "random_route", "load_balanced_route", "respect_given_paths"]
+
+Edge = Tuple[Hashable, Hashable]
+
+
+class Scheme(abc.ABC):
+    """A scheduling scheme: produces routing + ordering for the simulator."""
+
+    #: Display name used in benchmark tables.
+    name: str = "unnamed"
+
+    @abc.abstractmethod
+    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
+        """Compute the simulation plan for ``instance`` on ``network``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def respect_given_paths(
+    instance: CoflowInstance,
+) -> Dict[FlowId, Tuple[Hashable, ...]]:
+    """Paths already attached to flows (empty dict when none are given)."""
+    return {
+        (i, j): flow.path
+        for i, j, flow in instance.iter_flows()
+        if flow.path is not None
+    }
+
+
+def random_route(
+    instance: CoflowInstance,
+    network: Network,
+    rng: random.Random,
+    max_paths: int = 16,
+) -> Dict[FlowId, Tuple[Hashable, ...]]:
+    """Route every flow on a uniformly random candidate shortest path.
+
+    Flows that already carry a path keep it.
+    """
+    paths = respect_given_paths(instance)
+    cache: Dict[Tuple[Hashable, Hashable], List[List[Hashable]]] = {}
+    for i, j, flow in instance.iter_flows():
+        fid = (i, j)
+        if fid in paths:
+            continue
+        key = (flow.source, flow.destination)
+        if key not in cache:
+            cache[key] = network.candidate_paths(*key, max_paths=max_paths)
+        paths[fid] = tuple(rng.choice(cache[key]))
+    return paths
+
+
+def load_balanced_route(
+    instance: CoflowInstance,
+    network: Network,
+    max_paths: int = 16,
+) -> Dict[FlowId, Tuple[Hashable, ...]]:
+    """Greedy least-congested routing over the candidate shortest paths.
+
+    Flows are considered in decreasing size (largest first, the classical
+    greedy for makespan-style load balancing); each picks the candidate path
+    minimising the resulting maximum edge congestion (volume / capacity),
+    breaking ties by path length and then deterministically.
+    Flows that already carry a path keep it (their load is still counted).
+    """
+    load: Dict[Edge, float] = {}
+
+    def add_load(path: Sequence[Hashable], size: float) -> None:
+        for e in path_edges(list(path)):
+            load[e] = load.get(e, 0.0) + size / network.capacity(*e)
+
+    paths = respect_given_paths(instance)
+    for fid, path in paths.items():
+        add_load(path, instance.flow(fid).size)
+
+    cache: Dict[Tuple[Hashable, Hashable], List[List[Hashable]]] = {}
+    unrouted = [
+        ((i, j), flow)
+        for i, j, flow in instance.iter_flows()
+        if (i, j) not in paths
+    ]
+    unrouted.sort(key=lambda item: (-item[1].size, item[0]))
+    for fid, flow in unrouted:
+        key = (flow.source, flow.destination)
+        if key not in cache:
+            cache[key] = network.candidate_paths(*key, max_paths=max_paths)
+        best_path: Optional[Sequence[Hashable]] = None
+        best_cost: Optional[Tuple[float, float, int]] = None
+        for candidate in cache[key]:
+            worst = 0.0
+            total = 0.0
+            for e in path_edges(candidate):
+                contribution = load.get(e, 0.0) + flow.size / network.capacity(*e)
+                worst = max(worst, contribution)
+                total += load.get(e, 0.0)
+            # Tie-break the bottleneck congestion by the total congestion so
+            # flows spread over equal-cost paths even when an unavoidable
+            # host uplink dominates the maximum.
+            ranking = (worst, total, len(candidate))
+            if best_cost is None or ranking < best_cost:
+                best_cost = ranking
+                best_path = candidate
+        assert best_path is not None
+        paths[fid] = tuple(best_path)
+        add_load(best_path, flow.size)
+    return paths

@@ -1,0 +1,50 @@
+"""Circuit-based coflow scheduling (Section 2 of the paper).
+
+* :mod:`repro.circuit.given_paths` — the 17.6-approximation when every
+  connection request carries a fixed path (Section 2.1).
+* :mod:`repro.circuit.routing`, :mod:`repro.circuit.flow_decomposition`,
+  :mod:`repro.circuit.randomized_rounding`, :mod:`repro.circuit.algorithm` —
+  Algorithm 1 for joint routing and scheduling, the
+  ``O(log |E| / log log |E|)``-approximation (Section 2.2).
+* :mod:`repro.circuit.lower_bounds` — combinatorial lower bounds used for
+  validation alongside the LP bounds of Lemmas 4 and 5.
+"""
+
+from .algorithm import PathsNotGivenScheduler, RoutingPlan, route_and_order
+from .flow_decomposition import FlowDecomposition, PathFlow, decompose_flow
+from .given_paths import (
+    GivenPathsLP,
+    GivenPathsRelaxation,
+    GivenPathsResult,
+    GivenPathsScheduler,
+    feasible_rounding_parameters,
+)
+from .randomized_rounding import (
+    RoundingOutcome,
+    chernoff_congestion_bound,
+    congestion_after_rounding,
+    round_paths,
+)
+from .routing import RoutingLP, RoutingRelaxation
+from . import lower_bounds
+
+__all__ = [
+    "GivenPathsLP",
+    "GivenPathsRelaxation",
+    "GivenPathsResult",
+    "GivenPathsScheduler",
+    "feasible_rounding_parameters",
+    "RoutingLP",
+    "RoutingRelaxation",
+    "PathsNotGivenScheduler",
+    "RoutingPlan",
+    "route_and_order",
+    "FlowDecomposition",
+    "PathFlow",
+    "decompose_flow",
+    "RoundingOutcome",
+    "round_paths",
+    "congestion_after_rounding",
+    "chernoff_congestion_bound",
+    "lower_bounds",
+]

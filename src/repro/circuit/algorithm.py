@@ -1,0 +1,183 @@
+"""Algorithm 1: end-to-end circuit-based coflow scheduling without given paths.
+
+The pipeline follows the pseudo-code of Section 2.2:
+
+1. construct the interval-indexed routing LP (:class:`repro.circuit.routing.RoutingLP`);
+2. solve it and read off per-flow completion proxies and fractional flows;
+3. decompose each flow into paths (``FlowDecomposition``, thickest-first);
+4. pick one path per flow by randomized rounding (``Rounding``);
+5. return flow paths and an ordering based on the LP completion times.
+
+Two consumers use the output:
+
+* the **flow-level simulator** (Section 4) takes the routed instance plus the
+  LP ordering and starts each flow as early as possible — the paper's own
+  evaluation methodology ("each flow starts as soon as it can, in the order
+  prescribed by the linear program");
+* the **theoretical schedule** path re-runs the Section-2.1 given-paths
+  machinery on the routed instance, producing a capacity-feasible
+  interval-indexed :class:`~repro.core.schedule.CircuitSchedule` whose
+  objective can be compared against the Lemma-5 lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.flows import CoflowInstance, FlowId
+from ..core.network import Network
+from ..core.schedule import CircuitSchedule
+from .flow_decomposition import FlowDecomposition
+from .given_paths import GivenPathsResult, GivenPathsScheduler
+from .randomized_rounding import RoundingOutcome, round_paths, thickest_paths
+from .routing import DEFAULT_ROUTING_EPSILON, RoutingLP, RoutingRelaxation
+
+__all__ = ["RoutingPlan", "PathsNotGivenScheduler", "route_and_order"]
+
+
+@dataclass
+class RoutingPlan:
+    """Output of steps 1-5 of Algorithm 1 (routing + ordering)."""
+
+    relaxation: RoutingRelaxation
+    decompositions: Dict[FlowId, FlowDecomposition]
+    rounding: RoundingOutcome
+    #: the original instance with the chosen single path attached to each flow
+    routed_instance: CoflowInstance
+    #: flow ordering by LP completion time (the simulator's priority list)
+    flow_order: List[FlowId]
+
+    @property
+    def paths(self) -> Dict[FlowId, Tuple[Hashable, ...]]:
+        return self.rounding.paths
+
+    @property
+    def lower_bound(self) -> float:
+        """Lemma-5 LP lower bound on the optimal objective."""
+        return self.relaxation.lower_bound
+
+    @property
+    def congestion_factor(self) -> Optional[float]:
+        """Realised post-rounding congestion factor (None if not computed)."""
+        return self.rounding.congestion_factor
+
+    @property
+    def average_candidate_paths(self) -> float:
+        """Average number of decomposition paths per flow.
+
+        The paper reports this is 1 on the fat-tree ("the path decomposition
+        routine returns one path per flow"); the benchmark prints it.
+        """
+        if not self.rounding.candidates:
+            return 0.0
+        return sum(self.rounding.candidates.values()) / len(self.rounding.candidates)
+
+
+class PathsNotGivenScheduler:
+    """Algorithm 1 with both the practical and the provable back-ends.
+
+    Parameters
+    ----------
+    instance, network:
+        The problem; flows need not (and normally do not) carry paths.
+    epsilon:
+        Interval growth factor of the routing LP (the paper uses 1).
+    formulation:
+        ``"path"`` (default, candidate shortest paths) or ``"edge"``
+        (the paper's full edge-flow LP).
+    seed:
+        Seed of the randomized path rounding.
+    path_selection:
+        ``"random"`` (Raghavan–Thompson randomized rounding, the analysed
+        rule) or ``"thickest"`` (the deterministic rule the paper's own
+        implementation uses: the path carrying the most LP flow, with
+        load-aware tie-breaking).
+    """
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        epsilon: float = DEFAULT_ROUTING_EPSILON,
+        formulation: str = "path",
+        max_candidate_paths: int = 16,
+        path_stretch: int = 0,
+        seed: Optional[int] = 0,
+        horizon: Optional[float] = None,
+        path_selection: str = "random",
+    ) -> None:
+        if path_selection not in ("random", "thickest"):
+            raise ValueError(f"unknown path selection rule {path_selection!r}")
+        self.instance = instance
+        self.network = network
+        self.seed = seed
+        self.path_selection = path_selection
+        self._lp = RoutingLP(
+            instance,
+            network,
+            epsilon=epsilon,
+            horizon=horizon,
+            formulation=formulation,
+            max_candidate_paths=max_candidate_paths,
+            path_stretch=path_stretch,
+        )
+
+    # ------------------------------------------------------------------ steps
+    def relax(self) -> RoutingRelaxation:
+        """Solve the routing LP only."""
+        return self._lp.relax()
+
+    def route(self, relaxation: Optional[RoutingRelaxation] = None) -> RoutingPlan:
+        """Steps 2-5 of Algorithm 1: decomposition, rounding, ordering."""
+        relaxation = relaxation or self.relax()
+        decompositions = relaxation.decompositions()
+        demands = {
+            (i, j): flow.size for i, j, flow in self.instance.iter_flows() if flow.size > 0
+        }
+        if self.path_selection == "thickest":
+            rounding = thickest_paths(
+                decompositions, network=self.network, demands=demands
+            )
+        else:
+            rounding = round_paths(
+                decompositions, network=self.network, demands=demands, seed=self.seed
+            )
+        routed = self.instance.with_paths(
+            {fid: list(path) for fid, path in rounding.paths.items()}
+        )
+        return RoutingPlan(
+            relaxation=relaxation,
+            decompositions=decompositions,
+            rounding=rounding,
+            routed_instance=routed,
+            flow_order=relaxation.flow_order(),
+        )
+
+    def schedule(
+        self, plan: Optional[RoutingPlan] = None, strict: bool = True
+    ) -> Tuple[RoutingPlan, GivenPathsResult]:
+        """Full provable pipeline: route, then interval-round on the chosen paths.
+
+        Returns the routing plan and the feasible
+        :class:`~repro.core.schedule.CircuitSchedule` produced by the
+        Section-2.1 rounding on the routed instance.
+        """
+        plan = plan or self.route()
+        scheduler = GivenPathsScheduler(
+            plan.routed_instance, self.network, strict=strict
+        )
+        return plan, scheduler.schedule()
+
+
+def route_and_order(
+    instance: CoflowInstance,
+    network: Network,
+    seed: Optional[int] = 0,
+    formulation: str = "path",
+    epsilon: float = DEFAULT_ROUTING_EPSILON,
+) -> RoutingPlan:
+    """Convenience wrapper: run Algorithm 1 and return the routing plan."""
+    return PathsNotGivenScheduler(
+        instance, network, epsilon=epsilon, formulation=formulation, seed=seed
+    ).route()

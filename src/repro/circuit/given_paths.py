@@ -1,0 +1,386 @@
+"""Circuit-based coflows with given paths (Section 2.1).
+
+The algorithm has the paper's three-part structure:
+
+1. **Reformulation** — coflow completion times are captured by a dummy flow
+   per coflow that must finish last; the coflow weight moves to the dummy
+   flow.  In the implementation the dummy flow is represented implicitly by
+   the coflow completion variable ``("C", i)``.
+
+2. **Interval-indexed LP** — the LP (4)-(10).  Variables:
+
+   * ``("x", i, j, ell)``: fraction of flow ``(i, j)`` delivered in interval
+     ``ell``;
+   * ``("c", i, j)``: completion-time proxy of flow ``(i, j)``;
+   * ``("C", i)``: completion-time proxy of coflow ``i`` (the dummy flow).
+
+   Constraint (7) defines per-interval bandwidths.  We use the interval
+   *length* as the divisor (see DESIGN.md Section 3): Lemma 1 shows a flow
+   delivering volume ``v`` during an interval of length ``len`` can be given
+   the constant bandwidth ``v / len`` without violating capacities, so
+   ``b[i,j,ell] = sigma * x[i,j,ell] / len_ell`` and the capacity constraint
+   (8) reads ``sum_{flows through e} b[i,j,ell] <= c(e)``.
+
+3. **Rounding** — each flow is assigned to the ``D``-th interval after its
+   alpha-interval and runs there at the constant rate ``sigma / len_k``.
+   Feasibility of the construction requires
+
+       alpha * epsilon * (1 + epsilon)^(D-1) >= 1,
+
+   which the default parameters satisfy (the paper's optimized 17.53
+   constants satisfy the weaker conditions (12)-(13) stated in the text but
+   not this self-consistent one; see DESIGN.md).  The resulting schedule is
+   validated against the network before being returned.
+
+Besides the provably-good interval schedule, :class:`GivenPathsScheduler`
+exposes the *LP-order policy* used in the paper's own evaluation (Section
+4.2): flows ordered by LP completion time and started as early as possible by
+the flow-level simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.flows import CoflowInstance, FlowId
+from ..core.intervals import IntervalGrid, RoundingParameters
+from ..core.network import Network, path_edges
+from ..core.schedule import CircuitSchedule, ScheduleError
+from ..lp import LinearProgram, LPSolution, solve
+
+__all__ = [
+    "GivenPathsLP",
+    "GivenPathsRelaxation",
+    "GivenPathsResult",
+    "GivenPathsScheduler",
+    "feasible_rounding_parameters",
+    "DEFAULT_EPSILON",
+]
+
+#: Default epsilon for the LP grid when only a lower bound / ordering is
+#: needed (the paper's optimized value).
+DEFAULT_EPSILON = 0.5436
+
+
+def feasible_rounding_parameters() -> RoundingParameters:
+    """Rounding constants under which the interval schedule is always feasible.
+
+    The constants satisfy ``alpha * eps * (1+eps)^(D-1) >= 1`` (the condition
+    needed for the per-interval capacity argument with length-normalised
+    bandwidths) while keeping the provable blow-up
+    ``(1+eps)^(D+2) / (1-alpha)`` close to its minimum (~27.2).
+    """
+    return RoundingParameters(alpha=0.49, displacement=4, epsilon=0.55)
+
+
+def _feasibility_margin(params: RoundingParameters) -> float:
+    """``alpha * eps * (1+eps)^(D-1)`` — must be >= 1 for guaranteed feasibility."""
+    return (
+        params.alpha
+        * params.epsilon
+        * (1.0 + params.epsilon) ** (params.displacement - 1)
+    )
+
+
+def _default_horizon(instance: CoflowInstance, network: Network) -> float:
+    """A safe horizon: all flows run sequentially on the slowest relevant edge."""
+    min_cap = network.min_capacity()
+    total = instance.total_volume
+    horizon = instance.max_release_time + max(total, 1e-9) / min_cap
+    return max(horizon, 1.0) * 2.0
+
+
+@dataclass
+class GivenPathsRelaxation:
+    """Solution of the interval-indexed LP relaxation (4)-(10)."""
+
+    instance: CoflowInstance
+    network: Network
+    grid: IntervalGrid
+    solution: LPSolution
+    #: x[(i, j)] -> per-interval fractions (length = grid.num_intervals)
+    fractions: Dict[FlowId, np.ndarray]
+    #: LP completion-time proxy per flow
+    flow_completion: Dict[FlowId, float]
+    #: LP completion-time proxy per coflow
+    coflow_completion: Dict[int, float]
+
+    @property
+    def objective(self) -> float:
+        """Optimal LP objective (sum of weighted coflow completion proxies)."""
+        return self.solution.objective
+
+    @property
+    def lower_bound(self) -> float:
+        """Lemma 4: ``objective / (1 + epsilon)`` lower-bounds any schedule."""
+        return self.solution.objective / (1.0 + self.grid.epsilon)
+
+    def flow_order(self) -> List[FlowId]:
+        """Flows ordered by LP completion times (the Section 4.2 policy).
+
+        Coflows are ranked by their LP completion proxy (the dummy flow of the
+        reformulation) and flows within a coflow by their own proxy; ties
+        break lexicographically, so the order is deterministic.
+        """
+        return sorted(
+            self.fractions.keys(),
+            key=lambda fid: (
+                self.coflow_completion[fid[0]],
+                self.flow_completion[fid],
+                fid,
+            ),
+        )
+
+    def coflow_order(self) -> List[int]:
+        """Coflows ordered by their LP completion-time proxy."""
+        return sorted(
+            self.coflow_completion.keys(), key=lambda i: (self.coflow_completion[i], i)
+        )
+
+
+class GivenPathsLP:
+    """Builder for the interval-indexed LP (4)-(10)."""
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        epsilon: float = DEFAULT_EPSILON,
+        horizon: Optional[float] = None,
+    ) -> None:
+        if not instance.all_paths_given:
+            raise ValueError(
+                "GivenPathsLP requires every flow to carry a fixed path; "
+                "use repro.circuit.routing for the paths-not-given variant"
+            )
+        for _, _, flow in instance.iter_flows():
+            network.validate_path(flow.path)
+        self.instance = instance
+        self.network = network
+        self.grid = IntervalGrid(
+            epsilon=epsilon, horizon=horizon or _default_horizon(instance, network)
+        )
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> LinearProgram:
+        """Assemble the LP."""
+        instance, network, grid = self.instance, self.network, self.grid
+        L = grid.num_intervals
+        lp = LinearProgram(name="circuit-given-paths")
+
+        # Variables.
+        for i, j, flow in instance.iter_flows():
+            for ell in range(L):
+                lp.add_variable(("x", i, j, ell), lower=0.0, upper=1.0)
+            lp.add_variable(("c", i, j), lower=0.0)
+        for i, coflow in enumerate(instance.coflows):
+            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
+
+        # (4) every flow fully delivered; (5) completion proxy;
+        # (6) dummy flow finishes last; (9) release times.
+        for i, j, flow in instance.iter_flows():
+            lp.add_constraint(
+                {("x", i, j, ell): 1.0 for ell in range(L)},
+                "==",
+                1.0,
+                name=f"deliver[{i},{j}]",
+            )
+            lp.add_constraint(
+                {
+                    **{("x", i, j, ell): grid.left(ell) for ell in range(L)},
+                    ("c", i, j): -1.0,
+                },
+                "<=",
+                0.0,
+                name=f"completion[{i},{j}]",
+            )
+            lp.add_constraint(
+                {("c", i, j): 1.0, ("C", i): -1.0},
+                "<=",
+                0.0,
+                name=f"coflow-last[{i},{j}]",
+            )
+            # Valid strengthening: no schedule can finish a flow before its
+            # release plus its size divided by the path's bottleneck capacity.
+            if flow.size > 0:
+                transfer = flow.release_time + flow.size / network.bottleneck_capacity(
+                    flow.path
+                )
+                lp.add_constraint(
+                    {("c", i, j): 1.0}, ">=", transfer, name=f"transfer[{i},{j}]"
+                )
+            first = grid.release_interval(flow.release_time)
+            for ell in range(first):
+                lp.add_constraint(
+                    {("x", i, j, ell): 1.0}, "==", 0.0, name=f"release[{i},{j},{ell}]"
+                )
+
+        # (7)+(8) capacity per edge per interval, with bandwidths expressed
+        # directly in terms of x: sum_f sigma_f * x_f_ell / len_ell <= c(e).
+        edge_users: Dict[Tuple[object, object], List[Tuple[FlowId, float]]] = {}
+        for i, j, flow in instance.iter_flows():
+            for edge in path_edges(flow.path):
+                edge_users.setdefault(edge, []).append(((i, j), flow.size))
+        for edge, users in edge_users.items():
+            cap = network.capacity(*edge)
+            for ell in range(L):
+                length = grid.length(ell)
+                lp.add_constraint(
+                    {
+                        ("x", i, j, ell): size / length
+                        for (i, j), size in users
+                    },
+                    "<=",
+                    cap,
+                    name=f"capacity[{edge},{ell}]",
+                )
+        return lp
+
+    # ------------------------------------------------------------------ solve
+    def relax(self) -> GivenPathsRelaxation:
+        """Build and solve the LP, returning the structured relaxation."""
+        lp = self.build()
+        solution = solve(lp)
+        L = self.grid.num_intervals
+        fractions: Dict[FlowId, np.ndarray] = {}
+        flow_completion: Dict[FlowId, float] = {}
+        for i, j, _flow in self.instance.iter_flows():
+            fractions[(i, j)] = np.array(
+                [solution.value(("x", i, j, ell)) for ell in range(L)]
+            )
+            flow_completion[(i, j)] = solution.value(("c", i, j))
+        coflow_completion = {
+            i: solution.value(("C", i)) for i in range(len(self.instance.coflows))
+        }
+        return GivenPathsRelaxation(
+            instance=self.instance,
+            network=self.network,
+            grid=self.grid,
+            solution=solution,
+            fractions=fractions,
+            flow_completion=flow_completion,
+            coflow_completion=coflow_completion,
+        )
+
+
+@dataclass
+class GivenPathsResult:
+    """Full output of the Section-2.1 algorithm."""
+
+    relaxation: GivenPathsRelaxation
+    schedule: CircuitSchedule
+    parameters: RoundingParameters
+    #: target interval index per flow (alpha-interval + D)
+    target_intervals: Dict[FlowId, int]
+
+    @property
+    def objective(self) -> float:
+        """Weighted coflow completion time of the rounded schedule."""
+        return self.schedule.weighted_completion_time(self.relaxation.instance)
+
+    @property
+    def lower_bound(self) -> float:
+        return self.relaxation.lower_bound
+
+    @property
+    def approximation_ratio(self) -> float:
+        """Measured ratio of the rounded schedule to the LP lower bound."""
+        lb = self.lower_bound
+        if lb <= 0:
+            return 1.0
+        return self.objective / lb
+
+
+class GivenPathsScheduler:
+    """End-to-end scheduler for circuit coflows with fixed paths.
+
+    Parameters
+    ----------
+    instance, network:
+        The problem.  Every flow must carry a path that exists in the network.
+    parameters:
+        Rounding constants; defaults to :func:`feasible_rounding_parameters`.
+    horizon:
+        LP time horizon; defaults to a safe upper bound on any reasonable
+        schedule's makespan.
+    strict:
+        When true (default) the rounded schedule is validated and a
+        :class:`ScheduleError` is raised on any violation.
+    """
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        parameters: Optional[RoundingParameters] = None,
+        horizon: Optional[float] = None,
+        strict: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.network = network
+        self.parameters = parameters or feasible_rounding_parameters()
+        self.strict = strict
+        self._lp = GivenPathsLP(
+            instance, network, epsilon=self.parameters.epsilon, horizon=horizon
+        )
+
+    # ------------------------------------------------------------------ steps
+    def relax(self) -> GivenPathsRelaxation:
+        """Solve the LP relaxation only."""
+        return self._lp.relax()
+
+    def round(self, relaxation: GivenPathsRelaxation) -> GivenPathsResult:
+        """Round an LP relaxation into a feasible interval schedule."""
+        params = self.parameters
+        if self.strict and _feasibility_margin(params) < 1.0 - 1e-9:
+            raise ScheduleError(
+                "rounding parameters do not satisfy "
+                "alpha*eps*(1+eps)^(D-1) >= 1; the interval schedule may "
+                "violate capacities (pass strict=False to attempt anyway)"
+            )
+        grid = relaxation.grid.extended(params.displacement + 1)
+        schedule = CircuitSchedule()
+        targets: Dict[FlowId, int] = {}
+        for i, j, flow in self.instance.iter_flows():
+            fid = (i, j)
+            schedule.set_path(fid, flow.path)
+            if flow.size <= 0:
+                targets[fid] = 0
+                continue
+            h = grid.alpha_interval(relaxation.fractions[fid], params.alpha)
+            k = h + params.displacement
+            targets[fid] = k
+            start, end = grid.left(k), grid.right(k)
+            rate = flow.size / (end - start)
+            schedule.add_segment(fid, start, end, rate)
+        if self.strict:
+            schedule.validate(self.instance, self.network)
+        return GivenPathsResult(
+            relaxation=relaxation,
+            schedule=schedule,
+            parameters=params,
+            target_intervals=targets,
+        )
+
+    def schedule(self) -> GivenPathsResult:
+        """Solve the LP and round it (the full Section-2.1 algorithm)."""
+        return self.round(self.relax())
+
+    # ----------------------------------------------------------------- policy
+    def lp_order(self) -> List[FlowId]:
+        """The practical policy of Section 4.2: flows by LP completion time."""
+        return self.relax().flow_order()
+
+
+def lower_bound(
+    instance: CoflowInstance,
+    network: Network,
+    epsilon: float = DEFAULT_EPSILON,
+    horizon: Optional[float] = None,
+) -> float:
+    """Lemma-4 lower bound on the optimal weighted coflow completion time."""
+    return GivenPathsLP(instance, network, epsilon=epsilon, horizon=horizon).relax().lower_bound

@@ -1,0 +1,99 @@
+"""Lower bounds on the optimal weighted coflow completion time.
+
+Besides the LP lower bounds of Lemmas 4 and 5 (exposed by
+:mod:`repro.circuit.given_paths` and :mod:`repro.circuit.routing`), this
+module provides cheap combinatorial lower bounds that hold for *every*
+feasible circuit schedule and are used to sanity-check both the LP values and
+the schedules produced by every algorithm and baseline:
+
+* **release + transfer bound** — a flow of size ``sigma`` released at ``r``
+  cannot complete before ``r + sigma / bottleneck``, where ``bottleneck`` is
+  the largest bottleneck capacity over any source-sink path (the widest path);
+  a coflow cannot complete before the max of its flows' bounds.
+
+* **edge congestion bound** — for any edge ``e`` and any set of flows whose
+  every source-sink path must cross ``e`` (conservatively: flows whose chosen
+  path crosses ``e``, in the given-paths case), the last of them cannot finish
+  before (total size) / c(e).
+
+The combinatorial bounds are loose but instance-independent of any LP, which
+makes them ideal oracles for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from ..core.flows import CoflowInstance, FlowId
+from ..core.network import Network, path_edges
+
+__all__ = [
+    "flow_transfer_lower_bound",
+    "coflow_transfer_lower_bound",
+    "weighted_transfer_lower_bound",
+    "given_paths_congestion_lower_bound",
+]
+
+
+def flow_transfer_lower_bound(
+    flow_source: Hashable,
+    flow_destination: Hashable,
+    size: float,
+    release_time: float,
+    network: Network,
+) -> float:
+    """``release + size / (widest-path bottleneck)`` for a single flow."""
+    if size <= 0:
+        return release_time
+    widest = network.widest_path(flow_source, flow_destination)
+    bottleneck = network.bottleneck_capacity(widest)
+    return release_time + size / bottleneck
+
+
+def coflow_transfer_lower_bound(
+    instance: CoflowInstance, coflow_index: int, network: Network
+) -> float:
+    """Max transfer bound over the coflow's flows."""
+    bound = 0.0
+    for flow in instance[coflow_index].flows:
+        bound = max(
+            bound,
+            flow_transfer_lower_bound(
+                flow.source, flow.destination, flow.size, flow.release_time, network
+            ),
+        )
+    return bound
+
+
+def weighted_transfer_lower_bound(
+    instance: CoflowInstance, network: Network
+) -> float:
+    """Weighted sum of per-coflow transfer bounds — a valid lower bound on (1)."""
+    return float(
+        sum(
+            instance[i].weight * coflow_transfer_lower_bound(instance, i, network)
+            for i in range(len(instance.coflows))
+        )
+    )
+
+
+def given_paths_congestion_lower_bound(
+    instance: CoflowInstance, network: Network
+) -> float:
+    """Congestion-based lower bound on the *makespan* for fixed paths.
+
+    The busiest edge must carry all of the volume routed through it, so the
+    last flow cannot complete before ``max_e (volume through e) / c(e)``
+    (ignoring release times).  Useful to check single-coflow (makespan)
+    instances.
+    """
+    loads: Dict[Tuple[Hashable, Hashable], float] = {}
+    for _, _, flow in instance.iter_flows():
+        if flow.path is None:
+            raise ValueError("congestion bound requires fixed paths")
+        for edge in path_edges(flow.path):
+            loads[edge] = loads.get(edge, 0.0) + flow.size
+    bound = 0.0
+    for edge, load in loads.items():
+        bound = max(bound, load / network.capacity(*edge))
+    return bound

@@ -1,0 +1,399 @@
+"""Circuit-based coflows where paths are *not* given (Section 2.2): the LP.
+
+This module builds and solves the interval-indexed multicommodity LP
+(15)-(23) that jointly routes and schedules connection requests.  Two
+formulations are provided:
+
+``"edge"``
+    The paper's formulation: one rate variable per (flow, interval, edge),
+    with per-interval flow-conservation constraints.  Faithful but large —
+    ``O(n_flows * L * |E|)`` variables.
+
+``"path"``
+    An equivalent column formulation over a candidate path set (the
+    equal-cost shortest paths by default): one rate variable per
+    (flow, interval, candidate path).  On the fat-tree this is exactly the
+    set of paths the paper's flow decomposition ends up using ("in all of our
+    experiments, the path decomposition routine returns one path per flow"),
+    and it is what makes paper-scale instances tractable with the open-source
+    solver.  The ablation benchmark compares the two formulations.
+
+Both produce a :class:`RoutingRelaxation` carrying, per flow, the interval
+fractions, the LP completion-time proxies, and an aggregate edge (or path)
+flow ready for the decomposition + randomized-rounding steps implemented in
+:mod:`repro.circuit.flow_decomposition` and
+:mod:`repro.circuit.randomized_rounding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.flows import CoflowInstance, FlowId
+from ..core.intervals import IntervalGrid
+from ..core.network import Network, path_edges
+from ..lp import LinearProgram, LPSolution, solve
+from .flow_decomposition import FlowDecomposition, PathFlow, decompose_flow
+
+__all__ = ["RoutingLP", "RoutingRelaxation", "DEFAULT_ROUTING_EPSILON"]
+
+Edge = Tuple[Hashable, Hashable]
+
+#: Section 2.2 sets epsilon = 1 (powers-of-two intervals).
+DEFAULT_ROUTING_EPSILON = 1.0
+
+
+def _default_horizon(instance: CoflowInstance, network: Network) -> float:
+    min_cap = network.min_capacity()
+    total = instance.total_volume
+    horizon = instance.max_release_time + max(total, 1e-9) / min_cap
+    return max(horizon, 1.0) * 2.0
+
+
+@dataclass
+class RoutingRelaxation:
+    """Solution of the joint routing/scheduling LP (15)-(23)."""
+
+    instance: CoflowInstance
+    network: Network
+    grid: IntervalGrid
+    solution: LPSolution
+    formulation: str
+    #: per-flow interval fractions x[(i, j)] (length = grid.num_intervals)
+    fractions: Dict[FlowId, np.ndarray]
+    flow_completion: Dict[FlowId, float]
+    coflow_completion: Dict[int, float]
+    #: per-flow aggregate edge volume: total volume of the flow crossing each
+    #: edge over the whole horizon (used by flow decomposition)
+    edge_volumes: Dict[FlowId, Dict[Edge, float]]
+    #: for the path formulation, the per-candidate-path volumes directly
+    path_volumes: Dict[FlowId, List[PathFlow]]
+
+    @property
+    def objective(self) -> float:
+        return self.solution.objective
+
+    @property
+    def lower_bound(self) -> float:
+        """Lemma 5: ``objective / (1 + epsilon)`` (`/2` for the paper's eps=1)."""
+        return self.solution.objective / (1.0 + self.grid.epsilon)
+
+    def flow_order(self) -> List[FlowId]:
+        """Flows ordered by LP completion times (Section 4.2 policy).
+
+        Coflows are ranked by their LP completion proxy ``C_i`` (the dummy
+        flow of the reformulation) and flows within a coflow by their own
+        proxy ``c_ij`` — so the ordering respects the coflow-level objective
+        the LP optimises while still serialising flows inside a coflow.
+        """
+        return sorted(
+            self.fractions.keys(),
+            key=lambda fid: (
+                self.coflow_completion[fid[0]],
+                self.flow_completion[fid],
+                fid,
+            ),
+        )
+
+    def decompositions(
+        self, max_paths: Optional[int] = None
+    ) -> Dict[FlowId, FlowDecomposition]:
+        """Flow decomposition per connection request (thickest-path order).
+
+        For the path formulation the LP already produces per-path volumes, so
+        the decomposition is assembled directly; for the edge formulation the
+        aggregate edge volumes are decomposed with
+        :func:`repro.circuit.flow_decomposition.decompose_flow`.
+        """
+        result: Dict[FlowId, FlowDecomposition] = {}
+        for i, j, flow in self.instance.iter_flows():
+            fid = (i, j)
+            if flow.size <= 0:
+                continue
+            if self.formulation == "path":
+                paths = [p for p in self.path_volumes.get(fid, []) if p.value > 1e-9]
+                paths.sort(key=lambda p: -p.value)
+                result[fid] = FlowDecomposition(
+                    source=flow.source, sink=flow.destination, paths=paths, residual={}
+                )
+            else:
+                result[fid] = decompose_flow(
+                    self.edge_volumes.get(fid, {}),
+                    source=flow.source,
+                    sink=flow.destination,
+                    max_paths=max_paths,
+                )
+        return result
+
+
+class RoutingLP:
+    """Builder/solver for the Section-2.2 LP in either formulation."""
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        epsilon: float = DEFAULT_ROUTING_EPSILON,
+        horizon: Optional[float] = None,
+        formulation: str = "path",
+        max_candidate_paths: int = 16,
+        path_stretch: int = 0,
+    ) -> None:
+        if formulation not in ("edge", "path"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        for _, _, flow in instance.iter_flows():
+            if not network.has_node(flow.source) or not network.has_node(
+                flow.destination
+            ):
+                raise ValueError(
+                    f"flow endpoints {flow.source!r}->{flow.destination!r} "
+                    "missing from the network"
+                )
+        self.instance = instance
+        self.network = network
+        self.formulation = formulation
+        self.max_candidate_paths = max_candidate_paths
+        self.path_stretch = path_stretch
+        self.grid = IntervalGrid(
+            epsilon=epsilon, horizon=horizon or _default_horizon(instance, network)
+        )
+        self._candidate_paths: Dict[FlowId, List[List[Hashable]]] = {}
+
+    # ---------------------------------------------------------------- shared
+    def _add_completion_structure(self, lp: LinearProgram) -> None:
+        """Variables and constraints (15)-(17), (22): x, c, C, release times."""
+        grid = self.grid
+        L = grid.num_intervals
+        for i, j, flow in self.instance.iter_flows():
+            for ell in range(L):
+                lp.add_variable(("x", i, j, ell), lower=0.0, upper=1.0)
+            lp.add_variable(("c", i, j), lower=0.0)
+        for i, coflow in enumerate(self.instance.coflows):
+            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
+        for i, j, flow in self.instance.iter_flows():
+            lp.add_constraint(
+                {("x", i, j, ell): 1.0 for ell in range(L)}, "==", 1.0,
+                name=f"deliver[{i},{j}]",
+            )
+            lp.add_constraint(
+                {
+                    **{("x", i, j, ell): grid.left(ell) for ell in range(L)},
+                    ("c", i, j): -1.0,
+                },
+                "<=",
+                0.0,
+                name=f"completion[{i},{j}]",
+            )
+            lp.add_constraint(
+                {("c", i, j): 1.0, ("C", i): -1.0}, "<=", 0.0,
+                name=f"coflow-last[{i},{j}]",
+            )
+            # Valid strengthening: no routing can beat release + size divided
+            # by the best bottleneck capacity available between the endpoints.
+            if flow.size > 0:
+                widest = self.network.widest_path(flow.source, flow.destination)
+                transfer = flow.release_time + flow.size / self.network.bottleneck_capacity(widest)
+                lp.add_constraint(
+                    {("c", i, j): 1.0}, ">=", transfer, name=f"transfer[{i},{j}]"
+                )
+            first = grid.release_interval(flow.release_time)
+            for ell in range(first):
+                lp.add_constraint(
+                    {("x", i, j, ell): 1.0}, "==", 0.0, name=f"release[{i},{j},{ell}]"
+                )
+
+    # ----------------------------------------------------------- edge builder
+    def _build_edge(self) -> LinearProgram:
+        instance, network, grid = self.instance, self.network, self.grid
+        L = grid.num_intervals
+        edges = network.edges()
+        lp = LinearProgram(name="circuit-routing-edge")
+        self._add_completion_structure(lp)
+
+        # Rate variables f[(i,j), ell, e].
+        for i, j, flow in instance.iter_flows():
+            if flow.size <= 0:
+                continue
+            for ell in range(L):
+                for e in edges:
+                    lp.add_variable(("f", i, j, ell, e), lower=0.0)
+
+        # Flow conservation (18)-(20) per flow per interval.
+        for i, j, flow in instance.iter_flows():
+            if flow.size <= 0:
+                continue
+            for ell in range(L):
+                length = grid.length(ell)
+                for v in network.nodes():
+                    incoming = network.in_edges(v)
+                    outgoing = network.out_edges(v)
+                    terms: Dict[Tuple, float] = {}
+                    for e in incoming:
+                        terms[("f", i, j, ell, e)] = terms.get(("f", i, j, ell, e), 0.0) + 1.0
+                    for e in outgoing:
+                        terms[("f", i, j, ell, e)] = terms.get(("f", i, j, ell, e), 0.0) - 1.0
+                    if v == flow.destination:
+                        # net inflow at the sink equals the delivered rate
+                        terms[("x", i, j, ell)] = -flow.size / length
+                        lp.add_constraint(terms, "==", 0.0, name=f"sink[{i},{j},{ell}]")
+                    elif v == flow.source:
+                        # net outflow at the source equals the delivered rate
+                        terms[("x", i, j, ell)] = flow.size / length
+                        lp.add_constraint(terms, "==", 0.0, name=f"source[{i},{j},{ell}]")
+                    else:
+                        lp.add_constraint(terms, "==", 0.0, name=f"conserve[{i},{j},{ell},{v}]")
+
+        # Capacity (21) per edge per interval.
+        for ell in range(L):
+            for e in edges:
+                terms = {
+                    ("f", i, j, ell, e): 1.0
+                    for i, j, flow in instance.iter_flows()
+                    if flow.size > 0
+                }
+                lp.add_constraint(terms, "<=", network.capacity(*e), name=f"cap[{e},{ell}]")
+        return lp
+
+    # ----------------------------------------------------------- path builder
+    def candidate_paths(self) -> Dict[FlowId, List[List[Hashable]]]:
+        """Candidate path set per flow (cached)."""
+        if not self._candidate_paths:
+            cache: Dict[Tuple[Hashable, Hashable], List[List[Hashable]]] = {}
+            for i, j, flow in self.instance.iter_flows():
+                key = (flow.source, flow.destination)
+                if key not in cache:
+                    cache[key] = self.network.candidate_paths(
+                        flow.source,
+                        flow.destination,
+                        max_paths=self.max_candidate_paths,
+                        stretch=self.path_stretch,
+                    )
+                self._candidate_paths[(i, j)] = cache[key]
+        return self._candidate_paths
+
+    def _build_path(self) -> LinearProgram:
+        instance, network, grid = self.instance, self.network, self.grid
+        L = grid.num_intervals
+        lp = LinearProgram(name="circuit-routing-path")
+        self._add_completion_structure(lp)
+        candidates = self.candidate_paths()
+
+        # Rate variables y[(i,j), ell, path-index].
+        for i, j, flow in instance.iter_flows():
+            if flow.size <= 0:
+                continue
+            for ell in range(L):
+                for p in range(len(candidates[(i, j)])):
+                    lp.add_variable(("y", i, j, ell, p), lower=0.0)
+
+        # Volume delivered per interval equals the rate on candidate paths
+        # times the interval length.
+        for i, j, flow in instance.iter_flows():
+            if flow.size <= 0:
+                continue
+            for ell in range(L):
+                length = grid.length(ell)
+                terms = {
+                    ("y", i, j, ell, p): length
+                    for p in range(len(candidates[(i, j)]))
+                }
+                terms[("x", i, j, ell)] = -flow.size
+                lp.add_constraint(terms, "==", 0.0, name=f"route[{i},{j},{ell}]")
+
+        # Capacity per edge per interval.
+        edge_terms: Dict[Tuple[Edge, int], Dict[Tuple, float]] = {}
+        for i, j, flow in instance.iter_flows():
+            if flow.size <= 0:
+                continue
+            for p, path in enumerate(candidates[(i, j)]):
+                for e in path_edges(path):
+                    for ell in range(L):
+                        edge_terms.setdefault((e, ell), {})[("y", i, j, ell, p)] = 1.0
+        for (e, ell), terms in edge_terms.items():
+            lp.add_constraint(terms, "<=", network.capacity(*e), name=f"cap[{e},{ell}]")
+        return lp
+
+    def build(self) -> LinearProgram:
+        """Assemble the LP in the selected formulation."""
+        if self.formulation == "edge":
+            return self._build_edge()
+        return self._build_path()
+
+    # ------------------------------------------------------------------ solve
+    def relax(self) -> RoutingRelaxation:
+        """Build and solve the LP, extracting the structured relaxation."""
+        lp = self.build()
+        solution = solve(lp)
+        grid = self.grid
+        L = grid.num_intervals
+        fractions: Dict[FlowId, np.ndarray] = {}
+        flow_completion: Dict[FlowId, float] = {}
+        edge_volumes: Dict[FlowId, Dict[Edge, float]] = {}
+        path_volumes: Dict[FlowId, List[PathFlow]] = {}
+
+        for i, j, flow in self.instance.iter_flows():
+            fid = (i, j)
+            fractions[fid] = np.array(
+                [solution.value(("x", i, j, ell)) for ell in range(L)]
+            )
+            flow_completion[fid] = solution.value(("c", i, j))
+            if flow.size <= 0:
+                continue
+            if self.formulation == "edge":
+                volumes: Dict[Edge, float] = {}
+                for ell in range(L):
+                    length = grid.length(ell)
+                    for e in self.network.edges():
+                        rate = solution.value(("f", i, j, ell, e), default=0.0)
+                        if rate > 1e-9:
+                            volumes[e] = volumes.get(e, 0.0) + rate * length
+                edge_volumes[fid] = volumes
+            else:
+                candidates = self.candidate_paths()[fid]
+                per_path = np.zeros(len(candidates))
+                for ell in range(L):
+                    length = grid.length(ell)
+                    for p in range(len(candidates)):
+                        rate = solution.value(("y", i, j, ell, p), default=0.0)
+                        per_path[p] += rate * length
+                path_volumes[fid] = [
+                    PathFlow(path=tuple(candidates[p]), value=float(per_path[p]))
+                    for p in range(len(candidates))
+                    if per_path[p] > 1e-9
+                ]
+                volumes = {}
+                for pf in path_volumes[fid]:
+                    for e in pf.edges:
+                        volumes[e] = volumes.get(e, 0.0) + pf.value
+                edge_volumes[fid] = volumes
+
+        coflow_completion = {
+            i: solution.value(("C", i)) for i in range(len(self.instance.coflows))
+        }
+        return RoutingRelaxation(
+            instance=self.instance,
+            network=self.network,
+            grid=grid,
+            solution=solution,
+            formulation=self.formulation,
+            fractions=fractions,
+            flow_completion=flow_completion,
+            coflow_completion=coflow_completion,
+            edge_volumes=edge_volumes,
+            path_volumes=path_volumes,
+        )
+
+
+def lower_bound(
+    instance: CoflowInstance,
+    network: Network,
+    epsilon: float = DEFAULT_ROUTING_EPSILON,
+    formulation: str = "path",
+) -> float:
+    """Lemma-5 lower bound on the optimum (joint routing + scheduling)."""
+    return RoutingLP(
+        instance, network, epsilon=epsilon, formulation=formulation
+    ).relax().lower_bound

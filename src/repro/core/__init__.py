@@ -1,0 +1,59 @@
+"""Core substrate: coflow data model, networks, topologies, schedules.
+
+Everything the approximation algorithms of :mod:`repro.circuit` and
+:mod:`repro.packet` build on lives here.
+"""
+
+from .flows import Coflow, CoflowInstance, Flow, FlowId
+from .intervals import (
+    IntervalGrid,
+    RoundingParameters,
+    PAPER_ALPHA,
+    PAPER_DISPLACEMENT,
+    PAPER_EPSILON,
+    paper_rounding_parameters,
+)
+from .network import Network, path_edges
+from .objective import (
+    ObjectiveBreakdown,
+    coflow_completion_times,
+    makespan,
+    objective_breakdown,
+    total_completion_time,
+    weighted_completion_time,
+)
+from .schedule import (
+    BandwidthSegment,
+    CircuitSchedule,
+    PacketMove,
+    PacketSchedule,
+    ScheduleError,
+)
+from . import topologies
+
+__all__ = [
+    "Flow",
+    "Coflow",
+    "CoflowInstance",
+    "FlowId",
+    "Network",
+    "path_edges",
+    "topologies",
+    "IntervalGrid",
+    "RoundingParameters",
+    "PAPER_ALPHA",
+    "PAPER_DISPLACEMENT",
+    "PAPER_EPSILON",
+    "paper_rounding_parameters",
+    "BandwidthSegment",
+    "CircuitSchedule",
+    "PacketMove",
+    "PacketSchedule",
+    "ScheduleError",
+    "ObjectiveBreakdown",
+    "coflow_completion_times",
+    "weighted_completion_time",
+    "total_completion_time",
+    "makespan",
+    "objective_breakdown",
+]

@@ -1,0 +1,286 @@
+"""Coflow data model.
+
+The paper (Section 1.1) defines a *flow* as an atomic unit of data movement
+(a connection request in the circuit model, or a single packet in the packet
+model), and a *coflow* as a set of flows that share a single performance
+goal: the coflow completes when its last flow completes.  The scheduling
+objective is the weighted sum of coflow completion times
+
+    C = sum_k  w_k * max_{f in F_k} c_f.
+
+Unlike previous work the paper attaches release times to individual flows
+rather than to whole coflows; this module follows that convention.
+
+The classes here are deliberately plain containers: algorithms in
+:mod:`repro.circuit`, :mod:`repro.packet` and :mod:`repro.baselines` operate
+on :class:`CoflowInstance` objects and never mutate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Flow",
+    "Coflow",
+    "CoflowInstance",
+    "FlowId",
+]
+
+#: A flow is globally identified by the pair (coflow index, flow index).
+FlowId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A single flow: a data transfer from ``source`` to ``destination``.
+
+    Parameters
+    ----------
+    source, destination:
+        Node identifiers in the network the instance is scheduled on.
+    size:
+        Volume to transfer (:math:`\\sigma_j^i`).  In the packet model the
+        size is always 1 (one packet).
+    release_time:
+        Earliest time the flow may start (:math:`r_j^i`), per-flow as in the
+        paper.
+    path:
+        Optional fixed path (sequence of nodes).  When present the instance
+        belongs to the "paths given" variants of the problem.
+    """
+
+    source: object
+    destination: object
+    size: float = 1.0
+    release_time: float = 0.0
+    path: Optional[Tuple[object, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"flow size must be non-negative, got {self.size}")
+        if self.release_time < 0:
+            raise ValueError(
+                f"release time must be non-negative, got {self.release_time}"
+            )
+        if self.source == self.destination:
+            raise ValueError(
+                f"flow source and destination must differ, got {self.source!r}"
+            )
+        if self.path is not None:
+            object.__setattr__(self, "path", tuple(self.path))
+            if len(self.path) < 2:
+                raise ValueError("a path must contain at least two nodes")
+            if self.path[0] != self.source or self.path[-1] != self.destination:
+                raise ValueError(
+                    "path endpoints must match the flow's source and destination"
+                )
+
+    @property
+    def has_path(self) -> bool:
+        """Whether a fixed path was supplied for this flow."""
+        return self.path is not None
+
+    def with_path(self, path: Sequence[object]) -> "Flow":
+        """Return a copy of this flow with ``path`` attached."""
+        return Flow(
+            source=self.source,
+            destination=self.destination,
+            size=self.size,
+            release_time=self.release_time,
+            path=tuple(path),
+        )
+
+    def path_edges(self) -> List[Tuple[object, object]]:
+        """Return the directed edges of the attached path.
+
+        Raises
+        ------
+        ValueError
+            If the flow has no path.
+        """
+        if self.path is None:
+            raise ValueError("flow has no path attached")
+        return list(zip(self.path[:-1], self.path[1:]))
+
+
+@dataclass(frozen=True)
+class Coflow:
+    """A weighted collection of flows sharing one completion goal.
+
+    The coflow's completion time is the maximum completion time over its
+    flows; the scheduling objective weights it by :attr:`weight`.
+    """
+
+    flows: Tuple[Flow, ...]
+    weight: float = 1.0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "flows", tuple(self.flows))
+        if not self.flows:
+            raise ValueError("a coflow must contain at least one flow")
+        if self.weight < 0:
+            raise ValueError(f"coflow weight must be non-negative, got {self.weight}")
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self.flows)
+
+    @property
+    def width(self) -> int:
+        """Number of flows in the coflow (the paper's "coflow width")."""
+        return len(self.flows)
+
+    @property
+    def total_size(self) -> float:
+        """Sum of flow sizes in the coflow."""
+        return float(sum(f.size for f in self.flows))
+
+    @property
+    def release_time(self) -> float:
+        """Earliest release time among the coflow's flows."""
+        return min(f.release_time for f in self.flows)
+
+    @property
+    def all_paths_given(self) -> bool:
+        """Whether every flow of the coflow carries a fixed path."""
+        return all(f.has_path for f in self.flows)
+
+
+@dataclass
+class CoflowInstance:
+    """A complete problem instance: a set of coflows to be scheduled.
+
+    The instance does not reference a network; algorithms take the network
+    (a :class:`repro.core.network.Network`) as a separate argument so the same
+    instance can be scheduled on different topologies (the fixed-path variant
+    obviously requires the paths to exist in the network used).
+    """
+
+    coflows: List[Coflow] = field(default_factory=list)
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.coflows = list(self.coflows)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.coflows)
+
+    def __iter__(self) -> Iterator[Coflow]:
+        return iter(self.coflows)
+
+    def __getitem__(self, idx: int) -> Coflow:
+        return self.coflows[idx]
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def num_coflows(self) -> int:
+        return len(self.coflows)
+
+    @property
+    def num_flows(self) -> int:
+        return sum(len(c) for c in self.coflows)
+
+    @property
+    def all_paths_given(self) -> bool:
+        """True when every flow in every coflow has a fixed path."""
+        return all(c.all_paths_given for c in self.coflows)
+
+    @property
+    def max_release_time(self) -> float:
+        return max((f.release_time for _, _, f in self.iter_flows()), default=0.0)
+
+    @property
+    def total_volume(self) -> float:
+        return float(sum(f.size for _, _, f in self.iter_flows()))
+
+    def iter_flows(self) -> Iterator[Tuple[int, int, Flow]]:
+        """Yield ``(coflow_index, flow_index, flow)`` for every flow."""
+        for i, coflow in enumerate(self.coflows):
+            for j, flow in enumerate(coflow.flows):
+                yield i, j, flow
+
+    def flow(self, fid: FlowId) -> Flow:
+        """Look up a flow by its ``(coflow_index, flow_index)`` identifier."""
+        i, j = fid
+        return self.coflows[i].flows[j]
+
+    def flow_ids(self) -> List[FlowId]:
+        """All flow identifiers in deterministic order."""
+        return [(i, j) for i, j, _ in self.iter_flows()]
+
+    def weights(self) -> Dict[int, float]:
+        """Map coflow index to its weight."""
+        return {i: c.weight for i, c in enumerate(self.coflows)}
+
+    def with_paths(self, paths: Dict[FlowId, Sequence[object]]) -> "CoflowInstance":
+        """Return a new instance where each flow in ``paths`` gets its path.
+
+        Flows not present in ``paths`` keep whatever path they already had.
+        """
+        new_coflows = []
+        for i, coflow in enumerate(self.coflows):
+            new_flows = []
+            for j, flow in enumerate(coflow.flows):
+                if (i, j) in paths:
+                    new_flows.append(flow.with_path(paths[(i, j)]))
+                else:
+                    new_flows.append(flow)
+            new_coflows.append(
+                Coflow(flows=tuple(new_flows), weight=coflow.weight, name=coflow.name)
+            )
+        return CoflowInstance(coflows=new_coflows, name=self.name)
+
+    def without_paths(self) -> "CoflowInstance":
+        """Return a copy of the instance with all fixed paths stripped."""
+        new_coflows = []
+        for coflow in self.coflows:
+            new_flows = [
+                Flow(
+                    source=f.source,
+                    destination=f.destination,
+                    size=f.size,
+                    release_time=f.release_time,
+                    path=None,
+                )
+                for f in coflow.flows
+            ]
+            new_coflows.append(
+                Coflow(flows=tuple(new_flows), weight=coflow.weight, name=coflow.name)
+            )
+        return CoflowInstance(coflows=new_coflows, name=self.name)
+
+    def scaled(self, size_factor: float = 1.0, weight_factor: float = 1.0) -> "CoflowInstance":
+        """Return a copy with flow sizes and coflow weights scaled."""
+        if size_factor <= 0 or weight_factor <= 0:
+            raise ValueError("scale factors must be positive")
+        new_coflows = []
+        for coflow in self.coflows:
+            new_flows = [
+                Flow(
+                    source=f.source,
+                    destination=f.destination,
+                    size=f.size * size_factor,
+                    release_time=f.release_time,
+                    path=f.path,
+                )
+                for f in coflow.flows
+            ]
+            new_coflows.append(
+                Coflow(
+                    flows=tuple(new_flows),
+                    weight=coflow.weight * weight_factor,
+                    name=coflow.name,
+                )
+            )
+        return CoflowInstance(coflows=new_coflows, name=self.name)
+
+    @staticmethod
+    def single_coflow(flows: Iterable[Flow], weight: float = 1.0) -> "CoflowInstance":
+        """Convenience constructor for makespan-style single-coflow instances."""
+        return CoflowInstance(coflows=[Coflow(flows=tuple(flows), weight=weight)])

@@ -1,0 +1,90 @@
+"""Objective-function helpers.
+
+The paper's objective (equation (1)) is the weighted sum of coflow completion
+times, where a coflow completes when its last flow completes.  These helpers
+operate on plain ``{flow_id: completion_time}`` mappings so every scheduler
+(LP-based, baselines, simulator) can share the same accounting code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from .flows import CoflowInstance, FlowId
+
+__all__ = [
+    "coflow_completion_times",
+    "weighted_completion_time",
+    "total_completion_time",
+    "makespan",
+    "ObjectiveBreakdown",
+    "objective_breakdown",
+]
+
+
+def coflow_completion_times(
+    instance: CoflowInstance, flow_completions: Mapping[FlowId, float]
+) -> Dict[int, float]:
+    """Collapse per-flow completion times to per-coflow completion times.
+
+    Every flow of the instance must appear in ``flow_completions``.
+    """
+    completions: Dict[int, float] = {}
+    for i, j, _flow in instance.iter_flows():
+        fid = (i, j)
+        if fid not in flow_completions:
+            raise KeyError(f"flow {fid} missing from completion-time map")
+        completions[i] = max(completions.get(i, 0.0), float(flow_completions[fid]))
+    return completions
+
+
+def weighted_completion_time(
+    instance: CoflowInstance, flow_completions: Mapping[FlowId, float]
+) -> float:
+    """Objective (1): ``sum_k w_k * max_{f in F_k} c_f``."""
+    per_coflow = coflow_completion_times(instance, flow_completions)
+    return float(sum(instance[i].weight * c for i, c in per_coflow.items()))
+
+
+def total_completion_time(
+    instance: CoflowInstance, flow_completions: Mapping[FlowId, float]
+) -> float:
+    """Unweighted sum of coflow completion times."""
+    per_coflow = coflow_completion_times(instance, flow_completions)
+    return float(sum(per_coflow.values()))
+
+
+def makespan(flow_completions: Mapping[FlowId, float]) -> float:
+    """Completion time of the last flow (single-coflow special case)."""
+    if not flow_completions:
+        return 0.0
+    return float(max(flow_completions.values()))
+
+
+@dataclass(frozen=True)
+class ObjectiveBreakdown:
+    """Summary statistics of a schedule's completion times."""
+
+    weighted_completion_time: float
+    total_completion_time: float
+    average_completion_time: float
+    makespan: float
+    per_coflow: Dict[int, float]
+
+
+def objective_breakdown(
+    instance: CoflowInstance, flow_completions: Mapping[FlowId, float]
+) -> ObjectiveBreakdown:
+    """Compute all the summary metrics the benchmarks report."""
+    per_coflow = coflow_completion_times(instance, flow_completions)
+    total = float(sum(per_coflow.values()))
+    weighted = float(sum(instance[i].weight * c for i, c in per_coflow.items()))
+    count = max(len(per_coflow), 1)
+    return ObjectiveBreakdown(
+        weighted_completion_time=weighted,
+        total_completion_time=total,
+        average_completion_time=total / count,
+        makespan=float(max(per_coflow.values())) if per_coflow else 0.0,
+        per_coflow=per_coflow,
+    )

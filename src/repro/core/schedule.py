@@ -1,0 +1,411 @@
+"""Schedule representations and feasibility validation.
+
+Two schedule types mirror the paper's two coflow models:
+
+* :class:`CircuitSchedule` — for circuit-based coflows.  Each flow gets a
+  path and a piecewise-constant bandwidth function (Lemma 1 shows piecewise
+  constant bandwidths are WLOG).  Feasibility means: edge capacities are
+  respected at every point in time, release times are respected, and every
+  flow delivers exactly its size.
+
+* :class:`PacketSchedule` — for packet-based coflows.  Time is discrete; each
+  packet performs a sequence of moves ``(t, u, v)`` meaning it crosses the
+  edge ``u -> v`` during time step ``t`` (arriving at ``v`` at time ``t+1``).
+  Feasibility means: moves form a path from source to destination, start no
+  earlier than the release time, moves of one packet are time-ordered and
+  chained, and no edge carries two packets in the same step.
+
+Both classes compute flow and coflow completion times and the weighted sum
+objective (1) of the paper, and both have ``validate`` methods that raise
+:class:`ScheduleError` with a precise message on the first violation found.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .flows import CoflowInstance, Flow, FlowId
+from .network import Network, path_edges
+
+__all__ = [
+    "ScheduleError",
+    "BandwidthSegment",
+    "CircuitSchedule",
+    "PacketMove",
+    "PacketSchedule",
+]
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a feasibility constraint."""
+
+
+# --------------------------------------------------------------------------
+# Circuit schedules
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BandwidthSegment:
+    """A constant-rate segment: ``rate`` bandwidth over ``[start, end)``."""
+
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"segment end ({self.end}) must exceed start ({self.start})"
+            )
+        if self.rate < 0:
+            raise ValueError(f"segment rate must be non-negative, got {self.rate}")
+        if self.start < 0:
+            raise ValueError("segment start must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def volume(self) -> float:
+        """Data delivered during this segment."""
+        return self.rate * self.duration
+
+
+class CircuitSchedule:
+    """A complete circuit-model schedule: per-flow path + bandwidth segments."""
+
+    def __init__(self) -> None:
+        self._paths: Dict[FlowId, Tuple[object, ...]] = {}
+        self._segments: Dict[FlowId, List[BandwidthSegment]] = {}
+
+    # ------------------------------------------------------------------ build
+    def set_path(self, fid: FlowId, path: Sequence[object]) -> None:
+        """Assign the routing path of flow ``fid``."""
+        if len(path) < 2:
+            raise ScheduleError(f"path for flow {fid} must have at least two nodes")
+        self._paths[fid] = tuple(path)
+        self._segments.setdefault(fid, [])
+
+    def add_segment(self, fid: FlowId, start: float, end: float, rate: float) -> None:
+        """Append a constant-bandwidth segment for flow ``fid``.
+
+        Zero-rate segments are ignored.  Segments may be added in any order;
+        they are kept sorted by start time.
+        """
+        if fid not in self._paths:
+            raise ScheduleError(f"set_path must be called before add_segment for {fid}")
+        if rate <= 0:
+            return
+        seg = BandwidthSegment(start=start, end=end, rate=rate)
+        insort(self._segments[fid], seg, key=lambda s: (s.start, s.end))
+
+    # -------------------------------------------------------------- accessors
+    def flow_ids(self) -> List[FlowId]:
+        return sorted(self._paths.keys())
+
+    def path(self, fid: FlowId) -> Tuple[object, ...]:
+        try:
+            return self._paths[fid]
+        except KeyError as exc:
+            raise KeyError(f"flow {fid} is not in the schedule") from exc
+
+    def segments(self, fid: FlowId) -> List[BandwidthSegment]:
+        return list(self._segments.get(fid, []))
+
+    def delivered_volume(self, fid: FlowId, until: Optional[float] = None) -> float:
+        """Total volume delivered for flow ``fid`` (optionally up to ``until``)."""
+        total = 0.0
+        for seg in self._segments.get(fid, []):
+            if until is None:
+                total += seg.volume
+            else:
+                overlap = max(0.0, min(seg.end, until) - seg.start)
+                total += seg.rate * overlap
+        return total
+
+    def start_time(self, fid: FlowId) -> float:
+        """Time the first non-zero-rate segment of the flow begins."""
+        segs = self._segments.get(fid, [])
+        if not segs:
+            raise ScheduleError(f"flow {fid} has no bandwidth segments")
+        return segs[0].start
+
+    def flow_completion_time(self, fid: FlowId, size: Optional[float] = None) -> float:
+        """Completion time of flow ``fid``.
+
+        Without ``size`` this is simply the end of the last segment.  With
+        ``size`` the exact point inside the last needed segment at which the
+        cumulative delivered volume reaches ``size`` is returned (equation (2)
+        of the paper: the smallest ``c`` with ``int_0^c b(t) dt = sigma``).
+        """
+        segs = self._segments.get(fid, [])
+        if size is not None and size <= 1e-15:
+            # Zero-size flows complete the moment they start (or at time 0).
+            return segs[0].start if segs else 0.0
+        if not segs:
+            raise ScheduleError(f"flow {fid} has no bandwidth segments")
+        if size is None:
+            return segs[-1].end
+        remaining = size
+        for seg in segs:
+            if seg.volume >= remaining - 1e-12:
+                return seg.start + remaining / seg.rate
+            remaining -= seg.volume
+        raise ScheduleError(
+            f"flow {fid} delivers {self.delivered_volume(fid):.6f} < size {size}"
+        )
+
+    def coflow_completion_times(self, instance: CoflowInstance) -> Dict[int, float]:
+        """Completion time of each coflow = max completion over its flows."""
+        completions: Dict[int, float] = {}
+        for i, j, flow in instance.iter_flows():
+            c = self.flow_completion_time((i, j), size=flow.size)
+            completions[i] = max(completions.get(i, 0.0), c)
+        return completions
+
+    def weighted_completion_time(self, instance: CoflowInstance) -> float:
+        """Objective (1): weighted sum of coflow completion times."""
+        completions = self.coflow_completion_times(instance)
+        return float(
+            sum(instance[i].weight * completions[i] for i in completions)
+        )
+
+    def makespan(self, instance: CoflowInstance) -> float:
+        """Completion time of the last flow in the schedule."""
+        completions = self.coflow_completion_times(instance)
+        return max(completions.values()) if completions else 0.0
+
+    # ------------------------------------------------------------- validation
+    def validate(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        tolerance: float = 1e-6,
+    ) -> None:
+        """Raise :class:`ScheduleError` unless the schedule is feasible.
+
+        Checks performed:
+
+        1. every flow in the instance has a path and the path exists in the
+           network and connects its endpoints;
+        2. every flow delivers at least its size;
+        3. no segment starts before the flow's release time;
+        4. at every point in time the total rate crossing each edge is within
+           its capacity (checked at every segment-boundary event).
+        """
+        # 1-3: per-flow checks.
+        for i, j, flow in instance.iter_flows():
+            fid = (i, j)
+            if fid not in self._paths:
+                raise ScheduleError(f"flow {fid} missing from schedule")
+            path = self._paths[fid]
+            if path[0] != flow.source or path[-1] != flow.destination:
+                raise ScheduleError(
+                    f"flow {fid}: scheduled path endpoints {path[0]}->{path[-1]} "
+                    f"do not match flow {flow.source}->{flow.destination}"
+                )
+            network.validate_path(path)
+            delivered = self.delivered_volume(fid)
+            if delivered + tolerance < flow.size:
+                raise ScheduleError(
+                    f"flow {fid} delivers {delivered:.6f} < size {flow.size}"
+                )
+            segs = self._segments.get(fid, [])
+            if flow.size > 0 and not segs:
+                raise ScheduleError(f"flow {fid} has positive size but no segments")
+            for seg in segs:
+                if seg.start + tolerance < flow.release_time:
+                    raise ScheduleError(
+                        f"flow {fid} starts at {seg.start} before release "
+                        f"time {flow.release_time}"
+                    )
+
+        # 4: capacity check with a sweep over segment-boundary events.
+        self._validate_capacities(instance, network, tolerance)
+
+    def _validate_capacities(
+        self, instance: CoflowInstance, network: Network, tolerance: float
+    ) -> None:
+        # Collect per-edge piecewise-constant load changes.
+        events: Dict[Tuple[object, object], List[Tuple[float, float]]] = {}
+        for i, j, _flow in instance.iter_flows():
+            fid = (i, j)
+            path = self._paths.get(fid)
+            if path is None:
+                continue
+            for edge in path_edges(path):
+                for seg in self._segments.get(fid, []):
+                    events.setdefault(edge, []).append((seg.start, seg.rate))
+                    events.setdefault(edge, []).append((seg.end, -seg.rate))
+        for edge, changes in events.items():
+            capacity = network.capacity(*edge)
+            changes.sort()
+            load = 0.0
+            idx = 0
+            n = len(changes)
+            while idx < n:
+                t = changes[idx][0]
+                while idx < n and abs(changes[idx][0] - t) < 1e-12:
+                    load += changes[idx][1]
+                    idx += 1
+                if load > capacity * (1.0 + tolerance) + tolerance:
+                    raise ScheduleError(
+                        f"edge {edge} overloaded at time {t:.6f}: "
+                        f"load {load:.6f} > capacity {capacity:.6f}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nseg = sum(len(s) for s in self._segments.values())
+        return f"CircuitSchedule(flows={len(self._paths)}, segments={nseg})"
+
+
+# --------------------------------------------------------------------------
+# Packet schedules
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PacketMove:
+    """One hop of a packet: crossing ``edge`` during discrete step ``time``."""
+
+    time: int
+    edge: Tuple[object, object]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("move time must be non-negative")
+        if len(self.edge) != 2 or self.edge[0] == self.edge[1]:
+            raise ValueError(f"invalid edge {self.edge!r}")
+
+
+class PacketSchedule:
+    """A discrete-time store-and-forward packet schedule."""
+
+    def __init__(self) -> None:
+        self._moves: Dict[FlowId, List[PacketMove]] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_move(self, fid: FlowId, time: int, u: object, v: object) -> None:
+        """Record that packet ``fid`` crosses ``u -> v`` during step ``time``."""
+        self._moves.setdefault(fid, []).append(PacketMove(time=int(time), edge=(u, v)))
+        self._moves[fid].sort(key=lambda m: m.time)
+
+    def set_route(
+        self, fid: FlowId, path: Sequence[object], departure_times: Sequence[int]
+    ) -> None:
+        """Record a whole route at once.
+
+        ``departure_times[k]`` is the step during which the packet crosses the
+        k-th edge of ``path``.
+        """
+        edges = path_edges(path)
+        if len(edges) != len(departure_times):
+            raise ScheduleError(
+                "departure_times must have one entry per edge of the path"
+            )
+        self._moves[fid] = [
+            PacketMove(time=int(t), edge=e) for t, e in zip(departure_times, edges)
+        ]
+        self._moves[fid].sort(key=lambda m: m.time)
+
+    # -------------------------------------------------------------- accessors
+    def flow_ids(self) -> List[FlowId]:
+        return sorted(self._moves.keys())
+
+    def moves(self, fid: FlowId) -> List[PacketMove]:
+        return list(self._moves.get(fid, []))
+
+    def route(self, fid: FlowId) -> List[object]:
+        """The node path traversed by the packet (in move order)."""
+        moves = self._moves.get(fid, [])
+        if not moves:
+            return []
+        nodes = [moves[0].edge[0]]
+        for move in moves:
+            nodes.append(move.edge[1])
+        return nodes
+
+    def packet_completion_time(self, fid: FlowId) -> int:
+        """Arrival step of the packet (last move time + 1)."""
+        moves = self._moves.get(fid, [])
+        if not moves:
+            raise ScheduleError(f"packet {fid} has no moves")
+        return moves[-1].time + 1
+
+    def coflow_completion_times(self, instance: CoflowInstance) -> Dict[int, int]:
+        completions: Dict[int, int] = {}
+        for i, j, _flow in instance.iter_flows():
+            c = self.packet_completion_time((i, j))
+            completions[i] = max(completions.get(i, 0), c)
+        return completions
+
+    def weighted_completion_time(self, instance: CoflowInstance) -> float:
+        completions = self.coflow_completion_times(instance)
+        return float(sum(instance[i].weight * completions[i] for i in completions))
+
+    def makespan(self) -> int:
+        """Largest arrival time over all packets in the schedule."""
+        if not self._moves:
+            return 0
+        return max(self.packet_completion_time(fid) for fid in self._moves)
+
+    # ------------------------------------------------------------- validation
+    def validate(self, instance: CoflowInstance, network: Network) -> None:
+        """Raise :class:`ScheduleError` unless the packet schedule is feasible.
+
+        Checks: every packet has moves forming a chained path from its source
+        to its destination using edges of the network, starting no earlier
+        than its release time, with strictly increasing move times; and no
+        edge is used by two packets in the same time step.
+        """
+        edge_usage: Dict[Tuple[int, Tuple[object, object]], FlowId] = {}
+        for i, j, flow in instance.iter_flows():
+            fid = (i, j)
+            moves = self._moves.get(fid)
+            if not moves:
+                raise ScheduleError(f"packet {fid} missing from schedule")
+            if moves[0].edge[0] != flow.source:
+                raise ScheduleError(
+                    f"packet {fid} starts at {moves[0].edge[0]!r}, "
+                    f"expected source {flow.source!r}"
+                )
+            if moves[-1].edge[1] != flow.destination:
+                raise ScheduleError(
+                    f"packet {fid} ends at {moves[-1].edge[1]!r}, "
+                    f"expected destination {flow.destination!r}"
+                )
+            if moves[0].time < flow.release_time:
+                raise ScheduleError(
+                    f"packet {fid} moves at step {moves[0].time} before its "
+                    f"release time {flow.release_time}"
+                )
+            prev = None
+            for move in moves:
+                u, v = move.edge
+                if not network.has_edge(u, v):
+                    raise ScheduleError(
+                        f"packet {fid} uses missing edge {(u, v)!r}"
+                    )
+                if prev is not None:
+                    if move.time <= prev.time:
+                        raise ScheduleError(
+                            f"packet {fid} has non-increasing move times "
+                            f"({prev.time} then {move.time})"
+                        )
+                    if prev.edge[1] != u:
+                        raise ScheduleError(
+                            f"packet {fid} teleports from {prev.edge[1]!r} to {u!r}"
+                        )
+                key = (move.time, move.edge)
+                if key in edge_usage:
+                    raise ScheduleError(
+                        f"edge {move.edge!r} used by packets {edge_usage[key]} and "
+                        f"{fid} in the same step {move.time}"
+                    )
+                edge_usage[key] = fid
+                prev = move
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nmoves = sum(len(m) for m in self._moves.values())
+        return f"PacketSchedule(packets={len(self._moves)}, moves={nmoves})"

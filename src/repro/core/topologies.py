@@ -1,0 +1,241 @@
+"""Network topology builders.
+
+The paper evaluates circuit-based coflow scheduling on a 128-server fat-tree
+with 1 Gb/s links (Section 4.1) and motivates the models with a triangle
+example (Figure 1).  This module builds those topologies plus the standard
+structures used throughout the test-suite and the extension modules:
+
+* :func:`fat_tree` — the k-ary fat-tree of Al-Fares et al. (k^3/4 hosts),
+* :func:`triangle` — the three-node example network of Figure 1,
+* :func:`nonblocking_switch` — the big-switch abstraction used by the Varys
+  line of work (every host pair connected through a single crossbar node),
+* :func:`line`, :func:`ring`, :func:`star`, :func:`tree` — simple families,
+* :func:`random_graph` — capacitated Erdős–Rényi style topologies for
+  property-based tests.
+
+All builders return :class:`repro.core.network.Network` objects with
+bidirectional (two directed edges) links, matching the paper's model of
+full-duplex datacenter links.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .network import Network
+
+__all__ = [
+    "fat_tree",
+    "fat_tree_hosts",
+    "triangle",
+    "nonblocking_switch",
+    "line",
+    "ring",
+    "star",
+    "tree",
+    "random_graph",
+    "host_nodes",
+]
+
+#: Default link capacity, interpreted as 1 Gb/s expressed in Gb/s.
+DEFAULT_LINK_CAPACITY = 1.0
+
+
+def host_nodes(network: Network) -> List[str]:
+    """Return the host (server) nodes of a topology built by this module.
+
+    Topology builders tag servers with names starting with ``"host"``; this
+    helper recovers them so workload generators can draw endpoints.
+    """
+    return sorted(
+        n for n in network.nodes() if isinstance(n, str) and n.startswith("host")
+    )
+
+
+def fat_tree(k: int = 4, link_capacity: float = DEFAULT_LINK_CAPACITY) -> Network:
+    """Build a k-ary fat-tree.
+
+    The fat-tree has ``k`` pods; each pod contains ``k/2`` edge switches and
+    ``k/2`` aggregation switches; each edge switch connects ``k/2`` hosts.
+    There are ``(k/2)^2`` core switches.  Total hosts: ``k^3 / 4``.  The
+    paper's 128-server testbed corresponds to ``k = 8``.
+
+    Node naming scheme:
+
+    * hosts:      ``host_{index}``
+    * edge sw.:   ``edge_{pod}_{i}``
+    * agg sw.:    ``agg_{pod}_{i}``
+    * core sw.:   ``core_{i}_{j}`` for ``i, j in range(k/2)``
+
+    Every link is added in both directions with capacity ``link_capacity``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {k}")
+    if link_capacity <= 0:
+        raise ValueError("link capacity must be positive")
+
+    half = k // 2
+    net = Network(default_capacity=link_capacity)
+
+    host_id = 0
+    for pod in range(k):
+        for e in range(half):
+            edge_sw = f"edge_{pod}_{e}"
+            for _ in range(half):
+                host = f"host_{host_id}"
+                net.add_bidirectional_edge(host, edge_sw, capacity=link_capacity)
+                host_id += 1
+            for a in range(half):
+                agg_sw = f"agg_{pod}_{a}"
+                net.add_bidirectional_edge(edge_sw, agg_sw, capacity=link_capacity)
+        for a in range(half):
+            agg_sw = f"agg_{pod}_{a}"
+            for c in range(half):
+                core_sw = f"core_{a}_{c}"
+                net.add_bidirectional_edge(agg_sw, core_sw, capacity=link_capacity)
+    return net
+
+
+def fat_tree_hosts(k: int) -> int:
+    """Number of hosts in a k-ary fat-tree (``k^3/4``)."""
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {k}")
+    return k**3 // 4
+
+
+def triangle(capacity: float = 1.0) -> Network:
+    """The three-node unit-capacity triangle of Figure 1.
+
+    Nodes are ``"x"``, ``"y"``, ``"z"``; every ordered pair is connected by a
+    directed edge of the given capacity (the figure's undirected unit-capacity
+    triangle, made bidirectional).
+    """
+    net = Network(default_capacity=capacity)
+    for u, v in [("x", "y"), ("y", "z"), ("z", "x")]:
+        net.add_bidirectional_edge(u, v, capacity=capacity)
+    return net
+
+
+def nonblocking_switch(
+    num_hosts: int, port_capacity: float = DEFAULT_LINK_CAPACITY
+) -> Network:
+    """A non-blocking switch connecting ``num_hosts`` servers.
+
+    Each host ``host_i`` has an uplink to and a downlink from the single
+    crossbar node ``"switch"``.  Because every host pair has a unique path
+    (host -> switch -> host), this topology is an instance of the
+    "paths given" circuit model, as observed in Section 2 of the paper.
+    """
+    if num_hosts < 2:
+        raise ValueError("a switch needs at least two hosts")
+    net = Network(default_capacity=port_capacity)
+    for i in range(num_hosts):
+        host = f"host_{i}"
+        net.add_edge(host, "switch", capacity=port_capacity)
+        net.add_edge("switch", host, capacity=port_capacity)
+    return net
+
+
+def line(num_nodes: int, capacity: float = 1.0) -> Network:
+    """A bidirectional path graph ``host_0 - host_1 - ... - host_{n-1}``."""
+    if num_nodes < 2:
+        raise ValueError("a line needs at least two nodes")
+    net = Network(default_capacity=capacity)
+    for i in range(num_nodes - 1):
+        net.add_bidirectional_edge(f"host_{i}", f"host_{i + 1}", capacity=capacity)
+    return net
+
+
+def ring(num_nodes: int, capacity: float = 1.0) -> Network:
+    """A bidirectional cycle on ``num_nodes`` hosts."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least three nodes")
+    net = Network(default_capacity=capacity)
+    for i in range(num_nodes):
+        net.add_bidirectional_edge(
+            f"host_{i}", f"host_{(i + 1) % num_nodes}", capacity=capacity
+        )
+    return net
+
+
+def star(num_leaves: int, capacity: float = 1.0) -> Network:
+    """A star: ``num_leaves`` hosts around a central switch node."""
+    if num_leaves < 2:
+        raise ValueError("a star needs at least two leaves")
+    net = Network(default_capacity=capacity)
+    for i in range(num_leaves):
+        net.add_bidirectional_edge(f"host_{i}", "switch", capacity=capacity)
+    return net
+
+
+def tree(
+    depth: int, fanout: int, capacity: float = 1.0, host_leaves: bool = True
+) -> Network:
+    """A complete ``fanout``-ary tree of the given depth.
+
+    Internal nodes are named ``sw_{level}_{index}``; leaves are hosts when
+    ``host_leaves`` is set.  Trees have unique paths between node pairs, so
+    they exercise the "paths given" circuit algorithms.
+    """
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be at least 1")
+    net = Network(default_capacity=capacity)
+    # level -> list of node names
+    levels: List[List[str]] = [["sw_0_0"]]
+    for lvl in range(1, depth + 1):
+        prev = levels[-1]
+        cur: List[str] = []
+        for pi, parent in enumerate(prev):
+            for f in range(fanout):
+                idx = pi * fanout + f
+                if lvl == depth and host_leaves:
+                    node = f"host_{idx}"
+                else:
+                    node = f"sw_{lvl}_{idx}"
+                net.add_bidirectional_edge(parent, node, capacity=capacity)
+                cur.append(node)
+        levels.append(cur)
+    return net
+
+
+def random_graph(
+    num_nodes: int,
+    edge_probability: float = 0.3,
+    capacity_range: Tuple[float, float] = (1.0, 4.0),
+    seed: Optional[int] = None,
+    ensure_connected: bool = True,
+) -> Network:
+    """A random capacitated topology for tests.
+
+    Starts from a Hamiltonian cycle over the hosts (when ``ensure_connected``)
+    so every source/destination pair admits a path, then adds each remaining
+    ordered pair independently with probability ``edge_probability``.
+    Capacities are drawn uniformly from ``capacity_range``.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError("edge probability must lie in [0, 1]")
+    lo, hi = capacity_range
+    if lo <= 0 or hi < lo:
+        raise ValueError("capacity range must be positive and ordered")
+    rng = random.Random(seed)
+    net = Network(default_capacity=lo)
+    names = [f"host_{i}" for i in range(num_nodes)]
+    if ensure_connected:
+        for i in range(num_nodes):
+            cap = rng.uniform(lo, hi)
+            net.add_bidirectional_edge(
+                names[i], names[(i + 1) % num_nodes], capacity=cap
+            )
+    for u in names:
+        for v in names:
+            if u == v or net.has_edge(u, v):
+                continue
+            if rng.random() < edge_probability:
+                net.add_edge(u, v, capacity=rng.uniform(lo, hi))
+    return net

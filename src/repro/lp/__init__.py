@@ -1,0 +1,13 @@
+"""Sparse LP modelling layer and HiGHS solve driver (CPLEX substitute)."""
+
+from .model import Constraint, LinearProgram, LPError
+from .solver import LPInfeasibleError, LPSolution, solve
+
+__all__ = [
+    "LinearProgram",
+    "Constraint",
+    "LPError",
+    "LPSolution",
+    "LPInfeasibleError",
+    "solve",
+]

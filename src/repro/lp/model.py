@@ -1,0 +1,213 @@
+"""Sparse linear-program modelling layer.
+
+The paper builds several large interval-indexed linear programs (Sections 2.1,
+2.2 and 3.2) and solves them with IBM CPLEX.  This repository substitutes the
+open-source HiGHS solver that ships inside :mod:`scipy.optimize`; this module
+provides the thin modelling layer that lets algorithm code state LPs in terms
+of named variables and constraints while the matrices are assembled sparsely
+(COO → CSR) so instances with hundreds of thousands of variables stay
+tractable.
+
+Only what the paper's LPs need is implemented: continuous variables with
+bounds, linear ``<=`` / ``>=`` / ``==`` constraints, and a minimization
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["LinearProgram", "Constraint", "LPError"]
+
+VarKey = Hashable
+
+
+class LPError(RuntimeError):
+    """Raised for modelling mistakes (duplicate variables, unknown names...)."""
+
+
+@dataclass
+class Constraint:
+    """One linear constraint ``sum coef * var  (sense)  rhs``."""
+
+    indices: List[int]
+    coefficients: List[float]
+    sense: str
+    rhs: float
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise LPError(f"unknown constraint sense {self.sense!r}")
+        if len(self.indices) != len(self.coefficients):
+            raise LPError("indices and coefficients must have equal length")
+
+
+class LinearProgram:
+    """A minimization LP assembled incrementally.
+
+    Variables are identified by arbitrary hashable keys (tuples like
+    ``("x", i, j, ell)`` are typical).  Keys must be unique.
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._keys: List[VarKey] = []
+        self._index: Dict[VarKey, int] = {}
+        self._lower: List[float] = []
+        self._upper: List[float] = []
+        self._objective: List[float] = []
+        self._constraints: List[Constraint] = []
+
+    # -------------------------------------------------------------- variables
+    def add_variable(
+        self,
+        key: VarKey,
+        lower: float = 0.0,
+        upper: float = np.inf,
+        objective: float = 0.0,
+    ) -> int:
+        """Register a variable and return its column index."""
+        if key in self._index:
+            raise LPError(f"variable {key!r} already defined")
+        if upper < lower:
+            raise LPError(f"variable {key!r} has upper bound < lower bound")
+        idx = len(self._keys)
+        self._keys.append(key)
+        self._index[key] = idx
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._objective.append(float(objective))
+        return idx
+
+    def has_variable(self, key: VarKey) -> bool:
+        return key in self._index
+
+    def variable_index(self, key: VarKey) -> int:
+        try:
+            return self._index[key]
+        except KeyError as exc:
+            raise LPError(f"unknown variable {key!r}") from exc
+
+    def set_objective_coefficient(self, key: VarKey, coefficient: float) -> None:
+        """Overwrite the objective coefficient of an existing variable."""
+        self._objective[self.variable_index(key)] = float(coefficient)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._keys)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def variable_keys(self) -> List[VarKey]:
+        return list(self._keys)
+
+    # ------------------------------------------------------------ constraints
+    def add_constraint(
+        self,
+        terms: Mapping[VarKey, float] | Iterable[Tuple[VarKey, float]],
+        sense: str,
+        rhs: float,
+        name: Optional[str] = None,
+    ) -> None:
+        """Add the constraint ``sum_k terms[k] * var_k  (sense)  rhs``.
+
+        Terms with zero coefficient are dropped; terms referencing the same
+        variable twice are summed.
+        """
+        if isinstance(terms, Mapping):
+            items = terms.items()
+        else:
+            items = terms
+        accum: Dict[int, float] = {}
+        for key, coef in items:
+            if coef == 0.0:
+                continue
+            idx = self.variable_index(key)
+            accum[idx] = accum.get(idx, 0.0) + float(coef)
+        self._constraints.append(
+            Constraint(
+                indices=list(accum.keys()),
+                coefficients=list(accum.values()),
+                sense=sense,
+                rhs=float(rhs),
+                name=name,
+            )
+        )
+
+    # ---------------------------------------------------------------- exports
+    def bounds(self) -> List[Tuple[float, float]]:
+        return list(zip(self._lower, self._upper))
+
+    def objective_vector(self) -> np.ndarray:
+        return np.asarray(self._objective, dtype=float)
+
+    def matrices(
+        self,
+    ) -> Tuple[
+        Optional[sparse.csr_matrix],
+        Optional[np.ndarray],
+        Optional[sparse.csr_matrix],
+        Optional[np.ndarray],
+    ]:
+        """Assemble ``(A_ub, b_ub, A_eq, b_eq)`` sparse matrices.
+
+        ``>=`` constraints are negated into ``<=`` form.  Empty groups are
+        returned as ``None`` (the convention :func:`scipy.optimize.linprog`
+        expects).
+        """
+        ub_rows: List[int] = []
+        ub_cols: List[int] = []
+        ub_vals: List[float] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[int] = []
+        eq_cols: List[int] = []
+        eq_vals: List[float] = []
+        eq_rhs: List[float] = []
+
+        for con in self._constraints:
+            if con.sense == "==":
+                row = len(eq_rhs)
+                eq_rhs.append(con.rhs)
+                eq_rows.extend([row] * len(con.indices))
+                eq_cols.extend(con.indices)
+                eq_vals.extend(con.coefficients)
+            else:
+                sign = 1.0 if con.sense == "<=" else -1.0
+                row = len(ub_rhs)
+                ub_rhs.append(sign * con.rhs)
+                ub_rows.extend([row] * len(con.indices))
+                ub_cols.extend(con.indices)
+                ub_vals.extend([sign * c for c in con.coefficients])
+
+        n = self.num_variables
+        a_ub = (
+            sparse.coo_matrix(
+                (ub_vals, (ub_rows, ub_cols)), shape=(len(ub_rhs), n)
+            ).tocsr()
+            if ub_rhs
+            else None
+        )
+        a_eq = (
+            sparse.coo_matrix(
+                (eq_vals, (eq_rows, eq_cols)), shape=(len(eq_rhs), n)
+            ).tocsr()
+            if eq_rhs
+            else None
+        )
+        b_ub = np.asarray(ub_rhs, dtype=float) if ub_rhs else None
+        b_eq = np.asarray(eq_rhs, dtype=float) if eq_rhs else None
+        return a_ub, b_ub, a_eq, b_eq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LinearProgram(name={self.name!r}, variables={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )

@@ -1,0 +1,115 @@
+"""LP solution objects and the HiGHS solve driver.
+
+This is the CPLEX substitution layer described in DESIGN.md: every LP built by
+the algorithm modules is handed to :func:`solve`, which calls
+:func:`scipy.optimize.linprog` with the HiGHS dual-simplex/IPM hybrid and wraps
+the result in :class:`LPSolution` (values addressable by the variable keys the
+modelling layer uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .model import LinearProgram, LPError
+
+__all__ = ["LPSolution", "LPInfeasibleError", "solve"]
+
+
+class LPInfeasibleError(RuntimeError):
+    """Raised when the LP is infeasible, unbounded or the solver fails."""
+
+
+@dataclass
+class LPSolution:
+    """An optimal solution of a :class:`LinearProgram`."""
+
+    objective: float
+    values: Dict[Hashable, float]
+    status: int
+    message: str
+    iterations: int = 0
+
+    def value(self, key: Hashable, default: Optional[float] = None) -> float:
+        """Value of a variable by key (``default`` if the key is unknown)."""
+        if key in self.values:
+            return self.values[key]
+        if default is not None:
+            return default
+        raise KeyError(f"variable {key!r} not in LP solution")
+
+    def nonzero(self, tolerance: float = 1e-9) -> Dict[Hashable, float]:
+        """All variables whose value exceeds ``tolerance``."""
+        return {k: v for k, v in self.values.items() if v > tolerance}
+
+    def group(self, prefix: Hashable, position: int = 0) -> Dict[Hashable, float]:
+        """Values of all tuple-keyed variables whose ``position`` entry equals
+        ``prefix`` (e.g. every ``("x", i, j, ell)`` variable with ``x``)."""
+        out: Dict[Hashable, float] = {}
+        for key, val in self.values.items():
+            if isinstance(key, tuple) and len(key) > position and key[position] == prefix:
+                out[key] = val
+        return out
+
+
+def solve(
+    lp: LinearProgram,
+    method: str = "highs",
+    presolve: bool = True,
+    clip_negative: bool = True,
+) -> LPSolution:
+    """Solve ``lp`` to optimality and return an :class:`LPSolution`.
+
+    Parameters
+    ----------
+    lp:
+        The assembled linear program (minimization).
+    method:
+        ``scipy.optimize.linprog`` method; HiGHS is both the default and the
+        only one exercised by the test-suite.
+    presolve:
+        Passed through to the solver options.
+    clip_negative:
+        Clamp tiny negative values (solver noise on >=0 variables) to zero so
+        downstream rounding code can treat values as exact fractions.
+
+    Raises
+    ------
+    LPInfeasibleError
+        If the solver reports anything other than an optimal solution.
+    """
+    if lp.num_variables == 0:
+        return LPSolution(objective=0.0, values={}, status=0, message="empty LP")
+
+    a_ub, b_ub, a_eq, b_eq = lp.matrices()
+    result = linprog(
+        c=lp.objective_vector(),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=lp.bounds(),
+        method=method,
+        options={"presolve": presolve},
+    )
+    if not result.success:
+        raise LPInfeasibleError(
+            f"LP {lp.name!r} could not be solved to optimality: "
+            f"status={result.status}, message={result.message!r}"
+        )
+    x = np.asarray(result.x, dtype=float)
+    if clip_negative:
+        x = np.where(x < 0.0, 0.0, x)
+    values = {key: float(x[idx]) for idx, key in enumerate(lp.variable_keys)}
+    iterations = int(getattr(result, "nit", 0) or 0)
+    return LPSolution(
+        objective=float(result.fun),
+        values=values,
+        status=int(result.status),
+        message=str(result.message),
+        iterations=iterations,
+    )

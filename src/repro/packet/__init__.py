@@ -1,0 +1,30 @@
+"""Packet-based coflow scheduling (Section 3 of the paper)."""
+
+from .algorithm import PacketSchedulingOutcome, schedule_packet_coflows
+from .given_paths import (
+    PacketGivenPathsLP,
+    PacketGivenPathsRelaxation,
+    PacketGivenPathsScheduler,
+)
+from .routing import PacketRoutingLP, PacketRoutingRelaxation, PacketRoutingScheduler
+from .scheduling import congestion, dilation, list_schedule_packets
+from .srinivasan_teo import RoutedPackets, route_and_schedule, route_packets
+from .time_expanded import TimeExpandedGraph
+
+__all__ = [
+    "TimeExpandedGraph",
+    "congestion",
+    "dilation",
+    "list_schedule_packets",
+    "RoutedPackets",
+    "route_packets",
+    "route_and_schedule",
+    "PacketGivenPathsLP",
+    "PacketGivenPathsRelaxation",
+    "PacketGivenPathsScheduler",
+    "PacketRoutingLP",
+    "PacketRoutingRelaxation",
+    "PacketRoutingScheduler",
+    "PacketSchedulingOutcome",
+    "schedule_packet_coflows",
+]

@@ -1,0 +1,69 @@
+"""Unified entry point for packet-based coflow scheduling (Section 3).
+
+:func:`schedule_packet_coflows` dispatches between the two variants:
+
+* every packet carries a fixed path → the job-shop algorithm of Section 3.1
+  (:class:`repro.packet.given_paths.PacketGivenPathsScheduler`);
+* otherwise → the time-expanded-LP algorithm of Section 3.2
+  (:class:`repro.packet.routing.PacketRoutingScheduler`).
+
+Both return a validated :class:`~repro.core.schedule.PacketSchedule` along
+with the LP lower bound, so callers can report measured approximation ratios
+(the Table-1 benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.flows import CoflowInstance
+from ..core.network import Network
+from ..core.schedule import PacketSchedule
+from .given_paths import PacketGivenPathsResult, PacketGivenPathsScheduler
+from .routing import PacketRoutingResult, PacketRoutingScheduler
+
+__all__ = ["PacketSchedulingOutcome", "schedule_packet_coflows"]
+
+
+@dataclass
+class PacketSchedulingOutcome:
+    """Common view over the two packet algorithms' results."""
+
+    schedule: PacketSchedule
+    objective: float
+    lower_bound: float
+    variant: str
+    detail: Union[PacketGivenPathsResult, PacketRoutingResult]
+
+    @property
+    def approximation_ratio(self) -> float:
+        return self.objective / self.lower_bound if self.lower_bound > 0 else 1.0
+
+
+def schedule_packet_coflows(
+    instance: CoflowInstance,
+    network: Network,
+    seed: Optional[int] = 0,
+    horizon: Optional[int] = None,
+) -> PacketSchedulingOutcome:
+    """Schedule packet coflows, choosing the algorithm by whether paths are given."""
+    if instance.all_paths_given:
+        result = PacketGivenPathsScheduler(instance, network).schedule()
+        return PacketSchedulingOutcome(
+            schedule=result.schedule,
+            objective=result.objective,
+            lower_bound=result.lower_bound,
+            variant="given-paths",
+            detail=result,
+        )
+    result = PacketRoutingScheduler(
+        instance, network, horizon=horizon, seed=seed
+    ).schedule()
+    return PacketSchedulingOutcome(
+        schedule=result.schedule,
+        objective=result.objective,
+        lower_bound=result.lower_bound,
+        variant="routing",
+        detail=result,
+    )

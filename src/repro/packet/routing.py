@@ -1,0 +1,450 @@
+"""Packet-based coflows where paths are not given (Section 3.2).
+
+The algorithm follows the paper's structure:
+
+1. **Reformulation** — each packet becomes a unit of flow injected at its
+   source copy ``(s, r)`` of the time-expanded graph ``G^T`` and absorbed at
+   some destination copy ``(d, t)``; the split of the unit over arrival times
+   ``t`` is fractional in the relaxation.
+
+2. **Time-expanded LP** — the relaxation of (25)-(32).  Per packet we keep a
+   flow variable on every ``G^T`` edge reachable after its release, with
+
+   * flow conservation at every intermediate node copy,
+   * one unit injected at the source copy,
+   * absorption variables ``z[fid, t]`` = flow entering ``(d, t)``,
+   * per-step unit capacity on every movement edge (a strengthening of the
+     interval-aggregated congestion constraint (28) that is still a valid
+     relaxation of integral schedules),
+   * completion proxies ``c_fid >= sum_t t * z[fid, t]`` and coflow proxies
+     ``C_i >= c_fid``, weighted in the objective.
+
+3. **Rounding** — packets are assigned to powers-of-two arrival intervals by
+   the *half-interval* rule (the first interval by which half of the packet's
+   fractional arrival mass has landed); the packets of each interval are then
+   routed and scheduled together by the Srinivasan–Teo substitute
+   (:mod:`repro.packet.srinivasan_teo`), seeded with single paths obtained by
+   decomposing each packet's fractional ``G^T`` flow (collapsed to ``G``) and
+   rounding it randomly — exactly the per-interval structure of the paper.
+   Interval batches run back-to-back, so the completion time of a packet in
+   interval ``ell`` is ``O(tau_{ell+1})`` as in equation (37).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.flow_decomposition import decompose_flow
+from ..circuit.randomized_rounding import round_paths
+from ..core.flows import Coflow, CoflowInstance, Flow, FlowId
+from ..core.network import Network
+from ..core.schedule import PacketSchedule, ScheduleError
+from ..lp import LinearProgram, LPSolution, solve
+from .scheduling import list_schedule_packets
+from .srinivasan_teo import route_and_schedule
+from .time_expanded import TimeExpandedGraph
+
+__all__ = ["PacketRoutingLP", "PacketRoutingRelaxation", "PacketRoutingScheduler"]
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def _check_packet_instance(instance: CoflowInstance, network: Network) -> None:
+    for i, j, flow in instance.iter_flows():
+        if abs(flow.size - 1.0) > 1e-9:
+            raise ValueError(
+                f"packet-based coflows have unit-size flows; flow ({i},{j}) "
+                f"has size {flow.size}"
+            )
+        if abs(flow.release_time - round(flow.release_time)) > 1e-9:
+            raise ValueError(
+                "packet release times must be integral time steps"
+            )
+        if not network.has_node(flow.source) or not network.has_node(flow.destination):
+            raise ValueError("flow endpoints missing from the network")
+
+
+def default_horizon(instance: CoflowInstance, network: Network) -> int:
+    """A horizon ``T`` guaranteed to admit a feasible schedule.
+
+    Scheduling packets one after another, each needs at most ``diameter``
+    steps once started, so ``max release + packets * diameter`` always
+    suffices (with a small safety margin).
+    """
+    diameter = 0
+    for _, _, flow in instance.iter_flows():
+        diameter = max(
+            diameter, network.shortest_path_length(flow.source, flow.destination)
+        )
+    return int(math.ceil(instance.max_release_time)) + instance.num_flows * max(diameter, 1) + 2
+
+
+@dataclass
+class PacketRoutingRelaxation:
+    """Solution of the time-expanded LP."""
+
+    instance: CoflowInstance
+    network: Network
+    expanded: TimeExpandedGraph
+    solution: LPSolution
+    #: z[fid] -> arrival-mass per time step (length = horizon + 1)
+    arrival_mass: Dict[FlowId, np.ndarray]
+    flow_completion: Dict[FlowId, float]
+    coflow_completion: Dict[int, float]
+    #: per-packet fractional edge volumes collapsed back onto G
+    edge_volumes: Dict[FlowId, Dict[Edge, float]]
+
+    @property
+    def objective(self) -> float:
+        return self.solution.objective
+
+    @property
+    def lower_bound(self) -> float:
+        """Lemma 7: the LP optimum lower-bounds the optimal objective."""
+        return self.solution.objective
+
+    def half_interval(self, fid: FlowId) -> int:
+        """Powers-of-two interval containing the packet's half arrival mass."""
+        mass = self.arrival_mass[fid]
+        cumulative = 0.0
+        for t, m in enumerate(mass):
+            cumulative += m
+            if cumulative >= 0.5 - 1e-9:
+                return max(0, int(math.ceil(math.log2(max(t, 1)))))
+        raise ScheduleError(f"packet {fid} has arrival mass {cumulative} < 1/2")
+
+    def flow_order(self) -> List[FlowId]:
+        return sorted(
+            self.arrival_mass.keys(),
+            key=lambda fid: (
+                self.coflow_completion[fid[0]],
+                self.flow_completion[fid],
+                fid,
+            ),
+        )
+
+
+class PacketRoutingLP:
+    """Builder/solver for the time-expanded relaxation of (25)-(32)."""
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        horizon: Optional[int] = None,
+    ) -> None:
+        _check_packet_instance(instance, network)
+        self.instance = instance
+        self.network = network
+        self.horizon = horizon or default_horizon(instance, network)
+        self.expanded = TimeExpandedGraph(network=network, horizon=self.horizon)
+
+    def build(self) -> LinearProgram:
+        instance, network, gt = self.instance, self.network, self.expanded
+        T = gt.horizon
+        lp = LinearProgram(name="packet-routing-time-expanded")
+
+        # Completion variables.
+        for i, j, _flow in instance.iter_flows():
+            lp.add_variable(("c", i, j), lower=0.0)
+        for i, coflow in enumerate(instance.coflows):
+            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
+
+        # Per-packet flow variables on G^T edges.  Only edges the packet can
+        # actually use are materialised: the departure node must be reachable
+        # from the source copy by the departure time, and the arrival node
+        # must still be able to reach the destination within the horizon.
+        import networkx as nx
+
+        distance_cache: Dict[Tuple[Hashable, str], Dict[Hashable, int]] = {}
+
+        def dist_from(node: Hashable) -> Dict[Hashable, int]:
+            key = (node, "from")
+            if key not in distance_cache:
+                distance_cache[key] = dict(
+                    nx.single_source_shortest_path_length(network.graph, node)
+                )
+            return distance_cache[key]
+
+        def dist_to(node: Hashable) -> Dict[Hashable, int]:
+            key = (node, "to")
+            if key not in distance_cache:
+                distance_cache[key] = dict(
+                    nx.single_source_shortest_path_length(network.graph.reverse(copy=False), node)
+                )
+            return distance_cache[key]
+
+        infinite = T + 1
+
+        for i, j, flow in instance.iter_flows():
+            release = int(round(flow.release_time))
+            from_src = dist_from(flow.source)
+            to_dst = dist_to(flow.destination)
+
+            def usable(u: Hashable, v: Hashable, t: int) -> bool:
+                # departing u at step t, arriving v at t + 1
+                if u == flow.destination:
+                    return False  # destination copies are absorbing
+                if from_src.get(u, infinite) > t - release:
+                    return False
+                if to_dst.get(v, infinite) > T - (t + 1):
+                    return False
+                return True
+
+            for t in range(release, T):
+                for u, v in network.edges():
+                    if usable(u, v, t):
+                        lp.add_variable(("f", i, j, ((u, t), (v, t + 1))), lower=0.0, upper=1.0)
+                for v in network.nodes():
+                    if usable(v, v, t):
+                        lp.add_variable(("f", i, j, ((v, t), (v, t + 1))), lower=0.0, upper=1.0)
+            for t in range(release + 1, T + 1):
+                lp.add_variable(("z", i, j, t), lower=0.0, upper=1.0)
+
+        def fvar(i: int, j: int, edge: Tuple) -> Optional[Tuple]:
+            key = ("f", i, j, edge)
+            return key if lp.has_variable(key) else None
+
+        # Flow conservation and absorption per packet.
+        for i, j, flow in instance.iter_flows():
+            release = int(round(flow.release_time))
+            src, dst = flow.source, flow.destination
+            # Unit supply at the source copy (s, release).
+            supply_terms: Dict[Tuple, float] = {}
+            for edge in gt.out_edges((src, release)):
+                key = fvar(i, j, edge)
+                if key is not None:
+                    supply_terms[key] = 1.0
+            lp.add_constraint(supply_terms, "==", 1.0, name=f"supply[{i},{j}]")
+
+            # Conservation at intermediate copies (v, t), v != dst; flow may
+            # neither appear nor disappear anywhere but the source copy and
+            # the destination copies.
+            for t in range(release, T):
+                for v in network.nodes():
+                    if v == dst or (v == src and t == release):
+                        continue
+                    terms: Dict[Tuple, float] = {}
+                    for edge in gt.in_edges((v, t)):
+                        key = fvar(i, j, edge)
+                        if key is not None:
+                            terms[key] = terms.get(key, 0.0) + 1.0
+                    for edge in gt.out_edges((v, t)):
+                        key = fvar(i, j, edge)
+                        if key is not None:
+                            terms[key] = terms.get(key, 0.0) - 1.0
+                    if terms:
+                        lp.add_constraint(terms, "==", 0.0, name=f"cons[{i},{j},{v},{t}]")
+
+            # Absorption: z[t] equals the flow entering the destination copy.
+            for t in range(release + 1, T + 1):
+                terms = {("z", i, j, t): -1.0}
+                for edge in gt.in_edges((dst, t)):
+                    key = fvar(i, j, edge)
+                    if key is not None:
+                        terms[key] = terms.get(key, 0.0) + 1.0
+                lp.add_constraint(terms, "==", 0.0, name=f"absorb[{i},{j},{t}]")
+            lp.add_constraint(
+                {("z", i, j, t): 1.0 for t in range(release + 1, T + 1)},
+                "==",
+                1.0,
+                name=f"arrive[{i},{j}]",
+            )
+            # Completion proxies.
+            lp.add_constraint(
+                {
+                    **{("z", i, j, t): float(t) for t in range(release + 1, T + 1)},
+                    ("c", i, j): -1.0,
+                },
+                "<=",
+                0.0,
+                name=f"completion[{i},{j}]",
+            )
+            lp.add_constraint(
+                {("c", i, j): 1.0, ("C", i): -1.0}, "<=", 0.0, name=f"coflow[{i},{j}]"
+            )
+
+        # Unit capacity on every movement edge of G^T.
+        for t in range(T):
+            for u, v in network.edges():
+                edge = ((u, t), (v, t + 1))
+                terms = {}
+                for i, j, _flow in instance.iter_flows():
+                    key = fvar(i, j, edge)
+                    if key is not None:
+                        terms[key] = 1.0
+                if terms:
+                    lp.add_constraint(terms, "<=", 1.0, name=f"cap[{edge}]")
+        return lp
+
+    def relax(self) -> PacketRoutingRelaxation:
+        lp = self.build()
+        solution = solve(lp)
+        T = self.expanded.horizon
+        arrival_mass: Dict[FlowId, np.ndarray] = {}
+        flow_completion: Dict[FlowId, float] = {}
+        edge_volumes: Dict[FlowId, Dict[Edge, float]] = {}
+        for i, j, flow in self.instance.iter_flows():
+            release = int(round(flow.release_time))
+            mass = np.zeros(T + 1)
+            for t in range(release + 1, T + 1):
+                mass[t] = solution.value(("z", i, j, t), default=0.0)
+            arrival_mass[(i, j)] = mass
+            flow_completion[(i, j)] = solution.value(("c", i, j))
+            volumes: Dict[Edge, float] = {}
+            for t in range(release, T):
+                for u, v in self.network.edges():
+                    val = solution.value(("f", i, j, ((u, t), (v, t + 1))), default=0.0)
+                    if val > 1e-9:
+                        volumes[(u, v)] = volumes.get((u, v), 0.0) + val
+            edge_volumes[(i, j)] = volumes
+        coflow_completion = {
+            i: solution.value(("C", i)) for i in range(len(self.instance.coflows))
+        }
+        return PacketRoutingRelaxation(
+            instance=self.instance,
+            network=self.network,
+            expanded=self.expanded,
+            solution=solution,
+            arrival_mass=arrival_mass,
+            flow_completion=flow_completion,
+            coflow_completion=coflow_completion,
+            edge_volumes=edge_volumes,
+        )
+
+
+@dataclass
+class PacketRoutingResult:
+    """Output of the Section-3.2 algorithm."""
+
+    relaxation: PacketRoutingRelaxation
+    schedule: PacketSchedule
+    #: interval index each packet was assigned to by the half-interval rule
+    assigned_intervals: Dict[FlowId, int]
+    #: single path chosen per packet
+    paths: Dict[FlowId, Tuple[Hashable, ...]]
+
+    @property
+    def objective(self) -> float:
+        return self.schedule.weighted_completion_time(self.relaxation.instance)
+
+    @property
+    def lower_bound(self) -> float:
+        return self.relaxation.lower_bound
+
+    @property
+    def approximation_ratio(self) -> float:
+        lb = self.lower_bound
+        return self.objective / lb if lb > 0 else 1.0
+
+
+class PacketRoutingScheduler:
+    """Joint routing + scheduling of packet coflows (paths not given)."""
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        network: Network,
+        horizon: Optional[int] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        _check_packet_instance(instance, network)
+        self.instance = instance
+        self.network = network
+        self.seed = seed
+        self._lp = PacketRoutingLP(instance, network, horizon=horizon)
+
+    def relax(self) -> PacketRoutingRelaxation:
+        return self._lp.relax()
+
+    def schedule(
+        self, relaxation: Optional[PacketRoutingRelaxation] = None
+    ) -> PacketRoutingResult:
+        """Half-interval assignment + per-interval routing and scheduling."""
+        relaxation = relaxation or self.relax()
+        instance, network = self.instance, self.network
+
+        # 1. Single path per packet: decompose the collapsed LP flow and round.
+        decompositions = {}
+        for i, j, flow in instance.iter_flows():
+            fid = (i, j)
+            volumes = relaxation.edge_volumes.get(fid, {})
+            if volumes:
+                decompositions[fid] = decompose_flow(
+                    volumes, source=flow.source, sink=flow.destination
+                )
+        rounded = round_paths(decompositions, seed=self.seed)
+        paths: Dict[FlowId, Tuple[Hashable, ...]] = dict(rounded.paths)
+        for i, j, flow in instance.iter_flows():
+            # Fallback (e.g. numerically empty decomposition): shortest path.
+            paths.setdefault((i, j), tuple(network.shortest_path(flow.source, flow.destination)))
+
+        # 2. Assign packets to half-intervals and batch them.
+        assigned: Dict[FlowId, int] = {
+            fid: relaxation.half_interval(fid) for fid in instance.flow_ids()
+        }
+        batches: Dict[int, List[FlowId]] = {}
+        for fid, interval in assigned.items():
+            batches.setdefault(interval, []).append(fid)
+
+        # 3. Route-and-schedule each batch with the Srinivasan-Teo substitute,
+        #    running batches back-to-back.
+        final = PacketSchedule()
+        offset = 0
+        priority = {
+            fid: float(rank) for rank, fid in enumerate(relaxation.flow_order())
+        }
+        for interval in sorted(batches):
+            batch_ids = sorted(batches[interval])
+            # Build a sub-instance whose release times are relative to the batch start.
+            index_map: Dict[FlowId, FlowId] = {}
+            sub_coflows: List[Coflow] = []
+            for new_i, fid in enumerate(batch_ids):
+                flow = instance.flow(fid)
+                release = max(0.0, flow.release_time - offset)
+                sub_coflows.append(
+                    Coflow(
+                        flows=(
+                            Flow(
+                                source=flow.source,
+                                destination=flow.destination,
+                                size=1.0,
+                                release_time=float(int(math.ceil(release))),
+                            ),
+                        ),
+                        weight=1.0,
+                    )
+                )
+                index_map[(new_i, 0)] = fid
+            sub_instance = CoflowInstance(coflows=sub_coflows)
+            preferred = {
+                (new_i, 0): paths[index_map[(new_i, 0)]]
+                for new_i in range(len(batch_ids))
+            }
+            sub_priority = {
+                (new_i, 0): priority[index_map[(new_i, 0)]]
+                for new_i in range(len(batch_ids))
+            }
+            _, sub_schedule = route_and_schedule(
+                sub_instance,
+                network,
+                seed=None if self.seed is None else self.seed + interval,
+                preferred=preferred,
+                priority=sub_priority,
+            )
+            for sub_fid, original in index_map.items():
+                for move in sub_schedule.moves(sub_fid):
+                    final.add_move(original, move.time + offset, *move.edge)
+            offset += sub_schedule.makespan() + 1
+
+        final.validate(instance, network)
+        return PacketRoutingResult(
+            relaxation=relaxation,
+            schedule=final,
+            assigned_intervals=assigned,
+            paths=paths,
+        )

@@ -1,0 +1,130 @@
+"""Time-expanded graphs (Section 3.2, Figure 2).
+
+Given a directed network ``G`` and a horizon ``T``, the time-expanded graph
+``G^T`` (Ford & Fulkerson) has a node ``(v, t)`` for every network node ``v``
+and every time step ``0 <= t <= T``, and two kinds of edges:
+
+* **movement edges** ``((u, t), (v, t+1))`` for every network edge ``(u, v)``
+  — a packet crossing the edge during step ``t``;
+* **queue edges** ``((v, t), (v, t+1))`` — a packet waiting at ``v`` during
+  step ``t``.
+
+Routing a packet from ``s`` (released at ``r``) to ``d`` arriving at time
+``t`` corresponds to an ``(s, r) -> (d, t)`` path in ``G^T``.  Movement edges
+have unit capacity (one packet per edge per step); queue edges are
+uncapacitated (nodes may buffer arbitrarily many packets, as in the paper's
+model where only edges are contended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.network import Network
+
+__all__ = ["TimeExpandedGraph"]
+
+Node = Hashable
+TNode = Tuple[Node, int]
+TEdge = Tuple[TNode, TNode]
+
+
+@dataclass(frozen=True)
+class TimeExpandedGraph:
+    """The time expansion ``G^T`` of a network over ``T`` steps."""
+
+    network: Network
+    horizon: int
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be at least 1 step")
+
+    # ---------------------------------------------------------------- queries
+    def node(self, v: Node, t: int) -> TNode:
+        """The time-expanded copy ``(v, t)``; bounds-checked."""
+        if not self.network.has_node(v):
+            raise ValueError(f"node {v!r} is not in the base network")
+        if not (0 <= t <= self.horizon):
+            raise ValueError(f"time stamp {t} outside [0, {self.horizon}]")
+        return (v, t)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.network.num_nodes * (self.horizon + 1)
+
+    @property
+    def num_movement_edges(self) -> int:
+        return self.network.num_edges * self.horizon
+
+    @property
+    def num_queue_edges(self) -> int:
+        return self.network.num_nodes * self.horizon
+
+    def movement_edges(self, t: Optional[int] = None) -> Iterator[TEdge]:
+        """Movement edges, optionally only those departing at step ``t``."""
+        steps = range(self.horizon) if t is None else [t]
+        for step in steps:
+            if not (0 <= step < self.horizon):
+                raise ValueError(f"step {step} outside [0, {self.horizon})")
+            for u, v in self.network.edges():
+                yield ((u, step), (v, step + 1))
+
+    def queue_edges(self, t: Optional[int] = None) -> Iterator[TEdge]:
+        """Queue (waiting) edges, optionally only those departing at step ``t``."""
+        steps = range(self.horizon) if t is None else [t]
+        for step in steps:
+            if not (0 <= step < self.horizon):
+                raise ValueError(f"step {step} outside [0, {self.horizon})")
+            for v in self.network.nodes():
+                yield ((v, step), (v, step + 1))
+
+    def edges(self) -> Iterator[TEdge]:
+        """All edges of ``G^T`` (movement first, then queue edges)."""
+        yield from self.movement_edges()
+        yield from self.queue_edges()
+
+    def out_edges(self, tnode: TNode) -> List[TEdge]:
+        """Outgoing edges of a time-expanded node."""
+        v, t = tnode
+        if t >= self.horizon:
+            return []
+        result: List[TEdge] = [((v, t), (v, t + 1))]
+        for _, w in self.network.out_edges(v):
+            result.append(((v, t), (w, t + 1)))
+        return result
+
+    def in_edges(self, tnode: TNode) -> List[TEdge]:
+        """Incoming edges of a time-expanded node."""
+        v, t = tnode
+        if t <= 0:
+            return []
+        result: List[TEdge] = [((v, t - 1), (v, t))]
+        for u, _ in self.network.in_edges(v):
+            result.append(((u, t - 1), (v, t)))
+        return result
+
+    @staticmethod
+    def is_queue_edge(edge: TEdge) -> bool:
+        """Whether a ``G^T`` edge is a waiting (queue) edge."""
+        (u, _), (v, _) = edge
+        return u == v
+
+    @staticmethod
+    def collapse_path(tpath: Sequence[TNode]) -> List[Node]:
+        """Project a ``G^T`` path back to ``G`` by dropping time stamps and waits."""
+        nodes: List[Node] = []
+        for v, _t in tpath:
+            if not nodes or nodes[-1] != v:
+                nodes.append(v)
+        return nodes
+
+    @staticmethod
+    def path_departure_times(tpath: Sequence[TNode]) -> List[int]:
+        """Departure step of each *movement* hop of a ``G^T`` path."""
+        times: List[int] = []
+        for (u, t), (v, _t2) in zip(tpath[:-1], tpath[1:]):
+            if u != v:
+                times.append(t)
+        return times

@@ -1,0 +1,13 @@
+"""Flow-level datacenter simulator (Section 4 methodology)."""
+
+from .metrics import SchemeComparison, improvement_percent
+from .plan import SimulationPlan
+from .simulator import FlowLevelSimulator, SimulationResult
+
+__all__ = [
+    "SimulationPlan",
+    "FlowLevelSimulator",
+    "SimulationResult",
+    "SchemeComparison",
+    "improvement_percent",
+]

@@ -1,0 +1,63 @@
+"""Cross-scheme comparison metrics.
+
+The paper's figures report, for each workload point, the average completion
+time of every scheme and the same values normalised by the Baseline scheme
+(the two panels of Figures 3 and 4).  :class:`SchemeComparison` collects
+:class:`~repro.sim.simulator.SimulationResult` objects for one instance and
+computes those quantities plus the paper's headline metric: the percentage
+improvement of a scheme over another (e.g. LP-Based over Route-only, reported
+as "at least 22% on average").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .simulator import SimulationResult
+
+__all__ = ["SchemeComparison", "improvement_percent"]
+
+
+def improvement_percent(reference: float, value: float) -> float:
+    """Percentage by which ``value`` improves on ``reference``.
+
+    The paper reports improvements the way Varys/Rapier do: a scheme finishing
+    in time ``T`` improves on a scheme finishing in ``T_ref`` by
+    ``(T_ref / T - 1) * 100`` percent (so "126%" means the reference takes
+    2.26x as long).
+    """
+    if value <= 0:
+        raise ValueError("completion time must be positive")
+    return (reference / value - 1.0) * 100.0
+
+
+@dataclass
+class SchemeComparison:
+    """Results of several schemes on the same instance."""
+
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+    metric: str = "weighted_completion_time"
+
+    def add(self, result: SimulationResult) -> None:
+        self.results[result.plan_name] = result
+
+    def value(self, scheme: str) -> float:
+        if scheme not in self.results:
+            raise KeyError(f"no result recorded for scheme {scheme!r}")
+        return float(getattr(self.results[scheme], self.metric))
+
+    def schemes(self) -> List[str]:
+        return sorted(self.results.keys())
+
+    def ratios_to(self, reference: str) -> Dict[str, float]:
+        """Each scheme's value divided by the reference scheme's value.
+
+        This is the paper's "ratio with respect to baseline" panel.
+        """
+        ref = self.value(reference)
+        return {name: self.value(name) / ref for name in self.results}
+
+    def improvement_over(self, scheme: str, reference: str) -> float:
+        """Percentage improvement of ``scheme`` over ``reference``."""
+        return improvement_percent(self.value(reference), self.value(scheme))

@@ -1,0 +1,35 @@
+"""Non-blocking switch special case (extension module).
+
+Section 2 of the paper observes that "any network topology in which there is a
+unique path between pairs of vertices, e.g. trees or non-blocking switches,
+falls into" the paths-given category.  The non-blocking switch (the big-switch
+abstraction of the Varys/Aalo line of work) is the most common such topology,
+so this module packages that special case:
+
+* :func:`attach_switch_paths` — give every flow its unique
+  ``host -> switch -> host`` path;
+* :func:`coflow_isolation_bottleneck` — a coflow's completion time if it had
+  the switch to itself (the quantity SEBF orders by and a per-coflow lower
+  bound);
+* :func:`switch_lower_bound` — an LP-free lower bound on the weighted sum of
+  coflow completion times on a switch, obtained by applying the classical
+  single-machine scheduling bound on every ingress and egress port;
+* :class:`SwitchScheduler` — the Section-2.1 machinery (LP + rounding, or the
+  LP ordering fed to the flow-level simulator) specialised to the switch.
+"""
+
+from .model import (
+    SwitchScheduler,
+    SwitchScheduleOutcome,
+    attach_switch_paths,
+    coflow_isolation_bottleneck,
+    switch_lower_bound,
+)
+
+__all__ = [
+    "attach_switch_paths",
+    "coflow_isolation_bottleneck",
+    "switch_lower_bound",
+    "SwitchScheduler",
+    "SwitchScheduleOutcome",
+]

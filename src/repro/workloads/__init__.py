@@ -1,0 +1,23 @@
+"""Workload generation: Poisson instances (Section 4.1) and synthetic traces."""
+
+from .generator import CoflowGenerator, WorkloadConfig, generate_instance
+from .serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from .traces import broadcast, heavy_tailed_instance, mapreduce_shuffle
+
+__all__ = [
+    "WorkloadConfig",
+    "CoflowGenerator",
+    "generate_instance",
+    "mapreduce_shuffle",
+    "broadcast",
+    "heavy_tailed_instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+]

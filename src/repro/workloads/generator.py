@@ -1,0 +1,147 @@
+"""Random coflow workload generation (Section 4.1).
+
+The paper generates each coflow instance randomly "with flow release times,
+flow sizes, and coflow weights based on Poisson distributions" on a
+128-server fat-tree, and varies two parameters: the *coflow width* (flows per
+coflow, Figure 3) and the *number of coflows* (Figure 4), averaging 10 random
+tries per point.  The exact distribution parameters are not reported; this
+module exposes them as an explicit :class:`WorkloadConfig` with defaults
+chosen so that the default fat-tree is moderately loaded (the qualitative
+regime of the figures).
+
+Endpoints are drawn uniformly over distinct host pairs, which matches the
+uniform traffic matrix implicit in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.flows import Coflow, CoflowInstance, Flow
+from ..core.network import Network
+from ..core.topologies import host_nodes
+
+__all__ = ["WorkloadConfig", "CoflowGenerator", "generate_instance"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the random workload of Section 4.1.
+
+    Attributes
+    ----------
+    num_coflows:
+        Number of coflows in the instance (Figure 4 sweeps this).
+    coflow_width:
+        Number of flows per coflow (Figure 3 sweeps this).
+    mean_flow_size:
+        Mean of the Poisson distribution of flow sizes (in capacity x time
+        units; with 1 Gb/s links a size of 1 takes one time unit on an idle
+        path).  Sizes are ``1 + Poisson(mean - 1)`` so they are never zero.
+    release_rate:
+        Rate of the Poisson process generating flow release times; release
+        times are cumulative exponential gaps with this rate per coflow, so a
+        larger rate packs flows closer together.  ``None`` releases every flow
+        at time zero.
+    mean_weight:
+        Mean of the Poisson distribution of coflow weights
+        (weights are ``1 + Poisson(mean - 1)``).
+    unit_sizes:
+        Force every flow size to 1 (packet-based workloads).
+    seed:
+        Base RNG seed; :class:`CoflowGenerator` advances it per instance.
+    """
+
+    num_coflows: int = 10
+    coflow_width: int = 16
+    mean_flow_size: float = 4.0
+    release_rate: Optional[float] = 1.0
+    mean_weight: float = 2.0
+    unit_sizes: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_coflows < 1:
+            raise ValueError("need at least one coflow")
+        if self.coflow_width < 1:
+            raise ValueError("coflow width must be at least one")
+        if self.mean_flow_size < 1:
+            raise ValueError("mean flow size must be at least 1")
+        if self.mean_weight < 1:
+            raise ValueError("mean weight must be at least 1")
+        if self.release_rate is not None and self.release_rate <= 0:
+            raise ValueError("release rate must be positive")
+
+    def with_width(self, coflow_width: int) -> "WorkloadConfig":
+        """Copy with a different coflow width (Figure 3 sweep)."""
+        return replace(self, coflow_width=coflow_width)
+
+    def with_num_coflows(self, num_coflows: int) -> "WorkloadConfig":
+        """Copy with a different number of coflows (Figure 4 sweep)."""
+        return replace(self, num_coflows=num_coflows)
+
+    def with_seed(self, seed: int) -> "WorkloadConfig":
+        return replace(self, seed=seed)
+
+
+class CoflowGenerator:
+    """Draws random :class:`CoflowInstance` objects on a given topology."""
+
+    def __init__(self, network: Network, config: WorkloadConfig) -> None:
+        hosts = host_nodes(network)
+        if len(hosts) < 2:
+            raise ValueError(
+                "workload generation needs a topology with at least two hosts "
+                "(nodes named 'host_*')"
+            )
+        self.network = network
+        self.config = config
+        self.hosts = hosts
+
+    # ------------------------------------------------------------------ draws
+    def _poisson_at_least_one(self, rng: np.random.Generator, mean: float) -> float:
+        return float(1 + rng.poisson(max(mean - 1.0, 0.0)))
+
+    def _endpoints(self, rng: np.random.Generator) -> Tuple[str, str]:
+        src, dst = rng.choice(len(self.hosts), size=2, replace=False)
+        return self.hosts[int(src)], self.hosts[int(dst)]
+
+    def instance(self, seed_offset: int = 0, name: Optional[str] = None) -> CoflowInstance:
+        """Generate one random instance (deterministic given config + offset)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + seed_offset)
+        coflows: List[Coflow] = []
+        for c in range(cfg.num_coflows):
+            weight = self._poisson_at_least_one(rng, cfg.mean_weight)
+            release = 0.0
+            flows: List[Flow] = []
+            for _ in range(cfg.coflow_width):
+                src, dst = self._endpoints(rng)
+                if cfg.unit_sizes:
+                    size = 1.0
+                else:
+                    size = self._poisson_at_least_one(rng, cfg.mean_flow_size)
+                if cfg.release_rate is not None:
+                    release += float(rng.exponential(1.0 / cfg.release_rate))
+                flows.append(
+                    Flow(source=src, destination=dst, size=size, release_time=release)
+                )
+            coflows.append(Coflow(flows=tuple(flows), weight=weight, name=f"coflow_{c}"))
+        return CoflowInstance(
+            coflows=coflows,
+            name=name or f"poisson[{cfg.num_coflows}x{cfg.coflow_width}]#{seed_offset}",
+        )
+
+    def instances(self, count: int) -> List[CoflowInstance]:
+        """Generate ``count`` independent instances (the paper averages 10)."""
+        return [self.instance(seed_offset=k) for k in range(count)]
+
+
+def generate_instance(
+    network: Network, config: Optional[WorkloadConfig] = None, seed_offset: int = 0
+) -> CoflowInstance:
+    """Convenience wrapper: one random instance with the given config."""
+    return CoflowGenerator(network, config or WorkloadConfig()).instance(seed_offset)

@@ -1,0 +1,74 @@
+"""JSON (de)serialization of coflow instances.
+
+Lets benchmark workloads be saved and replayed exactly, and makes it easy to
+import externally collected coflow traces (e.g. the published Facebook trace
+format: per-coflow lists of source/destination/bytes) into the data model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..core.flows import Coflow, CoflowInstance, Flow
+
+__all__ = ["instance_to_dict", "instance_from_dict", "save_instance", "load_instance"]
+
+
+def instance_to_dict(instance: CoflowInstance) -> Dict[str, Any]:
+    """Convert an instance to a JSON-serializable dictionary."""
+    return {
+        "name": instance.name,
+        "coflows": [
+            {
+                "name": coflow.name,
+                "weight": coflow.weight,
+                "flows": [
+                    {
+                        "source": flow.source,
+                        "destination": flow.destination,
+                        "size": flow.size,
+                        "release_time": flow.release_time,
+                        "path": list(flow.path) if flow.path is not None else None,
+                    }
+                    for flow in coflow.flows
+                ],
+            }
+            for coflow in instance.coflows
+        ],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> CoflowInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    coflows: List[Coflow] = []
+    for coflow_data in data["coflows"]:
+        flows = [
+            Flow(
+                source=f["source"],
+                destination=f["destination"],
+                size=float(f.get("size", 1.0)),
+                release_time=float(f.get("release_time", 0.0)),
+                path=tuple(f["path"]) if f.get("path") else None,
+            )
+            for f in coflow_data["flows"]
+        ]
+        coflows.append(
+            Coflow(
+                flows=tuple(flows),
+                weight=float(coflow_data.get("weight", 1.0)),
+                name=coflow_data.get("name"),
+            )
+        )
+    return CoflowInstance(coflows=coflows, name=data.get("name"))
+
+
+def save_instance(instance: CoflowInstance, path: Union[str, Path]) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: Union[str, Path]) -> CoflowInstance:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

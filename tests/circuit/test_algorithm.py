@@ -1,0 +1,95 @@
+"""End-to-end tests for Algorithm 1 (circuit coflows, paths not given)."""
+
+import pytest
+
+from repro.circuit import PathsNotGivenScheduler, route_and_order
+from repro.circuit.lower_bounds import weighted_transfer_lower_bound
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.sim import FlowLevelSimulator, SimulationPlan
+from repro.workloads import CoflowGenerator, WorkloadConfig
+
+
+@pytest.fixture
+def fat_tree():
+    return topologies.fat_tree(4)
+
+
+@pytest.fixture
+def workload(fat_tree):
+    config = WorkloadConfig(num_coflows=4, coflow_width=3, seed=11)
+    return CoflowGenerator(fat_tree, config).instance()
+
+
+class TestRoutingPlan:
+    def test_every_flow_gets_exactly_one_valid_path(self, fat_tree, workload):
+        plan = route_and_order(workload, fat_tree, seed=5)
+        assert set(plan.paths) == set(workload.flow_ids())
+        for fid, path in plan.paths.items():
+            flow = workload.flow(fid)
+            assert path[0] == flow.source and path[-1] == flow.destination
+            fat_tree.validate_path(list(path))
+
+    def test_routed_instance_has_paths(self, fat_tree, workload):
+        plan = route_and_order(workload, fat_tree, seed=5)
+        assert plan.routed_instance.all_paths_given
+
+    def test_flow_order_complete_and_deterministic(self, fat_tree, workload):
+        plan1 = route_and_order(workload, fat_tree, seed=5)
+        plan2 = route_and_order(workload, fat_tree, seed=5)
+        assert plan1.flow_order == plan2.flow_order
+        assert set(plan1.flow_order) == set(workload.flow_ids())
+
+    def test_rounding_seed_changes_are_contained(self, fat_tree, workload):
+        """Different rounding seeds may change paths but never break validity."""
+        for seed in (1, 2, 3):
+            plan = route_and_order(workload, fat_tree, seed=seed)
+            for path in plan.paths.values():
+                fat_tree.validate_path(list(path))
+
+    def test_congestion_factor_reported(self, fat_tree, workload):
+        plan = route_and_order(workload, fat_tree, seed=5)
+        assert plan.congestion_factor is not None
+        assert plan.congestion_factor > 0.0
+
+    def test_fat_tree_paths_are_mostly_unique(self, fat_tree, workload):
+        """The paper observes the decomposition returns one path per flow on fat-trees."""
+        plan = route_and_order(workload, fat_tree, seed=5)
+        assert plan.average_candidate_paths <= 2.5
+
+    def test_lower_bound_positive_and_consistent(self, fat_tree, workload):
+        plan = route_and_order(workload, fat_tree, seed=5)
+        assert plan.lower_bound > 0.0
+
+
+class TestProvableSchedule:
+    def test_schedule_feasible_and_above_lower_bound(self, fat_tree, workload):
+        scheduler = PathsNotGivenScheduler(workload, fat_tree, seed=2)
+        plan, result = scheduler.schedule()
+        result.schedule.validate(plan.routed_instance, fat_tree)
+        assert result.objective >= plan.lower_bound - 1e-6
+
+    def test_triangle_instance(self):
+        net = topologies.triangle()
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0), Flow("y", "z", size=1.0)), weight=1.0),
+                Coflow(flows=(Flow("y", "z", size=1.0),), weight=1.0),
+                Coflow(flows=(Flow("z", "x", size=2.0),), weight=1.0),
+            ]
+        )
+        scheduler = PathsNotGivenScheduler(instance, net, seed=0)
+        plan, result = scheduler.schedule()
+        result.schedule.validate(plan.routed_instance, net)
+        assert result.objective >= weighted_transfer_lower_bound(instance, net) - 1e-6
+
+
+class TestSimulatedPolicy:
+    def test_lp_plan_runs_in_simulator(self, fat_tree, workload):
+        plan = route_and_order(workload, fat_tree, seed=5)
+        sim_plan = SimulationPlan(
+            paths=dict(plan.paths), order=list(plan.flow_order), name="LP-Based"
+        )
+        result = FlowLevelSimulator(fat_tree).run(workload, sim_plan)
+        # The realised schedule is feasible and above the LP lower bound.
+        result.schedule.validate(plan.routed_instance, fat_tree)
+        assert result.weighted_completion_time >= plan.lower_bound - 1e-6

@@ -1,0 +1,151 @@
+"""Tests for flow decomposition into thickest-first paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import decompose_flow
+from repro.circuit.flow_decomposition import PathFlow, flow_value
+
+
+class TestPathFlow:
+    def test_edges_and_length(self):
+        pf = PathFlow(path=("a", "b", "c"), value=2.0)
+        assert pf.edges == [("a", "b"), ("b", "c")]
+        assert pf.length == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PathFlow(path=("a",), value=1.0)
+        with pytest.raises(ValueError):
+            PathFlow(path=("a", "b"), value=0.0)
+
+
+class TestDecomposeFlow:
+    def test_single_path(self):
+        flow = {("s", "a"): 2.0, ("a", "t"): 2.0}
+        decomposition = decompose_flow(flow, "s", "t")
+        assert decomposition.num_paths == 1
+        assert decomposition.paths[0].path == ("s", "a", "t")
+        assert decomposition.total_value == pytest.approx(2.0)
+        assert decomposition.residual == {}
+
+    def test_two_parallel_paths_thickest_first(self):
+        flow = {
+            ("s", "a"): 3.0,
+            ("a", "t"): 3.0,
+            ("s", "b"): 1.0,
+            ("b", "t"): 1.0,
+        }
+        decomposition = decompose_flow(flow, "s", "t")
+        assert decomposition.num_paths == 2
+        assert decomposition.paths[0].value == pytest.approx(3.0)
+        assert decomposition.paths[0].path == ("s", "a", "t")
+        assert decomposition.paths[1].value == pytest.approx(1.0)
+        assert decomposition.total_value == pytest.approx(4.0)
+
+    def test_split_and_merge(self):
+        # s -> {a, b} -> m -> t, bottleneck at (m, t)
+        flow = {
+            ("s", "a"): 1.0,
+            ("s", "b"): 1.0,
+            ("a", "m"): 1.0,
+            ("b", "m"): 1.0,
+            ("m", "t"): 2.0,
+        }
+        decomposition = decompose_flow(flow, "s", "t")
+        assert decomposition.total_value == pytest.approx(2.0)
+        loads = decomposition.edge_loads()
+        for edge, value in flow.items():
+            assert loads.get(edge, 0.0) == pytest.approx(value)
+
+    def test_cycle_is_cancelled(self):
+        flow = {
+            ("s", "a"): 1.0,
+            ("a", "t"): 1.0,
+            # a useless cycle b -> c -> b
+            ("b", "c"): 0.7,
+            ("c", "b"): 0.7,
+        }
+        decomposition = decompose_flow(flow, "s", "t")
+        assert decomposition.num_paths == 1
+        assert decomposition.total_value == pytest.approx(1.0)
+        assert decomposition.residual == {}
+
+    def test_residual_reported_when_disconnected(self):
+        flow = {("a", "b"): 1.0}  # carries no s -> t flow
+        decomposition = decompose_flow(flow, "s", "t")
+        assert decomposition.num_paths == 0
+        assert decomposition.residual == {("a", "b"): 1.0}
+
+    def test_max_paths_cap(self):
+        flow = {
+            ("s", "a"): 1.0,
+            ("a", "t"): 1.0,
+            ("s", "b"): 1.0,
+            ("b", "t"): 1.0,
+        }
+        decomposition = decompose_flow(flow, "s", "t", max_paths=1)
+        assert decomposition.num_paths == 1
+        assert decomposition.residual  # leftover flow reported
+
+    def test_probabilities(self):
+        flow = {
+            ("s", "a"): 3.0,
+            ("a", "t"): 3.0,
+            ("s", "b"): 1.0,
+            ("b", "t"): 1.0,
+        }
+        decomposition = decompose_flow(flow, "s", "t")
+        probs = decomposition.probabilities()
+        assert sum(probs) == pytest.approx(1.0)
+        assert probs[0] == pytest.approx(0.75)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_flow({}, "s", "s")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_flow({("a", "a"): 1.0}, "s", "t")
+
+    def test_flow_value_helper(self):
+        flow = {("s", "a"): 2.0, ("a", "t"): 2.0}
+        assert flow_value(flow, "s") == pytest.approx(2.0)
+        assert flow_value(flow, "a") == pytest.approx(0.0)
+        assert flow_value(flow, "t") == pytest.approx(-2.0)
+
+
+# --------------------------------------------------------------------------
+# Property-based: decomposing a known mixture of paths recovers its value and
+# never exceeds per-edge flow.
+# --------------------------------------------------------------------------
+@st.composite
+def path_mixtures(draw):
+    """Random mixtures of simple s->t paths over a small layered graph."""
+    num_middle = draw(st.integers(min_value=1, max_value=4))
+    middles = [f"m{k}" for k in range(num_middle)]
+    num_paths = draw(st.integers(min_value=1, max_value=5))
+    paths = []
+    for _ in range(num_paths):
+        middle = draw(st.sampled_from(middles))
+        value = draw(st.floats(min_value=0.1, max_value=4.0))
+        paths.append((("s", middle, "t"), value))
+    return paths
+
+
+@given(path_mixtures())
+@settings(max_examples=60, deadline=None)
+def test_decomposition_conserves_mixture_value(paths):
+    flow = {}
+    total = 0.0
+    for path, value in paths:
+        total += value
+        for edge in zip(path[:-1], path[1:]):
+            flow[edge] = flow.get(edge, 0.0) + value
+    decomposition = decompose_flow(flow, "s", "t")
+    assert decomposition.total_value == pytest.approx(total, rel=1e-6)
+    # The decomposition never uses more flow on an edge than was present.
+    loads = decomposition.edge_loads()
+    for edge, load in loads.items():
+        assert load <= flow[edge] + 1e-6

@@ -1,0 +1,74 @@
+"""Tests for the deterministic thickest-path selection rule (Section 4.2)."""
+
+import pytest
+
+from repro.circuit.flow_decomposition import FlowDecomposition, PathFlow
+from repro.circuit.randomized_rounding import thickest_paths
+from repro.core import Network
+
+
+def decomposition(paths_with_values, source="s", sink="t"):
+    return FlowDecomposition(
+        source=source,
+        sink=sink,
+        paths=[PathFlow(path=p, value=v) for p, v in paths_with_values],
+        residual={},
+    )
+
+
+@pytest.fixture
+def two_route_network():
+    net = Network(default_capacity=1.0)
+    net.add_edge("s", "a")
+    net.add_edge("a", "t")
+    net.add_edge("s", "b")
+    net.add_edge("b", "t")
+    return net
+
+
+def test_picks_the_dominant_path():
+    decompositions = {
+        (0, 0): decomposition([(("s", "a", "t"), 3.0), (("s", "b", "t"), 0.5)])
+    }
+    outcome = thickest_paths(decompositions)
+    assert outcome.paths[(0, 0)] == ("s", "a", "t")
+    assert outcome.candidates[(0, 0)] == 2
+
+
+def test_near_ties_spread_by_load(two_route_network):
+    decompositions = {
+        (0, 0): decomposition([(("s", "a", "t"), 1.0), (("s", "b", "t"), 1.0)]),
+        (1, 0): decomposition([(("s", "a", "t"), 1.0), (("s", "b", "t"), 1.0)]),
+    }
+    demands = {(0, 0): 1.0, (1, 0): 1.0}
+    outcome = thickest_paths(decompositions, network=two_route_network, demands=demands)
+    # The two flows pick different routes, so no edge carries both.
+    assert outcome.paths[(0, 0)] != outcome.paths[(1, 0)]
+    assert outcome.congestion_factor == pytest.approx(1.0)
+
+
+def test_deterministic():
+    decompositions = {
+        (0, k): decomposition([(("s", "a", "t"), 2.0), (("s", "b", "t"), 1.9)])
+        for k in range(4)
+    }
+    assert thickest_paths(decompositions).paths == thickest_paths(decompositions).paths
+
+
+def test_empty_decomposition_raises():
+    empty = FlowDecomposition(source="s", sink="t", paths=[], residual={})
+    with pytest.raises(ValueError):
+        thickest_paths({(0, 0): empty})
+
+
+def test_larger_demands_routed_first(two_route_network):
+    """The big flow claims its best route before the small ones."""
+    decompositions = {
+        (0, 0): decomposition([(("s", "a", "t"), 1.0), (("s", "b", "t"), 0.99)]),
+        (1, 0): decomposition([(("s", "a", "t"), 1.0), (("s", "b", "t"), 0.99)]),
+    }
+    demands = {(0, 0): 10.0, (1, 0): 1.0}
+    outcome = thickest_paths(decompositions, network=two_route_network, demands=demands)
+    # The heavy flow gets the genuinely thickest route; the light one avoids it.
+    assert outcome.paths[(0, 0)] == ("s", "a", "t")
+    assert outcome.paths[(1, 0)] == ("s", "b", "t")

@@ -1,0 +1,100 @@
+"""Tests for Raghavan–Thompson randomized path selection."""
+
+import random
+
+import pytest
+
+from repro.circuit import chernoff_congestion_bound, congestion_after_rounding, round_paths
+from repro.circuit.flow_decomposition import FlowDecomposition, PathFlow
+from repro.circuit.randomized_rounding import choose_path
+from repro.core import topologies
+
+
+def make_decomposition(values):
+    paths = [
+        PathFlow(path=("s", f"m{k}", "t"), value=v) for k, v in enumerate(values)
+    ]
+    return FlowDecomposition(source="s", sink="t", paths=paths, residual={})
+
+
+class TestChoosePath:
+    def test_deterministic_given_seed(self):
+        decomposition = make_decomposition([1.0, 2.0, 3.0])
+        a = choose_path(decomposition, random.Random(7)).path
+        b = choose_path(decomposition, random.Random(7)).path
+        assert a == b
+
+    def test_single_path_always_chosen(self):
+        decomposition = make_decomposition([2.5])
+        for seed in range(5):
+            assert choose_path(decomposition, random.Random(seed)).path == ("s", "m0", "t")
+
+    def test_empty_decomposition_raises(self):
+        empty = FlowDecomposition(source="s", sink="t", paths=[], residual={})
+        with pytest.raises(ValueError):
+            choose_path(empty, random.Random(0))
+
+    def test_probabilities_roughly_proportional(self):
+        decomposition = make_decomposition([1.0, 9.0])
+        rng = random.Random(123)
+        picks = sum(
+            1 for _ in range(2000) if choose_path(decomposition, rng).path == ("s", "m1", "t")
+        )
+        assert picks / 2000 == pytest.approx(0.9, abs=0.05)
+
+
+class TestRoundPaths:
+    def test_round_paths_outcome(self):
+        decompositions = {
+            (0, 0): make_decomposition([1.0, 1.0]),
+            (0, 1): make_decomposition([2.0]),
+        }
+        outcome = round_paths(decompositions, seed=1)
+        assert set(outcome.paths) == {(0, 0), (0, 1)}
+        assert outcome.candidates == {(0, 0): 2, (0, 1): 1}
+        assert outcome.congestion_factor is None
+
+    def test_deterministic_given_seed(self):
+        decompositions = {(0, k): make_decomposition([1.0, 1.0, 1.0]) for k in range(5)}
+        a = round_paths(decompositions, seed=9).paths
+        b = round_paths(decompositions, seed=9).paths
+        assert a == b
+
+    def test_congestion_factor_computed(self):
+        net = topologies.triangle()
+        decompositions = {
+            (0, 0): FlowDecomposition(
+                source="x", sink="y",
+                paths=[PathFlow(path=("x", "y"), value=1.0)], residual={},
+            ),
+            (1, 0): FlowDecomposition(
+                source="x", sink="y",
+                paths=[PathFlow(path=("x", "y"), value=1.0)], residual={},
+            ),
+        }
+        demands = {(0, 0): 1.0, (1, 0): 1.0}
+        outcome = round_paths(decompositions, network=net, demands=demands, seed=0)
+        # both flows forced onto the unit-capacity edge (x, y): factor 2
+        assert outcome.congestion_factor == pytest.approx(2.0)
+
+
+class TestCongestion:
+    def test_congestion_after_rounding(self):
+        net = topologies.triangle()
+        paths = {(0, 0): ["x", "y"], (1, 0): ["x", "y", "z"]}
+        demands = {(0, 0): 0.5, (1, 0): 0.75}
+        factor = congestion_after_rounding(paths, net, demands)
+        assert factor == pytest.approx(1.25)
+
+    def test_chernoff_bound_grows_slowly(self):
+        small = chernoff_congestion_bound(10)
+        large = chernoff_congestion_bound(10_000)
+        assert 1.0 < small < large
+        # Theta(log E / log log E): far below linear growth.
+        assert large < small * 10
+
+    def test_chernoff_bound_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_congestion_bound(0)
+        with pytest.raises(ValueError):
+            chernoff_congestion_bound(10, failure_probability=2.0)

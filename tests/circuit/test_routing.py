@@ -1,0 +1,146 @@
+"""Tests for the Section-2.2 routing LP (both formulations)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import RoutingLP
+from repro.circuit.routing import lower_bound
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+
+
+@pytest.fixture
+def triangle():
+    return topologies.triangle()
+
+
+@pytest.fixture
+def diamond_net():
+    """Two disjoint 2-hop routes between host_0 and host_3."""
+    from repro.core import Network
+
+    net = Network(default_capacity=1.0)
+    net.add_bidirectional_edge("host_0", "host_1")
+    net.add_bidirectional_edge("host_1", "host_3")
+    net.add_bidirectional_edge("host_0", "host_2")
+    net.add_bidirectional_edge("host_2", "host_3")
+    return net
+
+
+@pytest.fixture
+def two_flow_instance():
+    return CoflowInstance(
+        coflows=[
+            Coflow(flows=(Flow("host_0", "host_3", size=1.0),), weight=1.0),
+            Coflow(flows=(Flow("host_0", "host_3", size=1.0),), weight=1.0),
+        ]
+    )
+
+
+class TestFormulations:
+    @pytest.mark.parametrize("formulation", ["path", "edge"])
+    def test_fractions_sum_to_one(self, diamond_net, two_flow_instance, formulation):
+        relaxation = RoutingLP(
+            two_flow_instance, diamond_net, formulation=formulation
+        ).relax()
+        for fractions in relaxation.fractions.values():
+            assert fractions.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("formulation", ["path", "edge"])
+    def test_edge_volumes_deliver_flow_size(self, diamond_net, two_flow_instance, formulation):
+        relaxation = RoutingLP(
+            two_flow_instance, diamond_net, formulation=formulation
+        ).relax()
+        for fid, decomposition in relaxation.decompositions().items():
+            size = two_flow_instance.flow(fid).size
+            assert decomposition.total_value == pytest.approx(size, abs=1e-5)
+
+    def test_formulations_agree_on_objective(self, diamond_net, two_flow_instance):
+        path_obj = RoutingLP(
+            two_flow_instance, diamond_net, formulation="path"
+        ).relax().objective
+        edge_obj = RoutingLP(
+            two_flow_instance, diamond_net, formulation="edge"
+        ).relax().objective
+        # The candidate path set contains every shortest path of this network,
+        # and optima route along shortest paths here, so the bounds coincide.
+        assert path_obj == pytest.approx(edge_obj, rel=0.05)
+
+    def test_edge_formulation_never_weaker(self, diamond_net, two_flow_instance):
+        # The edge formulation optimises over a superset of routings, so its
+        # optimum cannot exceed the path formulation's.
+        path_obj = RoutingLP(
+            two_flow_instance, diamond_net, formulation="path"
+        ).relax().objective
+        edge_obj = RoutingLP(
+            two_flow_instance, diamond_net, formulation="edge"
+        ).relax().objective
+        assert edge_obj <= path_obj + 1e-6
+
+    def test_unknown_formulation_rejected(self, diamond_net, two_flow_instance):
+        with pytest.raises(ValueError):
+            RoutingLP(two_flow_instance, diamond_net, formulation="quantum")
+
+    def test_missing_endpoint_rejected(self, diamond_net):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("host_0", "mars"),))])
+        with pytest.raises(ValueError):
+            RoutingLP(instance, diamond_net)
+
+
+class TestRelaxationProperties:
+    def test_lp_uses_both_routes_under_contention(self, diamond_net, two_flow_instance):
+        """With two unit flows and two disjoint routes the LP spreads load."""
+        relaxation = RoutingLP(two_flow_instance, diamond_net, formulation="path").relax()
+        # Combined, the two flows use more than one route (some mass on each side).
+        used_edges = set()
+        for volumes in relaxation.edge_volumes.values():
+            used_edges.update(e for e, v in volumes.items() if v > 1e-6)
+        assert ("host_0", "host_1") in used_edges or ("host_0", "host_2") in used_edges
+        assert len(used_edges) >= 3
+
+    def test_lower_bound_scaling(self, diamond_net, two_flow_instance):
+        relaxation = RoutingLP(two_flow_instance, diamond_net).relax()
+        assert relaxation.lower_bound == pytest.approx(
+            relaxation.objective / 2.0
+        )  # epsilon = 1
+
+    def test_lower_bound_helper(self, diamond_net, two_flow_instance):
+        assert lower_bound(two_flow_instance, diamond_net) > 0.0
+
+    def test_release_times_respected(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=1.0, release_time=5.0),))]
+        )
+        relaxation = RoutingLP(instance, triangle).relax()
+        grid = relaxation.grid
+        fractions = relaxation.fractions[(0, 0)]
+        for ell in range(grid.num_intervals):
+            if grid.right(ell) < 5.0 - 1e-9:
+                assert fractions[ell] == pytest.approx(0.0, abs=1e-8)
+
+    def test_flow_order_covers_all_flows(self, diamond_net, two_flow_instance):
+        relaxation = RoutingLP(two_flow_instance, diamond_net).relax()
+        assert set(relaxation.flow_order()) == set(two_flow_instance.flow_ids())
+
+    def test_weighted_objective_prefers_heavy_coflow(self, triangle):
+        """The heavier coflow gets the earlier LP completion time."""
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0),), weight=10.0),
+                Coflow(flows=(Flow("x", "y", size=2.0),), weight=1.0),
+            ]
+        )
+        relaxation = RoutingLP(instance, triangle).relax()
+        assert (
+            relaxation.coflow_completion[0] <= relaxation.coflow_completion[1] + 1e-6
+        )
+
+    def test_zero_size_flow_skipped(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=0.0), Flow("y", "z", size=1.0)),)
+            ]
+        )
+        relaxation = RoutingLP(instance, triangle).relax()
+        decompositions = relaxation.decompositions()
+        assert (0, 0) not in decompositions
+        assert (0, 1) in decompositions

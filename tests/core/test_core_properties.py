@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the core substrate invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CircuitSchedule,
+    Coflow,
+    CoflowInstance,
+    Flow,
+    IntervalGrid,
+    topologies,
+)
+from repro.core.objective import coflow_completion_times, weighted_completion_time
+
+
+# --------------------------------------------------------------------------
+# Interval grid invariants
+# --------------------------------------------------------------------------
+@given(
+    epsilon=st.floats(min_value=0.05, max_value=3.0),
+    horizon=st.floats(min_value=0.5, max_value=1e5),
+)
+@settings(max_examples=60, deadline=None)
+def test_grid_boundaries_cover_horizon_and_grow_geometrically(epsilon, horizon):
+    grid = IntervalGrid(epsilon=epsilon, horizon=horizon)
+    boundaries = grid.boundaries
+    assert boundaries[0] == 0.0
+    assert boundaries[1] == 1.0
+    assert boundaries[-1] >= horizon
+    for ell in range(2, len(boundaries)):
+        assert boundaries[ell] > boundaries[ell - 1]
+        if ell >= 2:
+            assert math.isclose(
+                boundaries[ell] / boundaries[ell - 1], 1.0 + epsilon, rel_tol=1e-9
+            )
+
+
+@given(
+    epsilon=st.floats(min_value=0.05, max_value=3.0),
+    time=st.floats(min_value=0.0, max_value=1e4),
+)
+@settings(max_examples=60, deadline=None)
+def test_interval_of_returns_enclosing_interval(epsilon, time):
+    grid = IntervalGrid(epsilon=epsilon, horizon=max(time, 1.0) + 1.0)
+    ell = grid.interval_of(time)
+    assert grid.left(ell) <= time + 1e-9 or ell == 0
+    assert time <= grid.right(ell) + 1e-9
+
+
+@given(
+    fractions=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12),
+    alpha=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_alpha_interval_is_first_crossing(fractions, alpha):
+    total = sum(fractions)
+    if total <= 0:
+        return
+    normalised = [f / total for f in fractions]
+    grid = IntervalGrid(epsilon=1.0, horizon=2.0 ** max(len(normalised), 2))
+    ell = grid.alpha_interval(normalised, alpha)
+    assert sum(normalised[: ell + 1]) >= alpha - 1e-6
+    assert sum(normalised[:ell]) < alpha + 1e-6
+
+
+# --------------------------------------------------------------------------
+# Schedule accounting invariants
+# --------------------------------------------------------------------------
+@given(
+    sizes=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=6),
+    weights=st.lists(st.floats(min_value=0.0, max_value=4.0), min_size=1, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_sequential_schedule_accounting(sizes, weights):
+    """Flows served back-to-back on one edge: completion times are prefix sums."""
+    n = min(len(sizes), len(weights))
+    sizes, weights = sizes[:n], weights[:n]
+    instance = CoflowInstance(
+        coflows=[
+            Coflow(flows=(Flow("x", "y", size=s, path=["x", "y"]),), weight=w)
+            for s, w in zip(sizes, weights)
+        ]
+    )
+    net = topologies.triangle()
+    schedule = CircuitSchedule()
+    t = 0.0
+    expected = {}
+    for i, size in enumerate(sizes):
+        schedule.set_path((i, 0), ["x", "y"])
+        schedule.add_segment((i, 0), t, t + size, 1.0)
+        t += size
+        expected[i] = t
+    schedule.validate(instance, net)
+    completions = schedule.coflow_completion_times(instance)
+    for i, value in expected.items():
+        assert math.isclose(completions[i], value, rel_tol=1e-9)
+    assert math.isclose(
+        schedule.weighted_completion_time(instance),
+        sum(w * expected[i] for i, w in enumerate(weights)),
+        rel_tol=1e-9,
+    )
+
+
+@given(
+    completions=st.dictionaries(
+        keys=st.tuples(st.integers(0, 3), st.integers(0, 2)),
+        values=st.floats(min_value=0.0, max_value=100.0),
+        min_size=1,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_weighted_objective_monotone_in_completions(completions):
+    """Increasing any completion time never decreases the objective."""
+    coflow_ids = sorted({i for i, _ in completions})
+    flows_per_coflow = {
+        i: sorted(j for (ci, j) in completions if ci == i) for i in coflow_ids
+    }
+    instance = CoflowInstance(
+        coflows=[
+            Coflow(
+                flows=tuple(Flow("a", "b") for _ in flows_per_coflow[i]),
+                weight=1.0 + i,
+            )
+            for i in coflow_ids
+        ]
+    )
+    remap = {}
+    for new_i, i in enumerate(coflow_ids):
+        for new_j, j in enumerate(flows_per_coflow[i]):
+            remap[(new_i, new_j)] = completions[(i, j)]
+    base = weighted_completion_time(instance, remap)
+    bumped = dict(remap)
+    some_key = sorted(bumped)[0]
+    bumped[some_key] += 5.0
+    assert weighted_completion_time(instance, bumped) >= base - 1e-9

@@ -1,0 +1,197 @@
+"""Unit tests for the coflow data model."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow
+
+
+class TestFlow:
+    def test_basic_construction(self):
+        flow = Flow(source="a", destination="b", size=3.0, release_time=1.0)
+        assert flow.size == 3.0
+        assert flow.release_time == 1.0
+        assert not flow.has_path
+
+    def test_defaults(self):
+        flow = Flow(source="a", destination="b")
+        assert flow.size == 1.0
+        assert flow.release_time == 0.0
+        assert flow.path is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Flow(source="a", destination="b", size=-1.0)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError, match="release"):
+            Flow(source="a", destination="b", release_time=-0.5)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            Flow(source="a", destination="a")
+
+    def test_zero_size_allowed(self):
+        assert Flow(source="a", destination="b", size=0.0).size == 0.0
+
+    def test_path_endpoints_must_match(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            Flow(source="a", destination="b", path=["a", "c"])
+        with pytest.raises(ValueError, match="endpoints"):
+            Flow(source="a", destination="b", path=["c", "b"])
+
+    def test_path_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(source="a", destination="b", path=["a"])
+
+    def test_path_is_stored_as_tuple(self):
+        flow = Flow(source="a", destination="b", path=["a", "x", "b"])
+        assert flow.path == ("a", "x", "b")
+        assert flow.has_path
+
+    def test_with_path(self):
+        flow = Flow(source="a", destination="b")
+        routed = flow.with_path(["a", "m", "b"])
+        assert routed.path == ("a", "m", "b")
+        assert flow.path is None  # original unchanged
+        assert routed.size == flow.size
+
+    def test_path_edges(self):
+        flow = Flow(source="a", destination="c", path=["a", "b", "c"])
+        assert flow.path_edges() == [("a", "b"), ("b", "c")]
+
+    def test_path_edges_without_path_raises(self):
+        with pytest.raises(ValueError, match="no path"):
+            Flow(source="a", destination="b").path_edges()
+
+    def test_frozen(self):
+        flow = Flow(source="a", destination="b")
+        with pytest.raises(Exception):
+            flow.size = 5.0
+
+
+class TestCoflow:
+    def _flows(self, n=3):
+        return tuple(Flow(source=f"s{i}", destination=f"d{i}", size=i + 1) for i in range(n))
+
+    def test_basic(self):
+        coflow = Coflow(flows=self._flows(3), weight=2.0, name="job")
+        assert len(coflow) == 3
+        assert coflow.width == 3
+        assert coflow.weight == 2.0
+        assert coflow.name == "job"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Coflow(flows=())
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            Coflow(flows=self._flows(1), weight=-1.0)
+
+    def test_total_size(self):
+        assert Coflow(flows=self._flows(3)).total_size == 1 + 2 + 3
+
+    def test_release_time_is_min(self):
+        flows = (
+            Flow(source="a", destination="b", release_time=5.0),
+            Flow(source="c", destination="d", release_time=2.0),
+        )
+        assert Coflow(flows=flows).release_time == 2.0
+
+    def test_iteration(self):
+        flows = self._flows(4)
+        assert list(Coflow(flows=flows)) == list(flows)
+
+    def test_all_paths_given(self):
+        routed = tuple(
+            Flow(source="a", destination="b", path=["a", "b"]) for _ in range(2)
+        )
+        assert Coflow(flows=routed).all_paths_given
+        mixed = routed + (Flow(source="a", destination="c"),)
+        assert not Coflow(flows=mixed).all_paths_given
+
+
+class TestCoflowInstance:
+    def _instance(self):
+        return CoflowInstance(
+            coflows=[
+                Coflow(
+                    flows=(
+                        Flow(source="a", destination="b", size=2.0),
+                        Flow(source="b", destination="c", size=1.0, release_time=1.0),
+                    ),
+                    weight=3.0,
+                ),
+                Coflow(flows=(Flow(source="c", destination="a", size=4.0),), weight=1.0),
+            ],
+            name="test",
+        )
+
+    def test_counts(self):
+        instance = self._instance()
+        assert instance.num_coflows == 2
+        assert instance.num_flows == 3
+        assert len(instance) == 2
+
+    def test_iter_flows_order(self):
+        ids = [(i, j) for i, j, _ in self._instance().iter_flows()]
+        assert ids == [(0, 0), (0, 1), (1, 0)]
+
+    def test_flow_lookup(self):
+        instance = self._instance()
+        assert instance.flow((1, 0)).size == 4.0
+        assert instance.flow((0, 1)).release_time == 1.0
+
+    def test_flow_ids(self):
+        assert self._instance().flow_ids() == [(0, 0), (0, 1), (1, 0)]
+
+    def test_weights(self):
+        assert self._instance().weights() == {0: 3.0, 1: 1.0}
+
+    def test_total_volume(self):
+        assert self._instance().total_volume == 7.0
+
+    def test_max_release_time(self):
+        assert self._instance().max_release_time == 1.0
+
+    def test_all_paths_given_false_then_true(self):
+        instance = self._instance()
+        assert not instance.all_paths_given
+        routed = instance.with_paths(
+            {
+                (0, 0): ["a", "b"],
+                (0, 1): ["b", "c"],
+                (1, 0): ["c", "a"],
+            }
+        )
+        assert routed.all_paths_given
+
+    def test_with_paths_preserves_metadata(self):
+        instance = self._instance()
+        routed = instance.with_paths({(0, 0): ["a", "x", "b"]})
+        assert routed.flow((0, 0)).path == ("a", "x", "b")
+        assert routed.flow((0, 1)).path is None
+        assert routed[0].weight == 3.0
+        assert routed.flow((0, 0)).size == 2.0
+
+    def test_without_paths(self):
+        instance = self._instance().with_paths({(1, 0): ["c", "a"]})
+        stripped = instance.without_paths()
+        assert all(f.path is None for _, _, f in stripped.iter_flows())
+
+    def test_scaled(self):
+        scaled = self._instance().scaled(size_factor=2.0, weight_factor=0.5)
+        assert scaled.flow((0, 0)).size == 4.0
+        assert scaled[0].weight == 1.5
+        with pytest.raises(ValueError):
+            self._instance().scaled(size_factor=0.0)
+
+    def test_single_coflow_constructor(self):
+        instance = CoflowInstance.single_coflow(
+            [Flow(source="a", destination="b")], weight=2.0
+        )
+        assert instance.num_coflows == 1
+        assert instance[0].weight == 2.0
+
+    def test_getitem(self):
+        assert self._instance()[1].weight == 1.0

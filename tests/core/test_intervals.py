@@ -1,0 +1,156 @@
+"""Unit tests for the geometric interval grid and rounding parameters."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    IntervalGrid,
+    RoundingParameters,
+    PAPER_ALPHA,
+    PAPER_DISPLACEMENT,
+    PAPER_EPSILON,
+    paper_rounding_parameters,
+)
+
+
+class TestRoundingParameters:
+    def test_paper_constants_accepted(self):
+        params = paper_rounding_parameters()
+        assert params.alpha == PAPER_ALPHA
+        assert params.displacement == PAPER_DISPLACEMENT
+        assert params.epsilon == PAPER_EPSILON
+
+    def test_paper_blowup_close_to_published_value(self):
+        # The paper reports 17.5319 for alpha=0.5, D=3, eps~0.5436.
+        assert paper_rounding_parameters().blowup_factor == pytest.approx(17.53, abs=0.05)
+
+    def test_condition_12_enforced(self):
+        # D must be at least ceil(log_{1+eps}(1/alpha)) + 1.
+        with pytest.raises(ValueError, match="condition"):
+            RoundingParameters(alpha=0.5, displacement=1, epsilon=0.5436)
+
+    def test_condition_13_enforced(self):
+        with pytest.raises(ValueError):
+            RoundingParameters(alpha=0.1, displacement=2, epsilon=0.2)
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            RoundingParameters(alpha=0.0, displacement=3, epsilon=0.5)
+        with pytest.raises(ValueError):
+            RoundingParameters(alpha=1.5, displacement=3, epsilon=0.5)
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ValueError):
+            RoundingParameters(alpha=0.5, displacement=3, epsilon=0.0)
+
+    def test_displacement_positive(self):
+        with pytest.raises(ValueError):
+            RoundingParameters(alpha=0.5, displacement=0, epsilon=0.5436)
+
+    def test_blowup_formula(self):
+        params = RoundingParameters(alpha=0.5, displacement=4, epsilon=1.0)
+        expected = 2.0 ** 6 / 0.5
+        assert params.blowup_factor == pytest.approx(expected)
+
+
+class TestIntervalGridConstruction:
+    def test_boundaries_geometric(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=16.0)
+        b = grid.boundaries
+        assert b[0] == 0.0
+        assert b[1] == 1.0
+        assert b[2] == 2.0
+        assert b[3] == 4.0
+        assert b[-1] >= 16.0
+
+    def test_num_intervals_covers_horizon(self):
+        for horizon in (1.0, 7.3, 100.0, 12345.0):
+            grid = IntervalGrid(epsilon=0.5436, horizon=horizon)
+            assert grid.boundaries[-1] >= horizon
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            IntervalGrid(epsilon=0.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            IntervalGrid(epsilon=1.0, horizon=0.0)
+        with pytest.raises(ValueError):
+            IntervalGrid(epsilon=1.0, horizon=1.0, min_intervals=0)
+
+    def test_left_right_length(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=8.0)
+        assert grid.left(0) == 0.0
+        assert grid.right(0) == 1.0
+        assert grid.length(0) == 1.0
+        assert grid.left(2) == 2.0
+        assert grid.right(2) == 4.0
+        assert grid.length(2) == 2.0
+
+    def test_index_bounds_checked(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=4.0)
+        with pytest.raises(IndexError):
+            grid.left(-1)
+        with pytest.raises(IndexError):
+            grid.right(grid.num_intervals)
+
+
+class TestIntervalQueries:
+    def test_interval_of(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=32.0)
+        assert grid.interval_of(0.0) == 0
+        assert grid.interval_of(0.5) == 0
+        assert grid.interval_of(1.0) == 0
+        assert grid.interval_of(1.5) == 1
+        assert grid.interval_of(2.0) == 1
+        assert grid.interval_of(3.0) == 2
+        assert grid.interval_of(4.0) == 2
+        assert grid.interval_of(5.0) == 3
+
+    def test_interval_of_boundary_consistency(self):
+        grid = IntervalGrid(epsilon=0.5436, horizon=50.0)
+        for ell in range(grid.num_intervals):
+            left, right = grid.left(ell), grid.right(ell)
+            assert grid.interval_of(right) == ell
+            mid = (left + right) / 2
+            assert grid.interval_of(mid) == ell
+
+    def test_interval_of_out_of_range(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=4.0)
+        with pytest.raises(ValueError):
+            grid.interval_of(-1.0)
+        with pytest.raises(ValueError):
+            grid.interval_of(grid.boundaries[-1] * 2)
+
+    def test_release_interval(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=32.0)
+        assert grid.release_interval(0.0) == 0
+        assert grid.release_interval(0.7) == 0
+        assert grid.release_interval(3.0) == 2
+
+    def test_alpha_interval(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=8.0)
+        fractions = [0.2, 0.2, 0.3, 0.3]
+        assert grid.alpha_interval(fractions, alpha=0.5) == 2
+        assert grid.alpha_interval(fractions, alpha=0.2) == 0
+        assert grid.alpha_interval(fractions, alpha=1.0) == 3
+
+    def test_alpha_interval_incomplete_raises(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=8.0)
+        with pytest.raises(ValueError, match="incomplete"):
+            grid.alpha_interval([0.1, 0.1], alpha=0.5)
+
+    def test_alpha_interval_invalid_alpha(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=8.0)
+        with pytest.raises(ValueError):
+            grid.alpha_interval([1.0], alpha=0.0)
+
+    def test_extended(self):
+        grid = IntervalGrid(epsilon=1.0, horizon=8.0)
+        bigger = grid.extended(3)
+        assert bigger.num_intervals == grid.num_intervals + 3
+        # existing boundaries preserved
+        assert list(bigger.boundaries[: grid.num_intervals + 1]) == list(grid.boundaries)
+        # continues geometrically
+        assert bigger.boundaries[-1] == pytest.approx(2 * bigger.boundaries[-2])
+        with pytest.raises(ValueError):
+            grid.extended(-1)

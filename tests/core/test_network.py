@@ -1,0 +1,190 @@
+"""Unit tests for the capacitated network substrate."""
+
+import networkx as nx
+import pytest
+
+from repro.core import Network
+from repro.core.network import path_edges
+
+
+@pytest.fixture
+def diamond():
+    """a -> {b, c} -> d with distinct capacities."""
+    net = Network()
+    net.add_edge("a", "b", capacity=2.0)
+    net.add_edge("b", "d", capacity=2.0)
+    net.add_edge("a", "c", capacity=5.0)
+    net.add_edge("c", "d", capacity=3.0)
+    return net
+
+
+class TestConstruction:
+    def test_empty(self):
+        net = Network()
+        assert net.num_nodes == 0
+        assert net.num_edges == 0
+
+    def test_from_digraph(self):
+        g = nx.DiGraph()
+        g.add_edge("x", "y", capacity=7.0)
+        g.add_edge("y", "z")
+        net = Network(g, default_capacity=2.0)
+        assert net.capacity("x", "y") == 7.0
+        assert net.capacity("y", "z") == 2.0
+
+    def test_default_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Network(default_capacity=0.0)
+
+    def test_add_edge_default_capacity(self):
+        net = Network(default_capacity=4.0)
+        net.add_edge("a", "b")
+        assert net.capacity("a", "b") == 4.0
+
+    def test_self_loop_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError, match="self-loop"):
+            net.add_edge("a", "a")
+
+    def test_nonpositive_capacity_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError, match="capacity"):
+            net.add_edge("a", "b", capacity=0.0)
+
+    def test_bidirectional_edge(self):
+        net = Network()
+        net.add_bidirectional_edge("a", "b", capacity=3.0)
+        assert net.capacity("a", "b") == 3.0
+        assert net.capacity("b", "a") == 3.0
+
+    def test_add_node(self):
+        net = Network()
+        net.add_node("solo")
+        assert net.has_node("solo")
+        assert net.num_nodes == 1
+
+
+class TestAccessors:
+    def test_capacity_missing_edge(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.capacity("d", "a")
+
+    def test_capacities_map(self, diamond):
+        caps = diamond.capacities()
+        assert caps[("a", "c")] == 5.0
+        assert len(caps) == 4
+
+    def test_min_capacity(self, diamond):
+        assert diamond.min_capacity() == 2.0
+
+    def test_min_capacity_empty_raises(self):
+        with pytest.raises(ValueError):
+            Network().min_capacity()
+
+    def test_in_out_edges(self, diamond):
+        assert set(diamond.out_edges("a")) == {("a", "b"), ("a", "c")}
+        assert set(diamond.in_edges("d")) == {("b", "d"), ("c", "d")}
+        assert set(diamond.incident_edges("b")) == {("a", "b"), ("b", "d")}
+
+    def test_edge_index_deterministic(self, diamond):
+        idx1 = diamond.edge_index()
+        idx2 = diamond.edge_index()
+        assert idx1 == idx2
+        assert sorted(idx1.values()) == list(range(diamond.num_edges))
+
+    def test_edge_index_invalidated_on_change(self, diamond):
+        before = dict(diamond.edge_index())
+        diamond.add_edge("d", "a", capacity=1.0)
+        assert len(diamond.edge_index()) == len(before) + 1
+
+
+class TestPaths:
+    def test_shortest_path(self, diamond):
+        path = diamond.shortest_path("a", "d")
+        assert path[0] == "a" and path[-1] == "d" and len(path) == 3
+
+    def test_shortest_path_length(self, diamond):
+        assert diamond.shortest_path_length("a", "d") == 2
+
+    def test_no_path_raises(self, diamond):
+        with pytest.raises(ValueError, match="no path"):
+            diamond.shortest_path("d", "a")
+
+    def test_all_shortest_paths(self, diamond):
+        paths = diamond.all_shortest_paths("a", "d")
+        assert len(paths) == 2
+        assert {tuple(p) for p in paths} == {("a", "b", "d"), ("a", "c", "d")}
+
+    def test_all_shortest_paths_limit(self, diamond):
+        assert len(diamond.all_shortest_paths("a", "d", limit=1)) == 1
+
+    def test_k_shortest_paths(self, diamond):
+        diamond.add_edge("b", "c", capacity=1.0)
+        paths = diamond.k_shortest_paths("a", "d", 3)
+        assert len(paths) == 3
+        assert len(paths[0]) <= len(paths[-1])
+
+    def test_k_shortest_paths_invalid_k(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.k_shortest_paths("a", "d", 0)
+
+    def test_candidate_paths_equal_cost(self, diamond):
+        paths = diamond.candidate_paths("a", "d")
+        assert len(paths) == 2
+        assert all(len(p) == 3 for p in paths)
+
+    def test_candidate_paths_stretch(self, diamond):
+        diamond.add_edge("b", "c", capacity=1.0)
+        no_stretch = diamond.candidate_paths("a", "d", stretch=0)
+        stretched = diamond.candidate_paths("a", "d", stretch=1)
+        assert len(stretched) > len(no_stretch)
+
+    def test_candidate_paths_max_paths(self, diamond):
+        assert len(diamond.candidate_paths("a", "d", max_paths=1)) == 1
+
+    def test_bottleneck_capacity(self, diamond):
+        assert diamond.bottleneck_capacity(["a", "c", "d"]) == 3.0
+        assert diamond.bottleneck_capacity(["a", "b", "d"]) == 2.0
+
+    def test_bottleneck_capacity_trivial_path_raises(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.bottleneck_capacity(["a"])
+
+    def test_widest_path(self, diamond):
+        path = diamond.widest_path("a", "d")
+        assert path == ["a", "c", "d"]
+
+    def test_widest_path_no_route(self, diamond):
+        diamond.add_node("island")
+        with pytest.raises(ValueError):
+            diamond.widest_path("a", "island")
+
+    def test_widest_path_missing_node(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.widest_path("a", "ghost")
+
+    def test_validate_path(self, diamond):
+        diamond.validate_path(["a", "b", "d"])
+        with pytest.raises(ValueError, match="missing edge"):
+            diamond.validate_path(["a", "d"])
+        with pytest.raises(ValueError, match="two nodes"):
+            diamond.validate_path(["a"])
+
+
+class TestUtilities:
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_edge("d", "a", capacity=1.0)
+        assert not diamond.has_edge("d", "a")
+        assert clone.capacity("a", "b") == diamond.capacity("a", "b")
+
+    def test_scaled_capacities(self, diamond):
+        scaled = diamond.scaled_capacities(10.0)
+        assert scaled.capacity("a", "b") == 20.0
+        assert diamond.capacity("a", "b") == 2.0
+        with pytest.raises(ValueError):
+            diamond.scaled_capacities(0.0)
+
+    def test_path_edges_helper(self):
+        assert path_edges(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+        assert path_edges(["a"]) == []

@@ -1,0 +1,72 @@
+"""Unit tests for objective-function helpers."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow
+from repro.core.objective import (
+    coflow_completion_times,
+    makespan,
+    objective_breakdown,
+    total_completion_time,
+    weighted_completion_time,
+)
+
+
+@pytest.fixture
+def instance():
+    return CoflowInstance(
+        coflows=[
+            Coflow(
+                flows=(Flow("a", "b"), Flow("b", "c")),
+                weight=2.0,
+            ),
+            Coflow(flows=(Flow("c", "a"),), weight=1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def completions():
+    return {(0, 0): 4.0, (0, 1): 6.0, (1, 0): 3.0}
+
+
+def test_coflow_completion_is_max_over_flows(instance, completions):
+    per_coflow = coflow_completion_times(instance, completions)
+    assert per_coflow == {0: 6.0, 1: 3.0}
+
+
+def test_missing_flow_raises(instance):
+    with pytest.raises(KeyError):
+        coflow_completion_times(instance, {(0, 0): 1.0})
+
+
+def test_weighted_completion_time(instance, completions):
+    assert weighted_completion_time(instance, completions) == pytest.approx(
+        2.0 * 6.0 + 1.0 * 3.0
+    )
+
+
+def test_total_completion_time(instance, completions):
+    assert total_completion_time(instance, completions) == pytest.approx(9.0)
+
+
+def test_makespan(completions):
+    assert makespan(completions) == 6.0
+    assert makespan({}) == 0.0
+
+
+def test_objective_breakdown(instance, completions):
+    breakdown = objective_breakdown(instance, completions)
+    assert breakdown.weighted_completion_time == pytest.approx(15.0)
+    assert breakdown.total_completion_time == pytest.approx(9.0)
+    assert breakdown.average_completion_time == pytest.approx(4.5)
+    assert breakdown.makespan == 6.0
+    assert breakdown.per_coflow == {0: 6.0, 1: 3.0}
+
+
+def test_single_coflow_reduces_to_makespan():
+    instance = CoflowInstance.single_coflow(
+        [Flow("a", "b"), Flow("b", "c"), Flow("c", "d")], weight=1.0
+    )
+    completions = {(0, 0): 2.0, (0, 1): 7.0, (0, 2): 5.0}
+    assert weighted_completion_time(instance, completions) == makespan(completions)

@@ -1,0 +1,293 @@
+"""Unit tests for circuit and packet schedule representations and validators."""
+
+import pytest
+
+from repro.core import (
+    BandwidthSegment,
+    CircuitSchedule,
+    Coflow,
+    CoflowInstance,
+    Flow,
+    PacketSchedule,
+    ScheduleError,
+    topologies,
+)
+
+
+@pytest.fixture
+def triangle():
+    return topologies.triangle()
+
+
+@pytest.fixture
+def simple_instance():
+    """Two coflows on the triangle with fixed single-edge paths."""
+    return CoflowInstance(
+        coflows=[
+            Coflow(
+                flows=(
+                    Flow("x", "y", size=2.0, path=["x", "y"]),
+                    Flow("y", "z", size=1.0, path=["y", "z"]),
+                ),
+                weight=1.0,
+            ),
+            Coflow(flows=(Flow("z", "x", size=1.0, path=["z", "x"]),), weight=2.0),
+        ]
+    )
+
+
+class TestBandwidthSegment:
+    def test_volume_and_duration(self):
+        seg = BandwidthSegment(start=1.0, end=3.0, rate=0.5)
+        assert seg.duration == 2.0
+        assert seg.volume == 1.0
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            BandwidthSegment(start=2.0, end=1.0, rate=1.0)
+        with pytest.raises(ValueError):
+            BandwidthSegment(start=0.0, end=1.0, rate=-1.0)
+        with pytest.raises(ValueError):
+            BandwidthSegment(start=-1.0, end=1.0, rate=1.0)
+
+
+class TestCircuitSchedule:
+    def test_segments_sorted_and_zero_rate_dropped(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 2.0, 3.0, 1.0)
+        sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+        sched.add_segment((0, 0), 5.0, 6.0, 0.0)
+        segs = sched.segments((0, 0))
+        assert [s.start for s in segs] == [0.0, 2.0]
+
+    def test_add_segment_requires_path(self):
+        sched = CircuitSchedule()
+        with pytest.raises(ScheduleError):
+            sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+
+    def test_short_path_rejected(self):
+        sched = CircuitSchedule()
+        with pytest.raises(ScheduleError):
+            sched.set_path((0, 0), ["x"])
+
+    def test_delivered_volume(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 2.0, 0.5)
+        sched.add_segment((0, 0), 2.0, 3.0, 1.0)
+        assert sched.delivered_volume((0, 0)) == pytest.approx(2.0)
+        assert sched.delivered_volume((0, 0), until=1.0) == pytest.approx(0.5)
+        assert sched.delivered_volume((0, 0), until=2.5) == pytest.approx(1.5)
+
+    def test_flow_completion_time_exact(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 4.0, 0.5)
+        # size 1 is reached at t=2 even though the segment runs to t=4
+        assert sched.flow_completion_time((0, 0), size=1.0) == pytest.approx(2.0)
+        assert sched.flow_completion_time((0, 0)) == pytest.approx(4.0)
+
+    def test_flow_completion_zero_size(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        assert sched.flow_completion_time((0, 0), size=0.0) == 0.0
+
+    def test_flow_completion_insufficient_volume(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 1.0, 0.5)
+        with pytest.raises(ScheduleError):
+            sched.flow_completion_time((0, 0), size=2.0)
+
+    def test_no_segments_raises(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        with pytest.raises(ScheduleError):
+            sched.flow_completion_time((0, 0), size=1.0)
+        with pytest.raises(ScheduleError):
+            sched.start_time((0, 0))
+
+    def test_objective_accounting(self, simple_instance):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 2.0, 1.0)
+        sched.set_path((0, 1), ["y", "z"])
+        sched.add_segment((0, 1), 0.0, 1.0, 1.0)
+        sched.set_path((1, 0), ["z", "x"])
+        sched.add_segment((1, 0), 1.0, 2.0, 1.0)
+        completions = sched.coflow_completion_times(simple_instance)
+        assert completions == {0: 2.0, 1: 2.0}
+        assert sched.weighted_completion_time(simple_instance) == pytest.approx(
+            1.0 * 2.0 + 2.0 * 2.0
+        )
+        assert sched.makespan(simple_instance) == 2.0
+
+    def test_validate_happy_path(self, simple_instance, triangle):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 2.0, 1.0)
+        sched.set_path((0, 1), ["y", "z"])
+        sched.add_segment((0, 1), 0.0, 1.0, 1.0)
+        sched.set_path((1, 0), ["z", "x"])
+        sched.add_segment((1, 0), 0.0, 1.0, 1.0)
+        sched.validate(simple_instance, triangle)
+
+    def test_validate_detects_capacity_violation(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0, path=["x", "y"]),)),
+                Coflow(flows=(Flow("x", "y", size=1.0, path=["x", "y"]),)),
+            ]
+        )
+        sched = CircuitSchedule()
+        for fid in [(0, 0), (1, 0)]:
+            sched.set_path(fid, ["x", "y"])
+            sched.add_segment(fid, 0.0, 1.0, 1.0)  # combined rate 2 > capacity 1
+        with pytest.raises(ScheduleError, match="overloaded"):
+            sched.validate(instance, triangle)
+
+    def test_validate_detects_under_delivery(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=2.0, path=["x", "y"]),))]
+        )
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+        with pytest.raises(ScheduleError, match="delivers"):
+            sched.validate(instance, triangle)
+
+    def test_validate_detects_release_violation(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(
+                    flows=(
+                        Flow("x", "y", size=1.0, release_time=5.0, path=["x", "y"]),
+                    )
+                )
+            ]
+        )
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+        with pytest.raises(ScheduleError, match="release"):
+            sched.validate(instance, triangle)
+
+    def test_validate_detects_missing_flow(self, simple_instance, triangle):
+        sched = CircuitSchedule()
+        with pytest.raises(ScheduleError, match="missing"):
+            sched.validate(simple_instance, triangle)
+
+    def test_validate_detects_wrong_endpoints(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=1.0, path=["x", "y"]),))]
+        )
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["y", "z"])
+        sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+        with pytest.raises(ScheduleError, match="do not match"):
+            sched.validate(instance, triangle)
+
+    def test_validate_sequential_sharing_ok(self, triangle):
+        """Two flows on the same edge at different times are feasible."""
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0, path=["x", "y"]),)),
+                Coflow(flows=(Flow("x", "y", size=1.0, path=["x", "y"]),)),
+            ]
+        )
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+        sched.set_path((1, 0), ["x", "y"])
+        sched.add_segment((1, 0), 1.0, 2.0, 1.0)
+        sched.validate(instance, triangle)
+
+
+class TestPacketSchedule:
+    @pytest.fixture
+    def packet_instance(self):
+        return CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "z", size=1.0),), weight=1.0),
+                Coflow(flows=(Flow("y", "z", size=1.0),), weight=1.0),
+            ]
+        )
+
+    def test_route_and_completion(self, packet_instance, triangle):
+        sched = PacketSchedule()
+        sched.set_route((0, 0), ["x", "y", "z"], [0, 1])
+        sched.add_move((1, 0), 2, "y", "z")
+        assert sched.packet_completion_time((0, 0)) == 2
+        assert sched.packet_completion_time((1, 0)) == 3
+        assert sched.route((0, 0)) == ["x", "y", "z"]
+        assert sched.makespan() == 3
+        assert sched.weighted_completion_time(packet_instance) == 5.0
+        sched.validate(packet_instance, triangle)
+
+    def test_set_route_length_mismatch(self):
+        sched = PacketSchedule()
+        with pytest.raises(ScheduleError):
+            sched.set_route((0, 0), ["x", "y", "z"], [0])
+
+    def test_validate_detects_edge_conflict(self, packet_instance, triangle):
+        sched = PacketSchedule()
+        sched.set_route((0, 0), ["x", "y", "z"], [0, 1])
+        sched.set_route((1, 0), ["y", "z"], [1])  # same edge (y,z) at step 1
+        with pytest.raises(ScheduleError, match="same step"):
+            sched.validate(packet_instance, triangle)
+
+    def test_validate_detects_teleport(self, packet_instance, triangle):
+        sched = PacketSchedule()
+        sched.add_move((0, 0), 0, "x", "y")
+        sched.add_move((0, 0), 1, "x", "z")  # does not continue from y
+        sched.set_route((1, 0), ["y", "z"], [0])
+        with pytest.raises(ScheduleError, match="teleports"):
+            sched.validate(packet_instance, triangle)
+
+    def test_validate_detects_wrong_destination(self, triangle):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "z", size=1.0),))])
+        sched = PacketSchedule()
+        sched.set_route((0, 0), ["x", "y"], [0])
+        with pytest.raises(ScheduleError, match="ends at"):
+            sched.validate(instance, triangle)
+
+    def test_validate_detects_early_start(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=1.0, release_time=3.0),))]
+        )
+        sched = PacketSchedule()
+        sched.set_route((0, 0), ["x", "y"], [0])
+        with pytest.raises(ScheduleError, match="release"):
+            sched.validate(instance, triangle)
+
+    def test_validate_detects_missing_edge(self, triangle):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "y", size=1.0),))])
+        sched = PacketSchedule()
+        sched.add_move((0, 0), 0, "x", "ghost")
+        sched.add_move((0, 0), 1, "ghost", "y")
+        with pytest.raises(ScheduleError, match="missing edge"):
+            sched.validate(instance, triangle)
+
+    def test_validate_detects_non_increasing_times(self, triangle):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "z", size=1.0),))])
+        sched = PacketSchedule()
+        sched.add_move((0, 0), 1, "x", "y")
+        sched.add_move((0, 0), 1, "y", "z")
+        with pytest.raises(ScheduleError, match="non-increasing"):
+            sched.validate(instance, triangle)
+
+    def test_missing_packet(self, packet_instance, triangle):
+        sched = PacketSchedule()
+        sched.set_route((0, 0), ["x", "y", "z"], [0, 1])
+        with pytest.raises(ScheduleError, match="missing"):
+            sched.validate(packet_instance, triangle)
+
+    def test_empty_moves_completion_raises(self):
+        sched = PacketSchedule()
+        with pytest.raises(ScheduleError):
+            sched.packet_completion_time((0, 0))
+
+    def test_invalid_move(self):
+        with pytest.raises(ValueError):
+            PacketSchedule().add_move((0, 0), -1, "x", "y")

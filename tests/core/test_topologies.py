@@ -1,0 +1,146 @@
+"""Unit tests for the topology builders."""
+
+import pytest
+
+from repro.core import topologies
+from repro.core.topologies import host_nodes
+
+
+class TestFatTree:
+    def test_host_count_k4(self):
+        net = topologies.fat_tree(4)
+        hosts = host_nodes(net)
+        assert len(hosts) == 16
+        assert topologies.fat_tree_hosts(4) == 16
+
+    def test_host_count_k8(self):
+        # the paper's 128-server testbed
+        assert topologies.fat_tree_hosts(8) == 128
+
+    def test_switch_counts_k4(self):
+        net = topologies.fat_tree(4)
+        nodes = net.nodes()
+        assert sum(1 for n in nodes if str(n).startswith("edge_")) == 8
+        assert sum(1 for n in nodes if str(n).startswith("agg_")) == 8
+        assert sum(1 for n in nodes if str(n).startswith("core_")) == 4
+
+    def test_edges_bidirectional(self):
+        net = topologies.fat_tree(4)
+        for u, v in net.edges():
+            assert net.has_edge(v, u)
+
+    def test_link_capacity(self):
+        net = topologies.fat_tree(4, link_capacity=10.0)
+        assert all(c == 10.0 for c in net.capacities().values())
+
+    def test_intra_pod_path_length(self):
+        net = topologies.fat_tree(4)
+        # hosts 0 and 1 share an edge switch: 2 hops
+        assert net.shortest_path_length("host_0", "host_1") == 2
+
+    def test_inter_pod_path_length_and_multiplicity(self):
+        net = topologies.fat_tree(4)
+        # hosts in different pods: 6 hops via core, (k/2)^2 = 4 equal-cost paths
+        assert net.shortest_path_length("host_0", "host_15") == 6
+        assert len(net.all_shortest_paths("host_0", "host_15")) == 4
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            topologies.fat_tree(3)
+        with pytest.raises(ValueError):
+            topologies.fat_tree_hosts(5)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            topologies.fat_tree(4, link_capacity=0.0)
+
+
+class TestTriangle:
+    def test_structure(self):
+        net = topologies.triangle()
+        assert net.num_nodes == 3
+        assert net.num_edges == 6  # three bidirectional links
+        assert net.capacity("x", "y") == 1.0
+
+    def test_custom_capacity(self):
+        assert topologies.triangle(capacity=4.0).capacity("y", "z") == 4.0
+
+
+class TestSwitch:
+    def test_structure(self):
+        net = topologies.nonblocking_switch(8)
+        assert len(host_nodes(net)) == 8
+        assert net.num_nodes == 9
+        # unique path between any host pair
+        assert len(net.all_shortest_paths("host_0", "host_5")) == 1
+
+    def test_port_capacity(self):
+        net = topologies.nonblocking_switch(4, port_capacity=2.5)
+        assert net.capacity("host_0", "switch") == 2.5
+
+    def test_too_few_hosts(self):
+        with pytest.raises(ValueError):
+            topologies.nonblocking_switch(1)
+
+
+class TestSimpleFamilies:
+    def test_line(self):
+        net = topologies.line(5)
+        assert net.shortest_path_length("host_0", "host_4") == 4
+        with pytest.raises(ValueError):
+            topologies.line(1)
+
+    def test_ring(self):
+        net = topologies.ring(6)
+        assert net.shortest_path_length("host_0", "host_3") == 3
+        assert net.shortest_path_length("host_0", "host_5") == 1
+        with pytest.raises(ValueError):
+            topologies.ring(2)
+
+    def test_star(self):
+        net = topologies.star(4)
+        assert net.shortest_path_length("host_0", "host_3") == 2
+        with pytest.raises(ValueError):
+            topologies.star(1)
+
+    def test_tree(self):
+        net = topologies.tree(depth=2, fanout=2)
+        hosts = host_nodes(net)
+        assert len(hosts) == 4
+        # unique paths in a tree
+        assert len(net.all_shortest_paths(hosts[0], hosts[-1])) == 1
+        with pytest.raises(ValueError):
+            topologies.tree(depth=0, fanout=2)
+
+    def test_tree_switch_leaves(self):
+        net = topologies.tree(depth=2, fanout=2, host_leaves=False)
+        assert host_nodes(net) == []
+
+
+class TestRandomGraph:
+    def test_connectivity_and_determinism(self):
+        net1 = topologies.random_graph(8, seed=3)
+        net2 = topologies.random_graph(8, seed=3)
+        assert sorted(map(repr, net1.edges())) == sorted(map(repr, net2.edges()))
+        hosts = host_nodes(net1)
+        # ring backbone guarantees strong connectivity
+        for target in hosts[1:]:
+            assert net1.shortest_path(hosts[0], target)
+
+    def test_capacity_range(self):
+        net = topologies.random_graph(6, capacity_range=(2.0, 3.0), seed=1)
+        assert all(2.0 <= c <= 3.0 for c in net.capacities().values())
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            topologies.random_graph(1)
+        with pytest.raises(ValueError):
+            topologies.random_graph(4, edge_probability=1.5)
+        with pytest.raises(ValueError):
+            topologies.random_graph(4, capacity_range=(0.0, 1.0))
+
+
+class TestHostNodes:
+    def test_sorted_and_filtered(self):
+        net = topologies.nonblocking_switch(3)
+        assert host_nodes(net) == ["host_0", "host_1", "host_2"]

@@ -1,0 +1,109 @@
+"""Unit tests for the sparse LP modelling layer."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPError
+
+
+class TestVariables:
+    def test_add_and_index(self):
+        lp = LinearProgram()
+        idx = lp.add_variable("x")
+        assert idx == 0
+        assert lp.variable_index("x") == 0
+        assert lp.has_variable("x")
+        assert not lp.has_variable("y")
+        assert lp.num_variables == 1
+
+    def test_duplicate_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="already"):
+            lp.add_variable("x")
+
+    def test_unknown_variable(self):
+        with pytest.raises(LPError, match="unknown"):
+            LinearProgram().variable_index("ghost")
+
+    def test_bad_bounds(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_variable("x", lower=2.0, upper=1.0)
+
+    def test_tuple_keys(self):
+        lp = LinearProgram()
+        lp.add_variable(("x", 1, 2, 3))
+        assert lp.has_variable(("x", 1, 2, 3))
+
+    def test_objective_vector_and_override(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=2.0)
+        lp.add_variable("y")
+        assert list(lp.objective_vector()) == [2.0, 0.0]
+        lp.set_objective_coefficient("y", 5.0)
+        assert list(lp.objective_vector()) == [2.0, 5.0]
+
+    def test_bounds_export(self):
+        lp = LinearProgram()
+        lp.add_variable("x", lower=1.0, upper=2.0)
+        assert lp.bounds() == [(1.0, 2.0)]
+
+
+class TestConstraints:
+    def test_senses_and_matrix_shapes(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_variable("y")
+        lp.add_constraint({"x": 1.0, "y": 1.0}, "<=", 5.0)
+        lp.add_constraint({"x": 1.0}, ">=", 1.0)
+        lp.add_constraint({"y": 2.0}, "==", 4.0)
+        a_ub, b_ub, a_eq, b_eq = lp.matrices()
+        assert a_ub.shape == (2, 2)
+        assert a_eq.shape == (1, 2)
+        assert list(b_eq) == [4.0]
+        # >= is negated into <=
+        assert b_ub[1] == -1.0
+        assert a_ub.toarray()[1, 0] == -1.0
+
+    def test_zero_coefficients_dropped_and_duplicates_summed(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_constraint([("x", 1.0), ("x", 2.0), ("x", 0.0)], "<=", 3.0)
+        a_ub, b_ub, _, _ = lp.matrices()
+        assert a_ub.toarray()[0, 0] == 3.0
+
+    def test_unknown_sense(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_constraint({"x": 1.0}, "<", 1.0)
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_constraint({"ghost": 1.0}, "<=", 1.0)
+
+    def test_empty_constraint_groups_are_none(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_constraint({"x": 1.0}, "<=", 1.0)
+        a_ub, b_ub, a_eq, b_eq = lp.matrices()
+        assert a_eq is None and b_eq is None
+        assert a_ub is not None
+
+    def test_num_constraints(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_constraint({"x": 1.0}, "<=", 1.0)
+        lp.add_constraint({"x": 1.0}, ">=", 0.0)
+        assert lp.num_constraints == 2
+
+    def test_mapping_and_iterable_terms_equivalent(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_variable("y")
+        lp.add_constraint({"x": 1.0, "y": 2.0}, "<=", 3.0)
+        lp.add_constraint([("x", 1.0), ("y", 2.0)], "<=", 3.0)
+        a_ub, _, _, _ = lp.matrices()
+        assert np.allclose(a_ub.toarray()[0], a_ub.toarray()[1])

@@ -1,0 +1,95 @@
+"""Unit tests for the LP solve driver (HiGHS via scipy)."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPInfeasibleError, solve
+
+
+def test_simple_minimization():
+    # min x + 2y  s.t.  x + y >= 4, x <= 3, y <= 5, x,y >= 0  ->  x=3, y=1.
+    lp = LinearProgram("simple")
+    lp.add_variable("x", upper=3.0, objective=1.0)
+    lp.add_variable("y", upper=5.0, objective=2.0)
+    lp.add_constraint({"x": 1.0, "y": 1.0}, ">=", 4.0)
+    sol = solve(lp)
+    assert sol.objective == pytest.approx(5.0)
+    assert sol.value("x") == pytest.approx(3.0)
+    assert sol.value("y") == pytest.approx(1.0)
+
+
+def test_equality_constraints():
+    # min x + y  s.t.  x + y == 2, x - y == 0  ->  x = y = 1.
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.add_variable("y", objective=1.0)
+    lp.add_constraint({"x": 1.0, "y": 1.0}, "==", 2.0)
+    lp.add_constraint({"x": 1.0, "y": -1.0}, "==", 0.0)
+    sol = solve(lp)
+    assert sol.value("x") == pytest.approx(1.0)
+    assert sol.value("y") == pytest.approx(1.0)
+
+
+def test_transportation_lp():
+    """Min-cost flow stated as an LP: classic 2x2 transportation problem."""
+    supply = {"s1": 3.0, "s2": 2.0}
+    demand = {"d1": 4.0, "d2": 1.0}
+    cost = {("s1", "d1"): 1.0, ("s1", "d2"): 3.0, ("s2", "d1"): 2.0, ("s2", "d2"): 1.0}
+    lp = LinearProgram("transport")
+    for key, c in cost.items():
+        lp.add_variable(key, objective=c)
+    for s, cap in supply.items():
+        lp.add_constraint({(s, d): 1.0 for d in demand}, "<=", cap)
+    for d, need in demand.items():
+        lp.add_constraint({(s, d): 1.0 for s in supply}, ">=", need)
+    sol = solve(lp)
+    # Optimal: s1->d1: 3, s2->d1: 1, s2->d2: 1, cost 3 + 2 + 1 = 6.
+    assert sol.objective == pytest.approx(6.0)
+
+
+def test_infeasible_raises():
+    lp = LinearProgram("infeasible")
+    lp.add_variable("x", upper=1.0, objective=1.0)
+    lp.add_constraint({"x": 1.0}, ">=", 2.0)
+    with pytest.raises(LPInfeasibleError):
+        solve(lp)
+
+
+def test_unbounded_raises():
+    lp = LinearProgram("unbounded")
+    lp.add_variable("x", objective=-1.0)  # minimize -x with x unbounded above
+    with pytest.raises(LPInfeasibleError):
+        solve(lp)
+
+
+def test_empty_lp():
+    sol = solve(LinearProgram("empty"))
+    assert sol.objective == 0.0
+    assert sol.values == {}
+
+
+def test_negative_clipping():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.add_constraint({"x": 1.0}, ">=", 0.0)
+    sol = solve(lp)
+    assert sol.value("x") >= 0.0
+
+
+def test_solution_helpers():
+    lp = LinearProgram()
+    lp.add_variable(("x", 0), objective=1.0)
+    lp.add_variable(("x", 1), objective=1.0)
+    lp.add_variable(("y", 0), objective=1.0)
+    lp.add_constraint({("x", 0): 1.0}, ">=", 1.0)
+    lp.add_constraint({("x", 1): 1.0}, ">=", 0.0)
+    lp.add_constraint({("y", 0): 1.0}, ">=", 2.0)
+    sol = solve(lp)
+    assert sol.value(("x", 0)) == pytest.approx(1.0)
+    assert sol.value("ghost", default=7.0) == 7.0
+    with pytest.raises(KeyError):
+        sol.value("ghost")
+    nonzero = sol.nonzero()
+    assert ("y", 0) in nonzero and ("x", 1) not in nonzero
+    group = sol.group("x")
+    assert set(group) == {("x", 0), ("x", 1)}

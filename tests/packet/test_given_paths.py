@@ -1,0 +1,106 @@
+"""Tests for packet coflows with given paths (Section 3.1)."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.packet import PacketGivenPathsLP, PacketGivenPathsScheduler
+
+
+@pytest.fixture
+def line_net():
+    return topologies.line(4)
+
+
+def routed_instance(net, endpoints, weights=None, releases=None):
+    weights = weights or [1.0] * len(endpoints)
+    releases = releases or [0.0] * len(endpoints)
+    coflows = []
+    for (s, d), w, r in zip(endpoints, weights, releases):
+        path = net.shortest_path(s, d)
+        coflows.append(
+            Coflow(flows=(Flow(s, d, size=1.0, release_time=r, path=path),), weight=w)
+        )
+    return CoflowInstance(coflows=coflows)
+
+
+class TestValidation:
+    def test_requires_paths(self, line_net):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("host_0", "host_2", size=1.0),))]
+        )
+        with pytest.raises(ValueError, match="path"):
+            PacketGivenPathsScheduler(instance, line_net)
+
+    def test_requires_unit_sizes(self, line_net):
+        path = line_net.shortest_path("host_0", "host_2")
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("host_0", "host_2", size=2.0, path=path),))]
+        )
+        with pytest.raises(ValueError, match="unit"):
+            PacketGivenPathsScheduler(instance, line_net)
+
+
+class TestLPLowerBound:
+    def test_single_packet_bound_equals_path_length(self, line_net):
+        instance = routed_instance(line_net, [("host_0", "host_3")])
+        relaxation = PacketGivenPathsLP(instance, line_net).relax()
+        # the packet needs at least 3 steps (dilation)
+        assert relaxation.flow_completion[(0, 0)] >= 3.0 - 1e-6
+
+    def test_congestion_reflected(self, line_net):
+        """The LP bound grows once congestion exceeds the interval resolution."""
+        single = routed_instance(line_net, [("host_0", "host_3")])
+        crowded = routed_instance(line_net, [("host_0", "host_3")] * 20)
+        lb_single = max(
+            PacketGivenPathsLP(single, line_net).relax().coflow_completion.values()
+        )
+        lb_crowded = max(
+            PacketGivenPathsLP(crowded, line_net).relax().coflow_completion.values()
+        )
+        # 8 packets share every edge of the path: congestion constraint (28)
+        # forces some of them into later intervals.
+        assert lb_crowded > lb_single + 0.5
+
+    def test_release_times_raise_bound(self, line_net):
+        instance = routed_instance(line_net, [("host_0", "host_3")], releases=[10.0])
+        relaxation = PacketGivenPathsLP(instance, line_net).relax()
+        assert relaxation.flow_completion[(0, 0)] >= 13.0 - 1e-6
+
+    def test_lower_bound_scaling(self, line_net):
+        instance = routed_instance(line_net, [("host_0", "host_2")])
+        relaxation = PacketGivenPathsLP(instance, line_net).relax()
+        assert relaxation.lower_bound == pytest.approx(relaxation.objective / 2.0)
+
+
+class TestScheduler:
+    def test_schedule_feasible_and_above_bound(self, line_net):
+        instance = routed_instance(
+            line_net,
+            [("host_0", "host_3"), ("host_1", "host_3"), ("host_0", "host_2")],
+            weights=[3.0, 1.0, 2.0],
+        )
+        result = PacketGivenPathsScheduler(instance, line_net).schedule()
+        result.schedule.validate(instance, line_net)
+        assert result.objective >= result.lower_bound - 1e-6
+
+    def test_constant_factor_on_contended_line(self, line_net):
+        instance = routed_instance(line_net, [("host_0", "host_3")] * 5)
+        result = PacketGivenPathsScheduler(instance, line_net).schedule()
+        # O(1) approximation in practice: generous constant of 6
+        assert result.approximation_ratio <= 6.0
+
+    def test_heavier_coflow_prioritised(self, line_net):
+        instance = routed_instance(
+            line_net,
+            [("host_0", "host_3"), ("host_0", "host_3")],
+            weights=[100.0, 1.0],
+        )
+        result = PacketGivenPathsScheduler(instance, line_net).schedule()
+        completions = result.schedule.coflow_completion_times(instance)
+        assert completions[0] <= completions[1]
+
+    def test_congestion_dilation_reported(self, line_net):
+        instance = routed_instance(line_net, [("host_0", "host_3")] * 3)
+        result = PacketGivenPathsScheduler(instance, line_net).schedule()
+        assert result.congestion == 3
+        assert result.dilation == 3

@@ -1,0 +1,105 @@
+"""Tests for the Section-3.2 packet algorithm (paths not given)."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.packet import PacketRoutingLP, PacketRoutingScheduler, schedule_packet_coflows
+from repro.packet.routing import default_horizon
+
+
+def packet_instance(endpoints, weights=None, releases=None):
+    weights = weights or [1.0] * len(endpoints)
+    releases = releases or [0.0] * len(endpoints)
+    return CoflowInstance(
+        coflows=[
+            Coflow(flows=(Flow(s, d, size=1.0, release_time=r),), weight=w)
+            for (s, d), w, r in zip(endpoints, weights, releases)
+        ]
+    )
+
+
+@pytest.fixture
+def triangle():
+    return topologies.triangle()
+
+
+class TestValidation:
+    def test_unit_sizes_enforced(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=3.0),))]
+        )
+        with pytest.raises(ValueError, match="unit"):
+            PacketRoutingScheduler(instance, triangle)
+
+    def test_integral_releases_enforced(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=1.0, release_time=0.5),))]
+        )
+        with pytest.raises(ValueError, match="integral"):
+            PacketRoutingScheduler(instance, triangle)
+
+    def test_default_horizon_safe(self, triangle):
+        instance = packet_instance([("x", "y"), ("y", "z"), ("z", "x")])
+        assert default_horizon(instance, triangle) >= 3
+
+
+class TestLP:
+    def test_single_packet_lower_bound(self, triangle):
+        instance = packet_instance([("x", "z")])
+        relaxation = PacketRoutingLP(instance, triangle, horizon=6).relax()
+        # one hop suffices (direct edge z exists? x->z is 1 hop on the triangle)
+        assert relaxation.flow_completion[(0, 0)] >= 1.0 - 1e-6
+        assert abs(relaxation.arrival_mass[(0, 0)].sum() - 1.0) < 1e-6
+
+    def test_contention_raises_bound(self):
+        net = topologies.line(3)
+        instance = packet_instance([("host_0", "host_2")] * 3)
+        relaxation = PacketRoutingLP(instance, net, horizon=10).relax()
+        # 3 packets over the same 2-hop line: the last arrives at >= 4... LP >= 3
+        assert max(relaxation.coflow_completion.values()) >= 3.0 - 1e-6
+
+    def test_release_times_delay_arrival(self, triangle):
+        instance = packet_instance([("x", "y")], releases=[4.0])
+        relaxation = PacketRoutingLP(instance, triangle, horizon=10).relax()
+        assert relaxation.flow_completion[(0, 0)] >= 5.0 - 1e-6
+        mass = relaxation.arrival_mass[(0, 0)]
+        assert mass[:5].sum() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestScheduler:
+    def test_end_to_end_small(self, triangle):
+        instance = packet_instance(
+            [("x", "y"), ("y", "z"), ("z", "x"), ("x", "z")], weights=[1, 2, 1, 3]
+        )
+        result = PacketRoutingScheduler(instance, triangle, seed=1).schedule()
+        result.schedule.validate(instance, triangle)
+        assert result.objective >= result.lower_bound - 1e-6
+        assert set(result.paths) == set(instance.flow_ids())
+
+    def test_ratio_is_constant_factor_in_practice(self):
+        net = topologies.ring(5)
+        endpoints = [(f"host_{i}", f"host_{(i + 2) % 5}") for i in range(5)]
+        instance = packet_instance(endpoints)
+        result = PacketRoutingScheduler(instance, net, seed=0).schedule()
+        assert result.approximation_ratio <= 8.0
+
+    def test_batches_cover_all_packets(self, triangle):
+        instance = packet_instance([("x", "y"), ("y", "x"), ("x", "z")])
+        result = PacketRoutingScheduler(instance, triangle, seed=0).schedule()
+        assert set(result.assigned_intervals) == set(instance.flow_ids())
+
+    def test_dispatcher_selects_routing_variant(self, triangle):
+        instance = packet_instance([("x", "y"), ("y", "z")])
+        outcome = schedule_packet_coflows(instance, triangle, seed=0)
+        assert outcome.variant == "routing"
+        assert outcome.objective >= outcome.lower_bound - 1e-6
+
+    def test_dispatcher_selects_given_paths_variant(self, triangle):
+        instance = packet_instance([("x", "y"), ("y", "z")])
+        routed = instance.with_paths(
+            {fid: triangle.shortest_path(instance.flow(fid).source, instance.flow(fid).destination)
+             for fid in instance.flow_ids()}
+        )
+        outcome = schedule_packet_coflows(routed, triangle)
+        assert outcome.variant == "given-paths"
+        outcome.schedule.validate(routed, triangle)

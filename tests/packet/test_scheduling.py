@@ -1,0 +1,118 @@
+"""Tests for the store-and-forward list scheduler and its quality measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.core.schedule import ScheduleError
+from repro.packet import congestion, dilation, list_schedule_packets
+
+
+def packet_instance(endpoints, releases=None):
+    releases = releases or [0.0] * len(endpoints)
+    return CoflowInstance(
+        coflows=[
+            Coflow(flows=(Flow(s, d, size=1.0, release_time=r),))
+            for (s, d), r in zip(endpoints, releases)
+        ]
+    )
+
+
+class TestMeasures:
+    def test_congestion(self):
+        paths = {
+            (0, 0): ["a", "b", "c"],
+            (1, 0): ["d", "b", "c"],
+            (2, 0): ["a", "b"],
+        }
+        # edge (b, c) is shared by two packets
+        assert congestion(paths) == 2
+
+    def test_dilation(self):
+        paths = {(0, 0): ["a", "b"], (1, 0): ["a", "b", "c", "d"]}
+        assert dilation(paths) == 3
+
+    def test_empty(self):
+        assert congestion({}) == 0
+        assert dilation({}) == 0
+
+
+class TestListScheduling:
+    def test_single_packet_goes_straight_through(self):
+        net = topologies.line(4)
+        instance = packet_instance([("host_0", "host_3")])
+        paths = {(0, 0): net.shortest_path("host_0", "host_3")}
+        schedule = list_schedule_packets(instance, paths)
+        schedule.validate(instance, net)
+        assert schedule.packet_completion_time((0, 0)) == 3
+
+    def test_contending_packets_serialised_by_priority(self):
+        net = topologies.line(3)
+        instance = packet_instance([("host_0", "host_2"), ("host_0", "host_2")])
+        paths = {fid: net.shortest_path("host_0", "host_2") for fid in instance.flow_ids()}
+        schedule = list_schedule_packets(
+            instance, paths, priority={(0, 0): 1.0, (1, 0): 0.0}
+        )
+        schedule.validate(instance, net)
+        # the prioritised packet (1, 0) arrives first
+        assert schedule.packet_completion_time((1, 0)) < schedule.packet_completion_time((0, 0))
+
+    def test_release_times_respected(self):
+        net = topologies.line(3)
+        instance = packet_instance([("host_0", "host_2")], releases=[4.0])
+        paths = {(0, 0): net.shortest_path("host_0", "host_2")}
+        schedule = list_schedule_packets(instance, paths)
+        assert schedule.moves((0, 0))[0].time >= 4
+
+    def test_initial_delays_respected(self):
+        net = topologies.line(3)
+        instance = packet_instance([("host_0", "host_2")])
+        paths = {(0, 0): net.shortest_path("host_0", "host_2")}
+        schedule = list_schedule_packets(instance, paths, initial_delays={(0, 0): 3})
+        assert schedule.moves((0, 0))[0].time >= 3
+
+    def test_missing_path_raises(self):
+        instance = packet_instance([("host_0", "host_2")])
+        with pytest.raises(ScheduleError):
+            list_schedule_packets(instance, {})
+
+    def test_makespan_bounded_by_congestion_plus_dilation_chain(self):
+        """On a shared line, makespan <= congestion + dilation - 1 for FIFO."""
+        net = topologies.line(5)
+        k = 4
+        instance = packet_instance([("host_0", "host_4")] * k)
+        paths = {fid: net.shortest_path("host_0", "host_4") for fid in instance.flow_ids()}
+        schedule = list_schedule_packets(instance, paths)
+        schedule.validate(instance, net)
+        c, d = congestion(paths), dilation(paths)
+        assert schedule.makespan() <= c + d  # pipeline: exactly c + d - 1 here
+        assert schedule.makespan() >= max(c, d)
+
+
+@given(
+    num_packets=st.integers(min_value=1, max_value=8),
+    ring_size=st.integers(min_value=3, max_value=7),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_list_schedule_always_feasible_and_bounded(num_packets, ring_size, seed):
+    """Random packets on a ring: schedule is always feasible and O(C + D)."""
+    import random
+
+    rng = random.Random(seed)
+    net = topologies.ring(ring_size)
+    hosts = [f"host_{i}" for i in range(ring_size)]
+    endpoints = []
+    for _ in range(num_packets):
+        s, d = rng.sample(hosts, 2)
+        endpoints.append((s, d))
+    instance = packet_instance(endpoints)
+    paths = {
+        fid: net.shortest_path(*endpoints[fid[0]]) for fid in instance.flow_ids()
+    }
+    schedule = list_schedule_packets(instance, paths)
+    schedule.validate(instance, net)
+    c, d = congestion(paths), dilation(paths)
+    assert schedule.makespan() >= max(c, d)
+    assert schedule.makespan() <= (c + 1) * (d + 1)

@@ -1,0 +1,89 @@
+"""Tests for the per-interval packet routing + scheduling subroutine."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.packet import route_and_schedule, route_packets
+from repro.packet.scheduling import congestion, dilation
+
+
+def packet_instance(endpoints):
+    return CoflowInstance(
+        coflows=[Coflow(flows=(Flow(s, d, size=1.0),)) for s, d in endpoints]
+    )
+
+
+@pytest.fixture
+def fat_tree():
+    return topologies.fat_tree(4)
+
+
+class TestRouting:
+    def test_paths_connect_endpoints(self, fat_tree):
+        instance = packet_instance([("host_0", "host_15"), ("host_1", "host_14")])
+        routing = route_packets(instance, fat_tree, seed=0)
+        for fid, path in routing.paths.items():
+            flow = instance.flow(fid)
+            assert path[0] == flow.source and path[-1] == flow.destination
+            fat_tree.validate_path(list(path))
+
+    def test_congestion_spread_over_equal_cost_paths(self, fat_tree):
+        """Many packets between the same pods spread over the 4 core routes."""
+        endpoints = [("host_0", "host_15")] * 8
+        instance = packet_instance(endpoints)
+        routing = route_packets(instance, fat_tree, seed=1)
+        # The shared host uplink makes congestion 8 unavoidable, but the
+        # greedy router must still spread the packets across several of the
+        # four equal-cost core routes instead of piling onto one.
+        assert routing.congestion == 8
+        assert routing.dilation == 6
+        assert routing.lower_bound == max(routing.congestion, routing.dilation)
+        cores_used = {
+            node
+            for path in routing.paths.values()
+            for node in path
+            if str(node).startswith("core_")
+        }
+        assert len(cores_used) >= 2
+
+    def test_preferred_paths_kept(self, fat_tree):
+        instance = packet_instance([("host_0", "host_1")])
+        preferred = {(0, 0): tuple(fat_tree.shortest_path("host_0", "host_1"))}
+        routing = route_packets(instance, fat_tree, preferred=preferred, seed=0)
+        assert routing.paths[(0, 0)] == preferred[(0, 0)]
+
+    def test_deterministic_given_seed(self, fat_tree):
+        instance = packet_instance([("host_0", "host_15")] * 4)
+        a = route_packets(instance, fat_tree, seed=3).paths
+        b = route_packets(instance, fat_tree, seed=3).paths
+        assert a == b
+
+
+class TestRouteAndSchedule:
+    def test_schedule_feasible_and_near_optimal(self, fat_tree):
+        endpoints = [("host_0", "host_15"), ("host_2", "host_13"), ("host_4", "host_11")]
+        instance = packet_instance(endpoints)
+        routing, schedule = route_and_schedule(instance, fat_tree, seed=0)
+        schedule.validate(instance, fat_tree)
+        c, d = routing.congestion, routing.dilation
+        assert schedule.makespan() >= max(c, d)
+        # O(C + D) with a small constant in practice
+        assert schedule.makespan() <= 3 * (c + d)
+
+    def test_contended_destination(self):
+        net = topologies.star(6)
+        # every packet targets host_0: its downlink is the bottleneck
+        endpoints = [(f"host_{i}", "host_0") for i in range(1, 6)]
+        instance = packet_instance(endpoints)
+        routing, schedule = route_and_schedule(instance, net, seed=0)
+        schedule.validate(instance, net)
+        assert routing.congestion == 5
+        assert schedule.makespan() >= 5
+        assert schedule.makespan() <= 2 * (routing.congestion + routing.dilation)
+
+    def test_priorities_bias_completion(self, fat_tree):
+        endpoints = [("host_0", "host_15")] * 2
+        instance = packet_instance(endpoints)
+        priority = {(0, 0): 5.0, (1, 0): 0.0}
+        _, schedule = route_and_schedule(instance, fat_tree, seed=2, priority=priority)
+        assert schedule.packet_completion_time((1, 0)) <= schedule.packet_completion_time((0, 0))

@@ -1,0 +1,77 @@
+"""Tests for time-expanded graphs (Figure 2)."""
+
+import pytest
+
+from repro.core import topologies
+from repro.packet import TimeExpandedGraph
+
+
+@pytest.fixture
+def line_gt():
+    return TimeExpandedGraph(network=topologies.line(3), horizon=2)
+
+
+class TestStructure:
+    def test_counts(self, line_gt):
+        net = line_gt.network
+        assert line_gt.num_nodes == net.num_nodes * 3
+        assert line_gt.num_movement_edges == net.num_edges * 2
+        assert line_gt.num_queue_edges == net.num_nodes * 2
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            TimeExpandedGraph(network=topologies.line(3), horizon=0)
+
+    def test_node_bounds_checked(self, line_gt):
+        line_gt.node("host_0", 0)
+        line_gt.node("host_2", 2)
+        with pytest.raises(ValueError):
+            line_gt.node("host_0", 3)
+        with pytest.raises(ValueError):
+            line_gt.node("ghost", 0)
+
+    def test_movement_edges_at_step(self, line_gt):
+        edges = list(line_gt.movement_edges(t=1))
+        assert (("host_0", 1), ("host_1", 2)) in edges
+        assert all(a[1] == 1 and b[1] == 2 for a, b in edges)
+        with pytest.raises(ValueError):
+            list(line_gt.movement_edges(t=2))
+
+    def test_queue_edges(self, line_gt):
+        edges = list(line_gt.queue_edges(t=0))
+        assert (("host_1", 0), ("host_1", 1)) in edges
+        assert len(edges) == line_gt.network.num_nodes
+
+    def test_all_edges_count(self, line_gt):
+        assert (
+            len(list(line_gt.edges()))
+            == line_gt.num_movement_edges + line_gt.num_queue_edges
+        )
+
+    def test_out_edges(self, line_gt):
+        out = line_gt.out_edges(("host_1", 0))
+        targets = {edge[1] for edge in out}
+        assert ("host_1", 1) in targets  # queue edge
+        assert ("host_0", 1) in targets and ("host_2", 1) in targets
+        assert line_gt.out_edges(("host_0", 2)) == []
+
+    def test_in_edges(self, line_gt):
+        into = line_gt.in_edges(("host_1", 1))
+        sources = {edge[0] for edge in into}
+        assert ("host_1", 0) in sources
+        assert ("host_0", 0) in sources and ("host_2", 0) in sources
+        assert line_gt.in_edges(("host_1", 0)) == []
+
+
+class TestHelpers:
+    def test_is_queue_edge(self):
+        assert TimeExpandedGraph.is_queue_edge((("a", 0), ("a", 1)))
+        assert not TimeExpandedGraph.is_queue_edge((("a", 0), ("b", 1)))
+
+    def test_collapse_path_drops_waits(self):
+        tpath = [("a", 0), ("a", 1), ("b", 2), ("b", 3), ("c", 4)]
+        assert TimeExpandedGraph.collapse_path(tpath) == ["a", "b", "c"]
+
+    def test_path_departure_times(self):
+        tpath = [("a", 0), ("a", 1), ("b", 2), ("c", 3)]
+        assert TimeExpandedGraph.path_departure_times(tpath) == [1, 2]

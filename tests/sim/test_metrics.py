@@ -1,0 +1,58 @@
+"""Tests for cross-scheme comparison metrics."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.sim import (
+    FlowLevelSimulator,
+    SchemeComparison,
+    SimulationPlan,
+    improvement_percent,
+)
+
+
+def test_improvement_percent():
+    assert improvement_percent(reference=200.0, value=100.0) == pytest.approx(100.0)
+    assert improvement_percent(reference=122.0, value=100.0) == pytest.approx(22.0)
+    assert improvement_percent(reference=100.0, value=100.0) == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        improvement_percent(100.0, 0.0)
+
+
+@pytest.fixture
+def comparison():
+    net = topologies.triangle()
+    instance = CoflowInstance(
+        coflows=[
+            Coflow(flows=(Flow("x", "y", size=2.0),), weight=1.0),
+            Coflow(flows=(Flow("x", "y", size=1.0),), weight=1.0),
+        ]
+    )
+    paths = {(0, 0): ("x", "y"), (1, 0): ("x", "y")}
+    sim = FlowLevelSimulator(net)
+    cmp = SchemeComparison()
+    cmp.add(sim.run(instance, SimulationPlan(paths=paths, order=[(0, 0), (1, 0)], name="big-first")))
+    cmp.add(sim.run(instance, SimulationPlan(paths=paths, order=[(1, 0), (0, 0)], name="small-first")))
+    return cmp
+
+
+def test_values_and_schemes(comparison):
+    assert set(comparison.schemes()) == {"big-first", "small-first"}
+    # big first: 2 + 3 = 5; small first: 1 + 3 = 4
+    assert comparison.value("big-first") == pytest.approx(5.0)
+    assert comparison.value("small-first") == pytest.approx(4.0)
+
+
+def test_ratios(comparison):
+    ratios = comparison.ratios_to("big-first")
+    assert ratios["big-first"] == pytest.approx(1.0)
+    assert ratios["small-first"] == pytest.approx(0.8)
+
+
+def test_improvement_over(comparison):
+    assert comparison.improvement_over("small-first", "big-first") == pytest.approx(25.0)
+
+
+def test_missing_scheme_raises(comparison):
+    with pytest.raises(KeyError):
+        comparison.value("nonexistent")

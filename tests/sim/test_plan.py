@@ -1,0 +1,79 @@
+"""Tests for the SimulationPlan interface between schedulers and the simulator."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.sim import SimulationPlan
+
+
+@pytest.fixture
+def triangle():
+    return topologies.triangle()
+
+
+@pytest.fixture
+def instance():
+    return CoflowInstance(
+        coflows=[
+            Coflow(flows=(Flow("x", "y", size=1.0), Flow("y", "z", size=2.0))),
+            Coflow(flows=(Flow("z", "x", size=1.0),)),
+        ]
+    )
+
+
+def full_paths(instance, network):
+    return {
+        (i, j): tuple(network.shortest_path(f.source, f.destination))
+        for i, j, f in instance.iter_flows()
+    }
+
+
+def test_normalized_appends_missing_flows(instance, triangle):
+    plan = SimulationPlan(paths=full_paths(instance, triangle), order=[(1, 0)], name="p")
+    normalized = plan.normalized(instance)
+    assert normalized.order[0] == (1, 0)
+    assert set(normalized.order) == set(instance.flow_ids())
+    assert len(normalized.order) == instance.num_flows
+
+
+def test_normalized_requires_all_paths(instance, triangle):
+    plan = SimulationPlan(paths={(0, 0): ("x", "y")}, order=[], name="p")
+    with pytest.raises(ValueError, match="missing paths"):
+        plan.normalized(instance)
+
+
+def test_validate_checks_endpoints_and_edges(instance, triangle):
+    paths = full_paths(instance, triangle)
+    paths[(0, 1)] = ("y", "x")  # wrong destination
+    plan = SimulationPlan(paths=paths, order=instance.flow_ids(), name="p")
+    with pytest.raises(ValueError, match="endpoints"):
+        plan.validate(instance, triangle)
+
+    paths = full_paths(instance, triangle)
+    paths[(0, 0)] = ("x", "ghost", "y")
+    plan = SimulationPlan(paths=paths, order=instance.flow_ids(), name="p")
+    with pytest.raises(ValueError):
+        plan.validate(instance, triangle)
+
+
+def test_validate_requires_every_flow(instance, triangle):
+    paths = full_paths(instance, triangle)
+    del paths[(1, 0)]
+    plan = SimulationPlan(paths=paths, order=instance.flow_ids(), name="p")
+    with pytest.raises(ValueError, match="no path"):
+        plan.validate(instance, triangle)
+
+
+def test_priority_rank_order(instance, triangle):
+    plan = SimulationPlan(
+        paths=full_paths(instance, triangle), order=[(1, 0), (0, 1), (0, 0)], name="p"
+    )
+    ranks = plan.priority_rank()
+    assert ranks[(1, 0)] == 0 and ranks[(0, 0)] == 2
+
+
+def test_normalized_preserves_name_and_paths(instance, triangle):
+    plan = SimulationPlan(paths=full_paths(instance, triangle), order=[], name="scheme-x")
+    normalized = plan.normalized(instance)
+    assert normalized.name == "scheme-x"
+    assert normalized.paths == plan.paths

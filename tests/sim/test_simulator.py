@@ -1,0 +1,172 @@
+"""Tests for the flow-level event-driven simulator."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.sim import FlowLevelSimulator, SimulationPlan
+
+
+@pytest.fixture
+def triangle():
+    return topologies.triangle()
+
+
+def plan_for(instance, network, order=None, name="test"):
+    paths = {
+        (i, j): tuple(network.shortest_path(f.source, f.destination))
+        for i, j, f in instance.iter_flows()
+    }
+    return SimulationPlan(paths=paths, order=order or instance.flow_ids(), name=name)
+
+
+class TestSingleFlow:
+    def test_completion_is_size_over_capacity(self, triangle):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "y", size=3.0),))])
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.flow_completion[(0, 0)] == pytest.approx(3.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_release_time_delays_start(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=2.0, release_time=5.0),))]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.flow_start[(0, 0)] == pytest.approx(5.0)
+        assert result.flow_completion[(0, 0)] == pytest.approx(7.0)
+
+    def test_zero_size_flow(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=0.0, release_time=2.0), Flow("y", "z", size=1.0)))
+            ]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.flow_completion[(0, 0)] == pytest.approx(2.0)
+        assert result.flow_completion[(0, 1)] == pytest.approx(1.0)
+
+
+class TestContention:
+    def test_priority_order_serialises_shared_edge(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle, order=[(1, 0), (0, 0)])
+        result = FlowLevelSimulator(triangle).run(instance, plan)
+        # flow (1, 0) has priority: finishes at 1; flow (0, 0) then at 3
+        assert result.flow_completion[(1, 0)] == pytest.approx(1.0)
+        assert result.flow_completion[(0, 0)] == pytest.approx(3.0)
+
+    def test_reversed_priority(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle, order=[(0, 0), (1, 0)])
+        result = FlowLevelSimulator(triangle).run(instance, plan)
+        assert result.flow_completion[(0, 0)] == pytest.approx(2.0)
+        assert result.flow_completion[(1, 0)] == pytest.approx(3.0)
+
+    def test_disjoint_paths_run_in_parallel(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0),)),
+                Coflow(flows=(Flow("y", "z", size=2.0),)),
+            ]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_work_conservation_after_completion(self, triangle):
+        """A blocked flow picks up the freed bandwidth immediately."""
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+            ]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        # back-to-back, no idle gap: second finishes exactly at 2
+        assert result.flow_completion[(1, 0)] == pytest.approx(2.0)
+
+    def test_later_release_backfills(self, triangle):
+        """A later-released lower-priority flow cannot delay an earlier one."""
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=4.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0, release_time=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle, order=[(0, 0), (1, 0)])
+        result = FlowLevelSimulator(triangle).run(instance, plan)
+        assert result.flow_completion[(0, 0)] == pytest.approx(4.0)
+        assert result.flow_completion[(1, 0)] == pytest.approx(5.0)
+
+
+class TestRealisedSchedule:
+    def test_schedule_is_feasible_and_matches_completions(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0), Flow("y", "z", size=1.0)), weight=2.0),
+                Coflow(flows=(Flow("x", "y", size=1.0),), weight=1.0),
+            ]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        result.schedule.validate(instance, triangle)
+        for fid, completion in result.flow_completion.items():
+            flow = instance.flow(fid)
+            if flow.size > 0:
+                assert result.schedule.flow_completion_time(fid, size=flow.size) == pytest.approx(
+                    completion, rel=1e-6
+                )
+
+    def test_breakdown_consistency(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0),), weight=3.0),
+                Coflow(flows=(Flow("y", "z", size=1.0),), weight=1.0),
+            ]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.weighted_completion_time == pytest.approx(3.0 * 2.0 + 1.0 * 1.0)
+        assert result.total_completion_time == pytest.approx(3.0)
+        assert result.average_completion_time == pytest.approx(1.5)
+
+
+class TestPlanValidation:
+    def test_missing_path_raises(self, triangle):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "y", size=1.0),))])
+        plan = SimulationPlan(paths={}, order=[], name="broken")
+        with pytest.raises(ValueError, match="missing paths"):
+            FlowLevelSimulator(triangle).run(instance, plan)
+
+    def test_wrong_endpoints_raise(self, triangle):
+        instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "y", size=1.0),))])
+        plan = SimulationPlan(paths={(0, 0): ("y", "z")}, order=[(0, 0)], name="broken")
+        with pytest.raises(ValueError, match="endpoints"):
+            FlowLevelSimulator(triangle).run(instance, plan)
+
+    def test_partial_order_is_completed(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+                Coflow(flows=(Flow("y", "z", size=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle, order=[(1, 0)])
+        result = FlowLevelSimulator(triangle).run(instance, plan)
+        assert set(result.flow_completion) == {(0, 0), (1, 0)}
+
+    def test_priority_rank(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+                Coflow(flows=(Flow("y", "z", size=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle, order=[(1, 0), (0, 0)])
+        assert plan.priority_rank() == {(1, 0): 0, (0, 0): 1}

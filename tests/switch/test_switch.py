@@ -1,0 +1,97 @@
+"""Tests for the non-blocking-switch special case."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.switch import (
+    SwitchScheduler,
+    attach_switch_paths,
+    coflow_isolation_bottleneck,
+    switch_lower_bound,
+)
+
+
+@pytest.fixture
+def switch():
+    return topologies.nonblocking_switch(6, port_capacity=1.0)
+
+
+@pytest.fixture
+def instance():
+    return CoflowInstance(
+        coflows=[
+            Coflow(
+                flows=(
+                    Flow("host_0", "host_1", size=2.0),
+                    Flow("host_0", "host_2", size=1.0),
+                ),
+                weight=2.0,
+            ),
+            Coflow(flows=(Flow("host_3", "host_1", size=1.0),), weight=1.0),
+        ]
+    )
+
+
+class TestPaths:
+    def test_attach_switch_paths(self, switch, instance):
+        routed = attach_switch_paths(instance, switch)
+        assert routed.all_paths_given
+        for _, _, flow in routed.iter_flows():
+            assert flow.path == (flow.source, "switch", flow.destination)
+
+    def test_requires_switch_topology(self, instance):
+        net = topologies.triangle()
+        with pytest.raises(ValueError, match="switch"):
+            attach_switch_paths(instance, net)
+
+    def test_unknown_port_rejected(self, switch):
+        bad = CoflowInstance(coflows=[Coflow(flows=(Flow("ghost", "host_1", size=1.0),))])
+        with pytest.raises(ValueError):
+            attach_switch_paths(bad, switch)
+
+
+class TestBounds:
+    def test_isolation_bottleneck(self, switch, instance):
+        # coflow 0 sends 3 units out of host_0's 1-capacity uplink
+        assert coflow_isolation_bottleneck(instance, switch, 0) == pytest.approx(3.0)
+        assert coflow_isolation_bottleneck(instance, switch, 1) == pytest.approx(1.0)
+
+    def test_ingress_bottleneck_detected(self, switch):
+        # two flows into host_1's downlink
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(
+                    flows=(
+                        Flow("host_0", "host_1", size=2.0),
+                        Flow("host_2", "host_1", size=2.0),
+                    )
+                )
+            ]
+        )
+        assert coflow_isolation_bottleneck(instance, switch, 0) == pytest.approx(4.0)
+
+    def test_release_time_added(self, switch):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("host_0", "host_1", size=1.0, release_time=5.0),))]
+        )
+        assert coflow_isolation_bottleneck(instance, switch, 0) == pytest.approx(6.0)
+
+    def test_switch_lower_bound_weighted(self, switch, instance):
+        assert switch_lower_bound(instance, switch) == pytest.approx(2.0 * 3.0 + 1.0 * 1.0)
+
+
+class TestScheduler:
+    def test_end_to_end(self, switch, instance):
+        outcome = SwitchScheduler(instance, switch).schedule()
+        # both back-ends respect the combinatorial lower bound
+        assert outcome.rounded.objective >= outcome.combinatorial_lower_bound - 1e-6
+        assert (
+            outcome.simulated.weighted_completion_time
+            >= outcome.combinatorial_lower_bound - 1e-6
+        )
+        # the provable schedule is feasible
+        outcome.rounded.schedule.validate(outcome.instance, switch)
+
+    def test_lp_bound_not_above_simulated(self, switch, instance):
+        outcome = SwitchScheduler(instance, switch).schedule()
+        assert outcome.lp_lower_bound <= outcome.simulated.weighted_completion_time + 1e-6

@@ -1,0 +1,123 @@
+"""Tests for the Poisson workload generator."""
+
+import pytest
+
+from repro.core import topologies
+from repro.core.topologies import host_nodes
+from repro.workloads import CoflowGenerator, WorkloadConfig, generate_instance
+
+
+@pytest.fixture
+def fat_tree():
+    return topologies.fat_tree(4)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = WorkloadConfig()
+        assert config.num_coflows == 10
+        assert config.coflow_width == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_coflows=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(coflow_width=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mean_flow_size=0.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mean_weight=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(release_rate=0.0)
+
+    def test_with_helpers(self):
+        config = WorkloadConfig(num_coflows=10, coflow_width=16, seed=3)
+        assert config.with_width(32).coflow_width == 32
+        assert config.with_num_coflows(25).num_coflows == 25
+        assert config.with_seed(9).seed == 9
+        # original untouched
+        assert config.coflow_width == 16
+
+
+class TestGenerator:
+    def test_shape_matches_config(self, fat_tree):
+        config = WorkloadConfig(num_coflows=5, coflow_width=7, seed=0)
+        instance = CoflowGenerator(fat_tree, config).instance()
+        assert instance.num_coflows == 5
+        assert all(c.width == 7 for c in instance)
+
+    def test_deterministic_given_seed(self, fat_tree):
+        config = WorkloadConfig(num_coflows=3, coflow_width=4, seed=12)
+        a = CoflowGenerator(fat_tree, config).instance()
+        b = CoflowGenerator(fat_tree, config).instance()
+        for (i, j, fa), (_, _, fb) in zip(a.iter_flows(), b.iter_flows()):
+            assert (fa.source, fa.destination, fa.size, fa.release_time) == (
+                fb.source,
+                fb.destination,
+                fb.size,
+                fb.release_time,
+            )
+
+    def test_seed_offset_changes_instance(self, fat_tree):
+        generator = CoflowGenerator(fat_tree, WorkloadConfig(num_coflows=3, coflow_width=4, seed=12))
+        a = generator.instance(seed_offset=0)
+        b = generator.instance(seed_offset=1)
+        assert any(
+            fa.size != fb.size or fa.source != fb.source
+            for (_, _, fa), (_, _, fb) in zip(a.iter_flows(), b.iter_flows())
+        )
+
+    def test_endpoints_are_distinct_hosts(self, fat_tree):
+        instance = CoflowGenerator(
+            fat_tree, WorkloadConfig(num_coflows=4, coflow_width=8, seed=1)
+        ).instance()
+        hosts = set(host_nodes(fat_tree))
+        for _, _, flow in instance.iter_flows():
+            assert flow.source in hosts
+            assert flow.destination in hosts
+            assert flow.source != flow.destination
+
+    def test_sizes_and_weights_at_least_one(self, fat_tree):
+        instance = CoflowGenerator(
+            fat_tree, WorkloadConfig(num_coflows=6, coflow_width=6, seed=2)
+        ).instance()
+        assert all(f.size >= 1.0 for _, _, f in instance.iter_flows())
+        assert all(c.weight >= 1.0 for c in instance)
+
+    def test_unit_sizes_flag(self, fat_tree):
+        instance = CoflowGenerator(
+            fat_tree, WorkloadConfig(num_coflows=3, coflow_width=3, unit_sizes=True, seed=0)
+        ).instance()
+        assert all(f.size == 1.0 for _, _, f in instance.iter_flows())
+
+    def test_release_times_monotone_within_coflow(self, fat_tree):
+        instance = CoflowGenerator(
+            fat_tree, WorkloadConfig(num_coflows=2, coflow_width=5, release_rate=2.0, seed=4)
+        ).instance()
+        for coflow in instance:
+            releases = [f.release_time for f in coflow.flows]
+            assert releases == sorted(releases)
+            assert all(r > 0 for r in releases)
+
+    def test_no_release_rate_means_time_zero(self, fat_tree):
+        instance = CoflowGenerator(
+            fat_tree, WorkloadConfig(num_coflows=2, coflow_width=3, release_rate=None, seed=4)
+        ).instance()
+        assert all(f.release_time == 0.0 for _, _, f in instance.iter_flows())
+
+    def test_instances_batch(self, fat_tree):
+        generator = CoflowGenerator(fat_tree, WorkloadConfig(num_coflows=2, coflow_width=2, seed=0))
+        batch = generator.instances(4)
+        assert len(batch) == 4
+
+    def test_requires_hosts(self):
+        from repro.core import Network
+
+        net = Network()
+        net.add_edge("a", "b")
+        with pytest.raises(ValueError, match="host"):
+            CoflowGenerator(net, WorkloadConfig())
+
+    def test_generate_instance_wrapper(self, fat_tree):
+        instance = generate_instance(fat_tree, WorkloadConfig(num_coflows=2, coflow_width=2))
+        assert instance.num_coflows == 2

@@ -1,0 +1,79 @@
+"""Tests for JSON serialization of coflow instances."""
+
+import pytest
+
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.workloads import (
+    CoflowGenerator,
+    WorkloadConfig,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+
+
+@pytest.fixture
+def instance():
+    return CoflowInstance(
+        coflows=[
+            Coflow(
+                flows=(
+                    Flow("a", "b", size=2.5, release_time=1.0, path=["a", "m", "b"]),
+                    Flow("b", "c", size=1.0),
+                ),
+                weight=2.0,
+                name="first",
+            ),
+            Coflow(flows=(Flow("c", "a", size=3.0),), weight=1.5),
+        ],
+        name="example",
+    )
+
+
+def equivalent(a, b):
+    if a.num_coflows != b.num_coflows or a.name != b.name:
+        return False
+    for ca, cb in zip(a, b):
+        if ca.weight != cb.weight or ca.name != cb.name or len(ca) != len(cb):
+            return False
+        for fa, fb in zip(ca.flows, cb.flows):
+            if (fa.source, fa.destination, fa.size, fa.release_time, fa.path) != (
+                fb.source,
+                fb.destination,
+                fb.size,
+                fb.release_time,
+                fb.path,
+            ):
+                return False
+    return True
+
+
+def test_dict_roundtrip(instance):
+    assert equivalent(instance_from_dict(instance_to_dict(instance)), instance)
+
+
+def test_file_roundtrip(instance, tmp_path):
+    path = tmp_path / "instance.json"
+    save_instance(instance, path)
+    assert equivalent(load_instance(path), instance)
+
+
+def test_generated_instance_roundtrip(tmp_path):
+    net = topologies.fat_tree(4)
+    instance = CoflowGenerator(net, WorkloadConfig(num_coflows=3, coflow_width=3, seed=1)).instance()
+    path = tmp_path / "generated.json"
+    save_instance(instance, path)
+    assert equivalent(load_instance(path), instance)
+
+
+def test_defaults_on_partial_dict():
+    data = {
+        "coflows": [
+            {"flows": [{"source": "a", "destination": "b"}]},
+        ]
+    }
+    instance = instance_from_dict(data)
+    assert instance[0].weight == 1.0
+    assert instance.flow((0, 0)).size == 1.0
+    assert instance.flow((0, 0)).path is None

@@ -1,0 +1,73 @@
+"""Tests for synthetic application traces."""
+
+import pytest
+
+from repro.core import topologies
+from repro.workloads import broadcast, heavy_tailed_instance, mapreduce_shuffle
+
+
+@pytest.fixture
+def fat_tree():
+    return topologies.fat_tree(4)
+
+
+class TestShuffle:
+    def test_all_to_all_structure(self, fat_tree):
+        instance = mapreduce_shuffle(
+            fat_tree, num_jobs=2, mappers_per_job=3, reducers_per_job=2, bytes_per_pair=4.0
+        )
+        assert instance.num_coflows == 2
+        for coflow in instance:
+            assert coflow.width == 3 * 2
+            sources = {f.source for f in coflow.flows}
+            destinations = {f.destination for f in coflow.flows}
+            assert len(sources) == 3 and len(destinations) == 2
+            assert sources.isdisjoint(destinations)
+            assert all(f.size == 4.0 for f in coflow.flows)
+
+    def test_release_gap(self, fat_tree):
+        instance = mapreduce_shuffle(fat_tree, num_jobs=3, release_gap=5.0)
+        assert [c.release_time for c in instance] == [0.0, 5.0, 10.0]
+
+    def test_too_many_endpoints(self):
+        net = topologies.nonblocking_switch(4)
+        with pytest.raises(ValueError):
+            mapreduce_shuffle(net, mappers_per_job=3, reducers_per_job=3)
+
+    def test_invalid_args(self, fat_tree):
+        with pytest.raises(ValueError):
+            mapreduce_shuffle(fat_tree, num_jobs=0)
+
+
+class TestBroadcast:
+    def test_structure(self, fat_tree):
+        instance = broadcast(fat_tree, num_receivers=5, volume_per_receiver=3.0)
+        assert instance.num_coflows == 1
+        coflow = instance[0]
+        assert coflow.width == 5
+        senders = {f.source for f in coflow.flows}
+        assert len(senders) == 1
+        assert all(f.size == 3.0 for f in coflow.flows)
+
+    def test_not_enough_hosts(self):
+        net = topologies.nonblocking_switch(3)
+        with pytest.raises(ValueError):
+            broadcast(net, num_receivers=5)
+
+
+class TestHeavyTailed:
+    def test_shape_and_bounds(self, fat_tree):
+        instance = heavy_tailed_instance(fat_tree, num_coflows=12, max_width=16, max_size=32.0, seed=0)
+        assert instance.num_coflows == 12
+        for coflow in instance:
+            assert 1 <= coflow.width <= 16
+            assert all(1.0 <= f.size <= 32.0 for f in coflow.flows)
+
+    def test_deterministic(self, fat_tree):
+        a = heavy_tailed_instance(fat_tree, num_coflows=5, seed=2)
+        b = heavy_tailed_instance(fat_tree, num_coflows=5, seed=2)
+        assert [c.width for c in a] == [c.width for c in b]
+
+    def test_invalid(self, fat_tree):
+        with pytest.raises(ValueError):
+            heavy_tailed_instance(fat_tree, num_coflows=0)
