@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..circuit.algorithm import PathsNotGivenScheduler
-from ..circuit.given_paths import DEFAULT_EPSILON, GivenPathsScheduler
+from ..circuit.given_paths import DEFAULT_EPSILON, GivenPathsLP
 from ..circuit.routing import DEFAULT_ROUTING_EPSILON
 from ..core.flows import CoflowInstance
 from ..core.network import Network
@@ -81,9 +81,10 @@ class LPGivenPathsScheme(Scheme):
             raise ValueError(
                 "LPGivenPathsScheme requires fixed paths; use LPBasedScheme otherwise"
             )
-        relaxation = GivenPathsScheduler(
-            instance, network,
-        ).relax()
+        # Only the LP ordering is needed here, so the relaxation is built
+        # directly (with this scheme's epsilon, which the scheduler wrapper
+        # used to silently ignore) rather than through GivenPathsScheduler.
+        relaxation = GivenPathsLP(instance, network, epsilon=self.epsilon).relax()
         self.last_relaxation = relaxation
         return SimulationPlan(
             paths=respect_given_paths(instance),

@@ -51,6 +51,11 @@ from ..core.intervals import IntervalGrid, RoundingParameters
 from ..core.network import Network, path_edges
 from ..core.schedule import CircuitSchedule, ScheduleError
 from ..lp import LinearProgram, LPSolution, solve
+from ._assembly import (
+    add_completion_structure_bulk,
+    add_completion_structure_scalar,
+    extract_completion,
+)
 
 __all__ = [
     "GivenPathsLP",
@@ -164,75 +169,100 @@ class GivenPathsLP:
         self.grid = IntervalGrid(
             epsilon=epsilon, horizon=horizon or _default_horizon(instance, network)
         )
+        self._layout = None
 
     # ------------------------------------------------------------------ build
+    def _transfer_rhs(self) -> np.ndarray:
+        """Per-flow transfer strengthening: release + size / path bottleneck."""
+        rhs = []
+        for _i, _j, flow in self.instance.iter_flows():
+            if flow.size > 0:
+                rhs.append(
+                    flow.release_time
+                    + flow.size / self.network.bottleneck_capacity(flow.path)
+                )
+            else:
+                rhs.append(flow.release_time)
+        return np.asarray(rhs, dtype=float)
+
+    def _edge_users(self) -> Dict[Tuple[object, object], List[Tuple[int, float]]]:
+        """Edges in first-seen order → list of (flow position, size) users.
+
+        A flow whose (non-simple) path traverses the same edge twice is
+        listed once for that edge — matching the scalar dict semantics, where
+        repeated terms for the same variable key overwrite rather than sum.
+        """
+        edge_users: Dict[Tuple[object, object], List[Tuple[int, float]]] = {}
+        for pos, (_i, _j, flow) in enumerate(self.instance.iter_flows()):
+            for edge in dict.fromkeys(path_edges(flow.path)):
+                edge_users.setdefault(edge, []).append((pos, flow.size))
+        return edge_users
+
     def build(self) -> LinearProgram:
-        """Assemble the LP."""
-        instance, network, grid = self.instance, self.network, self.grid
+        """Assemble the LP through the bulk (vectorized) pipeline."""
+        network, grid = self.network, self.grid
         L = grid.num_intervals
         lp = LinearProgram(name="circuit-given-paths")
-
-        # Variables.
-        for i, j, flow in instance.iter_flows():
-            for ell in range(L):
-                lp.add_variable(("x", i, j, ell), lower=0.0, upper=1.0)
-            lp.add_variable(("c", i, j), lower=0.0)
-        for i, coflow in enumerate(instance.coflows):
-            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
-
-        # (4) every flow fully delivered; (5) completion proxy;
-        # (6) dummy flow finishes last; (9) release times.
-        for i, j, flow in instance.iter_flows():
-            lp.add_constraint(
-                {("x", i, j, ell): 1.0 for ell in range(L)},
-                "==",
-                1.0,
-                name=f"deliver[{i},{j}]",
-            )
-            lp.add_constraint(
-                {
-                    **{("x", i, j, ell): grid.left(ell) for ell in range(L)},
-                    ("c", i, j): -1.0,
-                },
-                "<=",
-                0.0,
-                name=f"completion[{i},{j}]",
-            )
-            lp.add_constraint(
-                {("c", i, j): 1.0, ("C", i): -1.0},
-                "<=",
-                0.0,
-                name=f"coflow-last[{i},{j}]",
-            )
-            # Valid strengthening: no schedule can finish a flow before its
-            # release plus its size divided by the path's bottleneck capacity.
-            if flow.size > 0:
-                transfer = flow.release_time + flow.size / network.bottleneck_capacity(
-                    flow.path
-                )
-                lp.add_constraint(
-                    {("c", i, j): 1.0}, ">=", transfer, name=f"transfer[{i},{j}]"
-                )
-            first = grid.release_interval(flow.release_time)
-            for ell in range(first):
-                lp.add_constraint(
-                    {("x", i, j, ell): 1.0}, "==", 0.0, name=f"release[{i},{j},{ell}]"
-                )
+        layout = add_completion_structure_bulk(
+            lp, self.instance, grid, self._transfer_rhs()
+        )
+        self._layout = layout
 
         # (7)+(8) capacity per edge per interval, with bandwidths expressed
         # directly in terms of x: sum_f sigma_f * x_f_ell / len_ell <= c(e).
-        edge_users: Dict[Tuple[object, object], List[Tuple[FlowId, float]]] = {}
-        for i, j, flow in instance.iter_flows():
-            for edge in path_edges(flow.path):
-                edge_users.setdefault(edge, []).append(((i, j), flow.size))
-        for edge, users in edge_users.items():
+        # One COO sub-block of L rows per edge, concatenated and committed in
+        # a single call.
+        ell_offsets = np.arange(L, dtype=np.int64)
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        vals_parts: List[np.ndarray] = []
+        rhs_parts: List[np.ndarray] = []
+        row_offset = 0
+        for edge, users in self._edge_users().items():
+            positions = np.asarray([p for p, _s in users], dtype=np.int64)
+            sizes = np.asarray([s for _p, s in users], dtype=float)
+            # row per interval, one entry per user: x[user, ell].
+            rows_parts.append(
+                np.repeat(row_offset + ell_offsets, positions.shape[0])
+            )
+            cols_parts.append(
+                (layout.xc_base[positions][None, :] + ell_offsets[:, None]).ravel()
+            )
+            vals_parts.append((sizes[None, :] / layout.lengths[:, None]).ravel())
+            rhs_parts.append(np.full(L, network.capacity(*edge)))
+            row_offset += L
+        if rhs_parts:
+            lp.add_constraints_coo(
+                rows=np.concatenate(rows_parts),
+                cols=np.concatenate(cols_parts),
+                vals=np.concatenate(vals_parts),
+                senses="<=",
+                rhs=np.concatenate(rhs_parts),
+            )
+        return lp
+
+    def build_scalar(self) -> LinearProgram:
+        """Assemble the same LP through the legacy scalar API.
+
+        Kept as the reference implementation: the LP-equivalence regression
+        test asserts this produces matrices identical to :meth:`build`, and
+        the assembly benchmark uses it as the baseline.
+        """
+        network, grid = self.network, self.grid
+        L = grid.num_intervals
+        lp = LinearProgram(name="circuit-given-paths")
+        add_completion_structure_scalar(
+            lp, self.instance, grid, self._transfer_rhs()
+        )
+        flow_ids = [(i, j) for i, j, _f in self.instance.iter_flows()]
+        for edge, users in self._edge_users().items():
             cap = network.capacity(*edge)
             for ell in range(L):
                 length = grid.length(ell)
                 lp.add_constraint(
                     {
-                        ("x", i, j, ell): size / length
-                        for (i, j), size in users
+                        ("x", *flow_ids[pos], ell): size / length
+                        for pos, size in users
                     },
                     "<=",
                     cap,
@@ -245,17 +275,9 @@ class GivenPathsLP:
         """Build and solve the LP, returning the structured relaxation."""
         lp = self.build()
         solution = solve(lp)
-        L = self.grid.num_intervals
-        fractions: Dict[FlowId, np.ndarray] = {}
-        flow_completion: Dict[FlowId, float] = {}
-        for i, j, _flow in self.instance.iter_flows():
-            fractions[(i, j)] = np.array(
-                [solution.value(("x", i, j, ell)) for ell in range(L)]
-            )
-            flow_completion[(i, j)] = solution.value(("c", i, j))
-        coflow_completion = {
-            i: solution.value(("C", i)) for i in range(len(self.instance.coflows))
-        }
+        fractions, flow_completion, coflow_completion = extract_completion(
+            solution, self._layout
+        )
         return GivenPathsRelaxation(
             instance=self.instance,
             network=self.network,

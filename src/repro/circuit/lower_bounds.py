@@ -24,15 +24,44 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..core.flows import CoflowInstance, FlowId
 from ..core.network import Network, path_edges
 
 __all__ = [
     "flow_transfer_lower_bound",
+    "flow_transfer_lower_bounds",
     "coflow_transfer_lower_bound",
     "weighted_transfer_lower_bound",
     "given_paths_congestion_lower_bound",
+    "widest_bottleneck",
 ]
+
+
+def widest_bottleneck(
+    network: Network,
+    source: Hashable,
+    destination: Hashable,
+    cache: Optional[Dict[Tuple[Hashable, Hashable], float]] = None,
+) -> float:
+    """Bottleneck capacity of the widest ``source -> destination`` path.
+
+    Pass a ``cache`` dict to memoize across calls: flows of one instance
+    share a handful of endpoint pairs, and the widest-path search is by far
+    the most expensive part of every transfer bound (and of the LP builders'
+    transfer-strengthening rows).
+    """
+    if cache is None:
+        widest = network.widest_path(source, destination)
+        return network.bottleneck_capacity(widest)
+    key = (source, destination)
+    bottleneck = cache.get(key)
+    if bottleneck is None:
+        widest = network.widest_path(source, destination)
+        bottleneck = network.bottleneck_capacity(widest)
+        cache[key] = bottleneck
+    return bottleneck
 
 
 def flow_transfer_lower_bound(
@@ -45,9 +74,31 @@ def flow_transfer_lower_bound(
     """``release + size / (widest-path bottleneck)`` for a single flow."""
     if size <= 0:
         return release_time
-    widest = network.widest_path(flow_source, flow_destination)
-    bottleneck = network.bottleneck_capacity(widest)
-    return release_time + size / bottleneck
+    return release_time + size / widest_bottleneck(network, flow_source, flow_destination)
+
+
+def flow_transfer_lower_bounds(
+    instance: CoflowInstance, network: Network
+) -> np.ndarray:
+    """Per-flow transfer bounds, in ``instance.iter_flows()`` order.
+
+    The bulk counterpart of :func:`flow_transfer_lower_bound`: one array for
+    the whole instance, with the widest-path searches memoized per endpoint
+    pair.  This is what the LP builders use for their transfer-strengthening
+    rows.
+    """
+    cache: Dict[Tuple[Hashable, Hashable], float] = {}
+    bounds = []
+    for _i, _j, flow in instance.iter_flows():
+        if flow.size > 0:
+            bounds.append(
+                flow.release_time
+                + flow.size
+                / widest_bottleneck(network, flow.source, flow.destination, cache)
+            )
+        else:
+            bounds.append(flow.release_time)
+    return np.asarray(bounds, dtype=float)
 
 
 def coflow_transfer_lower_bound(
@@ -55,26 +106,36 @@ def coflow_transfer_lower_bound(
 ) -> float:
     """Max transfer bound over the coflow's flows."""
     bound = 0.0
+    cache: Dict[Tuple[Hashable, Hashable], float] = {}
     for flow in instance[coflow_index].flows:
-        bound = max(
-            bound,
-            flow_transfer_lower_bound(
-                flow.source, flow.destination, flow.size, flow.release_time, network
-            ),
-        )
+        if flow.size <= 0:
+            candidate = flow.release_time
+        else:
+            candidate = flow.release_time + flow.size / widest_bottleneck(
+                network, flow.source, flow.destination, cache
+            )
+        bound = max(bound, candidate)
     return bound
 
 
 def weighted_transfer_lower_bound(
     instance: CoflowInstance, network: Network
 ) -> float:
-    """Weighted sum of per-coflow transfer bounds — a valid lower bound on (1)."""
-    return float(
-        sum(
-            instance[i].weight * coflow_transfer_lower_bound(instance, i, network)
-            for i in range(len(instance.coflows))
-        )
+    """Weighted sum of per-coflow transfer bounds — a valid lower bound on (1).
+
+    Computed in one vectorized pass: the per-flow bounds array is reduced
+    coflow-by-coflow with a single segmented maximum.
+    """
+    bounds = flow_transfer_lower_bounds(instance, network)
+    coflow_of_flow = np.asarray(
+        [i for i, _j, _f in instance.iter_flows()], dtype=np.int64
     )
+    num_coflows = len(instance.coflows)
+    per_coflow = np.zeros(num_coflows)
+    if bounds.size:
+        np.maximum.at(per_coflow, coflow_of_flow, bounds)
+    weights = np.asarray([c.weight for c in instance.coflows], dtype=float)
+    return float(weights @ per_coflow)
 
 
 def given_paths_congestion_lower_bound(

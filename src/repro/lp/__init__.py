@@ -1,13 +1,21 @@
 """Sparse LP modelling layer and HiGHS solve driver (CPLEX substitute)."""
 
-from .model import Constraint, LinearProgram, LPError
+from .model import (
+    Constraint,
+    ConstraintBlock,
+    LinearProgram,
+    LPError,
+    stacked_aranges,
+)
 from .solver import LPInfeasibleError, LPSolution, solve
 
 __all__ = [
     "LinearProgram",
     "Constraint",
+    "ConstraintBlock",
     "LPError",
     "LPSolution",
     "LPInfeasibleError",
     "solve",
+    "stacked_aranges",
 ]

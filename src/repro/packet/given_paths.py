@@ -26,11 +26,17 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..circuit._assembly import (
+    add_completion_variables_bulk,
+    add_completion_variables_scalar,
+    add_core_families_bulk,
+    extract_completion,
+)
 from ..core.flows import CoflowInstance, FlowId
 from ..core.intervals import IntervalGrid
 from ..core.network import Network, path_edges
 from ..core.schedule import PacketSchedule
-from ..lp import LinearProgram, LPSolution, solve
+from ..lp import LinearProgram, LPSolution, solve, stacked_aranges
 from .scheduling import congestion, dilation, list_schedule_packets
 
 __all__ = ["PacketGivenPathsLP", "PacketGivenPathsRelaxation", "PacketGivenPathsScheduler"]
@@ -104,26 +110,116 @@ class PacketGivenPathsLP:
         self.instance = instance
         self.network = network
         self.grid = IntervalGrid(epsilon=epsilon, horizon=_horizon(instance))
+        self._layout = None
+
+    # ------------------------------------------------------------------ build
+    def _earliest_arrivals(self) -> np.ndarray:
+        """Per-flow dilation bound: release + path length (hops)."""
+        return np.asarray(
+            [
+                flow.release_time + len(flow.path) - 1
+                for _i, _j, flow in self.instance.iter_flows()
+            ],
+            dtype=float,
+        )
+
+    def _edge_users(self) -> Dict[Edge, List[int]]:
+        """Edges in first-seen order → flow positions whose path crosses them.
+
+        A packet whose (non-simple) path traverses an edge twice is listed
+        once — matching the scalar dict semantics, where repeated terms for
+        the same variable key overwrite rather than sum.
+        """
+        edge_users: Dict[Edge, List[int]] = {}
+        for pos, (_i, _j, flow) in enumerate(self.instance.iter_flows()):
+            for e in dict.fromkeys(path_edges(flow.path)):
+                edge_users.setdefault(e, []).append(pos)
+        return edge_users
 
     def build(self) -> LinearProgram:
+        """Assemble the LP through the bulk (vectorized) pipeline."""
         instance, grid = self.instance, self.grid
         L = grid.num_intervals
         lp = LinearProgram(name="packet-given-paths")
+        layout = add_completion_variables_bulk(lp, instance, grid)
+        self._layout = layout
+        F = layout.num_flows
+        rights = grid.boundaries[1:]  # tau_{ell+1} for ell = 0..L-1
+        earliest = self._earliest_arrivals()
+        flow_ids = np.arange(F, dtype=np.int64)
+        ell_ids = np.arange(L, dtype=np.int64)
 
-        for i, j, flow in instance.iter_flows():
-            for ell in range(L):
-                lp.add_variable(("x", i, j, ell), lower=0.0, upper=1.0)
-            lp.add_variable(("c", i, j), lower=0.0)
-        for i, coflow in enumerate(instance.coflows):
-            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
+        if F:
+            # ---- arrive / completion / coflow-last: the shared families.
+            add_core_families_bulk(lp, instance, layout)
+            # ---- dilation: x[f, ell] == 0 where the interval closes before
+            # the packet can possibly arrive (release + path length).
+            blocked = rights[None, :] < earliest[:, None] - 1e-9  # (F, L)
+            counts = blocked.sum(axis=1)  # prefix property: rights ascending
+            total = int(counts.sum())
+            if total:
+                cols = np.repeat(layout.xc_base, counts) + stacked_aranges(counts)
+                lp.add_constraints_coo(
+                    rows=np.arange(total, dtype=np.int64),
+                    cols=cols,
+                    vals=np.ones(total),
+                    senses="==",
+                    rhs=np.zeros(total),
+                )
+            # ---- lbc: c[f] >= earliest arrival.
+            lp.add_constraints_coo(
+                rows=flow_ids,
+                cols=layout.c_cols,
+                vals=np.ones(F),
+                senses=">=",
+                rhs=earliest,
+            )
 
-        for i, j, flow in instance.iter_flows():
-            hops = len(flow.path) - 1
-            earliest = flow.release_time + hops  # dilation: must cross each hop
+        # ---- congestion (28): for each shared edge and interval ell, the
+        # packets arrived by tau_{ell+1} each crossed the edge once, so their
+        # count is at most tau_{ell+1}.  Entry pattern per edge is the
+        # triangular (ell, t <= ell) prefix, built once and reused.
+        tri_offsets = stacked_aranges(ell_ids + 1)  # [0, 0,1, 0,1,2, ...]
+        tri_rows = np.repeat(ell_ids, ell_ids + 1)
+        K = tri_offsets.shape[0]
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        rhs_parts: List[np.ndarray] = []
+        row_offset = 0
+        for _e, users in self._edge_users().items():
+            bases = layout.xc_base[np.asarray(users, dtype=np.int64)]
+            cols_parts.append((bases[:, None] + tri_offsets[None, :]).ravel())
+            rows_parts.append(
+                np.broadcast_to(row_offset + tri_rows, (bases.shape[0], K)).ravel()
+            )
+            rhs_parts.append(rights[:L])
+            row_offset += L
+        if rhs_parts:
+            rows = np.concatenate(rows_parts)
+            lp.add_constraints_coo(
+                rows=rows,
+                cols=np.concatenate(cols_parts),
+                vals=np.ones(rows.shape[0]),
+                senses="<=",
+                rhs=np.concatenate(rhs_parts),
+            )
+        return lp
+
+    def build_scalar(self) -> LinearProgram:
+        """Assemble the same LP through the legacy scalar API (reference)."""
+        instance, grid = self.instance, self.grid
+        L = grid.num_intervals
+        lp = LinearProgram(name="packet-given-paths")
+        add_completion_variables_scalar(lp, instance, grid)
+        flows = list(instance.iter_flows())
+        earliest = self._earliest_arrivals()
+
+        for i, j, _flow in flows:
             lp.add_constraint(
                 {("x", i, j, ell): 1.0 for ell in range(L)}, "==", 1.0,
                 name=f"arrive[{i},{j}]",
             )
+        for i, j, _flow in flows:
             lp.add_constraint(
                 {
                     **{("x", i, j, ell): grid.left(ell) for ell in range(L)},
@@ -133,35 +229,33 @@ class PacketGivenPathsLP:
                 0.0,
                 name=f"completion[{i},{j}]",
             )
+        for i, j, _flow in flows:
             lp.add_constraint(
                 {("c", i, j): 1.0, ("C", i): -1.0}, "<=", 0.0,
                 name=f"coflow-last[{i},{j}]",
             )
-            # A packet cannot arrive in an interval that closes before its
-            # earliest feasible arrival (release + path length).
+        # A packet cannot arrive in an interval that closes before its
+        # earliest feasible arrival (release + path length).
+        for pos, (i, j, _flow) in enumerate(flows):
             for ell in range(L):
-                if grid.right(ell) < earliest - 1e-9:
+                if grid.right(ell) < earliest[pos] - 1e-9:
                     lp.add_constraint(
                         {("x", i, j, ell): 1.0}, "==", 0.0,
                         name=f"dilation[{i},{j},{ell}]",
                     )
-            # The completion proxy can also never undercut the earliest arrival.
-            lp.add_constraint({("c", i, j): 1.0}, ">=", earliest, name=f"lbc[{i},{j}]")
+        # The completion proxy can also never undercut the earliest arrival.
+        for pos, (i, j, _flow) in enumerate(flows):
+            lp.add_constraint(
+                {("c", i, j): 1.0}, ">=", float(earliest[pos]), name=f"lbc[{i},{j}]"
+            )
 
-        # Congestion validity: packets that have arrived by the end of
-        # interval ell all crossed each shared edge once, and an edge serves
-        # at most one packet per step, so at most tau_{ell+1} of them can have
-        # finished by then (constraint (28) of the paper).
-        edge_users: Dict[Edge, List[FlowId]] = {}
-        for i, j, flow in instance.iter_flows():
-            for e in path_edges(flow.path):
-                edge_users.setdefault(e, []).append((i, j))
-        for e, users in edge_users.items():
+        # Congestion validity (constraint (28) of the paper).
+        for e, users in self._edge_users().items():
             for ell in range(L):
                 lp.add_constraint(
                     {
-                        ("x", i, j, t): 1.0
-                        for (i, j) in users
+                        ("x", *flows[pos][:2], t): 1.0
+                        for pos in users
                         for t in range(ell + 1)
                     },
                     "<=",
@@ -173,18 +267,9 @@ class PacketGivenPathsLP:
     def relax(self) -> PacketGivenPathsRelaxation:
         lp = self.build()
         solution = solve(lp)
-        L = self.grid.num_intervals
-        fractions = {
-            (i, j): np.array([solution.value(("x", i, j, ell)) for ell in range(L)])
-            for i, j, _f in self.instance.iter_flows()
-        }
-        flow_completion = {
-            (i, j): solution.value(("c", i, j))
-            for i, j, _f in self.instance.iter_flows()
-        }
-        coflow_completion = {
-            i: solution.value(("C", i)) for i in range(len(self.instance.coflows))
-        }
+        fractions, flow_completion, coflow_completion = extract_completion(
+            solution, self._layout
+        )
         return PacketGivenPathsRelaxation(
             instance=self.instance,
             network=self.network,

@@ -43,7 +43,7 @@ from ..circuit.randomized_rounding import round_paths
 from ..core.flows import Coflow, CoflowInstance, Flow, FlowId
 from ..core.network import Network
 from ..core.schedule import PacketSchedule, ScheduleError
-from ..lp import LinearProgram, LPSolution, solve
+from ..lp import ConstraintBlock, LinearProgram, LPSolution, solve
 from .scheduling import list_schedule_packets
 from .srinivasan_teo import route_and_schedule
 from .time_expanded import TimeExpandedGraph
@@ -142,24 +142,14 @@ class PacketRoutingLP:
         self.network = network
         self.horizon = horizon or default_horizon(instance, network)
         self.expanded = TimeExpandedGraph(network=network, horizon=self.horizon)
+        #: per-flow extraction metadata filled in by :meth:`build`
+        self._extract: Dict[FlowId, Dict[str, object]] = {}
 
-    def build(self) -> LinearProgram:
-        instance, network, gt = self.instance, self.network, self.expanded
-        T = gt.horizon
-        lp = LinearProgram(name="packet-routing-time-expanded")
-
-        # Completion variables.
-        for i, j, _flow in instance.iter_flows():
-            lp.add_variable(("c", i, j), lower=0.0)
-        for i, coflow in enumerate(instance.coflows):
-            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
-
-        # Per-packet flow variables on G^T edges.  Only edges the packet can
-        # actually use are materialised: the departure node must be reachable
-        # from the source copy by the departure time, and the arrival node
-        # must still be able to reach the destination within the horizon.
+    # -------------------------------------------------------- reachability
+    def _distance_maps(self):
         import networkx as nx
 
+        network = self.network
         distance_cache: Dict[Tuple[Hashable, str], Dict[Hashable, int]] = {}
 
         def dist_from(node: Hashable) -> Dict[Hashable, int]:
@@ -174,10 +164,205 @@ class PacketRoutingLP:
             key = (node, "to")
             if key not in distance_cache:
                 distance_cache[key] = dict(
-                    nx.single_source_shortest_path_length(network.graph.reverse(copy=False), node)
+                    nx.single_source_shortest_path_length(
+                        network.graph.reverse(copy=False), node
+                    )
                 )
             return distance_cache[key]
 
+        return dist_from, dist_to
+
+    def build(self) -> LinearProgram:
+        """Assemble the time-expanded LP through the bulk pipeline.
+
+        Variable discovery (reachability filtering) is inherently per-packet,
+        but each packet's variables are registered as one block and every
+        constraint row is appended to a :class:`ConstraintBlock` (committed
+        in one COO call) instead of building a dict + ``Constraint`` object
+        per row.  Column lookups go through small per-packet maps built
+        during discovery rather than the global key table.
+        """
+        instance, network, gt = self.instance, self.network, self.expanded
+        T = gt.horizon
+        lp = LinearProgram(name="packet-routing-time-expanded")
+        self._extract = {}
+
+        # Completion variables.
+        c_range = lp.add_variables(
+            [("c", i, j) for i, j, _flow in instance.iter_flows()], lower=0.0
+        )
+        lp.add_variables(
+            [("C", i) for i in range(len(instance.coflows))],
+            lower=0.0,
+            objective=np.asarray([c.weight for c in instance.coflows], dtype=float),
+        )
+        C_start = c_range.stop
+        c_col = {
+            fid: c_range.start + pos for pos, fid in enumerate(instance.flow_ids())
+        }
+
+        dist_from, dist_to = self._distance_maps()
+        infinite = T + 1
+        edges = network.edges()
+        nodes = network.nodes()
+
+        # Per-packet variable discovery: one add_variables call per packet,
+        # plus a per-packet map from G^T movement edge -> global column and a
+        # per-(edge, t) capacity registry filled as columns are allocated.
+        flow_cols: Dict[FlowId, Dict[Tuple, int]] = {}
+        z_ranges: Dict[FlowId, range] = {}
+        cap_cols: Dict[Tuple, List[int]] = {}
+
+        for i, j, flow in instance.iter_flows():
+            release = int(round(flow.release_time))
+            from_src = dist_from(flow.source)
+            to_dst = dist_to(flow.destination)
+            dst = flow.destination
+
+            def usable(u: Hashable, v: Hashable, t: int) -> bool:
+                # departing u at step t, arriving v at t + 1
+                if u == dst:
+                    return False  # destination copies are absorbing
+                if from_src.get(u, infinite) > t - release:
+                    return False
+                if to_dst.get(v, infinite) > T - (t + 1):
+                    return False
+                return True
+
+            keys: List[Tuple] = []
+            gt_edges: List[Tuple] = []
+            moves: List[Optional[Tuple[Hashable, Hashable]]] = []
+            for t in range(release, T):
+                for u, v in edges:
+                    if usable(u, v, t):
+                        gt_edge = ((u, t), (v, t + 1))
+                        keys.append(("f", i, j, gt_edge))
+                        gt_edges.append(gt_edge)
+                        moves.append((u, v))
+                for v in nodes:
+                    if usable(v, v, t):
+                        gt_edge = ((v, t), (v, t + 1))
+                        keys.append(("f", i, j, gt_edge))
+                        gt_edges.append(gt_edge)
+                        moves.append(None)  # waiting self-loop
+            num_f = len(keys)
+            keys.extend(("z", i, j, t) for t in range(release + 1, T + 1))
+            block = lp.add_variables(keys, lower=0.0, upper=1.0)
+            cols_of = {
+                gt_edge: block.start + k for k, gt_edge in enumerate(gt_edges)
+            }
+            flow_cols[(i, j)] = cols_of
+            z_ranges[(i, j)] = range(block.start + num_f, block.stop)
+            for gt_edge, move in zip(gt_edges, moves):
+                if move is not None:
+                    cap_cols.setdefault(gt_edge, []).append(cols_of[gt_edge])
+            self._extract[(i, j)] = {
+                "f_range": range(block.start, block.start + num_f),
+                "moves": moves,
+                "z_range": z_ranges[(i, j)],
+                "release": release,
+            }
+
+        # Flow conservation and absorption per packet, accumulated in one
+        # ConstraintBlock (no per-row dicts or Constraint objects).
+        block = ConstraintBlock(lp)
+        for i, j, flow in instance.iter_flows():
+            fid = (i, j)
+            release = int(round(flow.release_time))
+            src, dst = flow.source, flow.destination
+            cols_of = flow_cols[fid]
+            z_cols = z_ranges[fid]
+            # Unit supply at the source copy (s, release).
+            supply_cols = [
+                cols_of[edge]
+                for edge in gt.out_edges((src, release))
+                if edge in cols_of
+            ]
+            block.add_row(supply_cols, 1.0, "==", 1.0, name=f"supply[{i},{j}]")
+
+            # Conservation at intermediate copies (v, t), v != dst; flow may
+            # neither appear nor disappear anywhere but the source copy and
+            # the destination copies.
+            for t in range(release, T):
+                for v in nodes:
+                    if v == dst or (v == src and t == release):
+                        continue
+                    cols: List[int] = []
+                    vals: List[float] = []
+                    for edge in gt.in_edges((v, t)):
+                        col = cols_of.get(edge)
+                        if col is not None:
+                            cols.append(col)
+                            vals.append(1.0)
+                    for edge in gt.out_edges((v, t)):
+                        col = cols_of.get(edge)
+                        if col is not None:
+                            cols.append(col)
+                            vals.append(-1.0)
+                    if cols:
+                        block.add_row(cols, vals, "==", 0.0, name=f"cons[{i},{j},{v},{t}]")
+
+            # Absorption: z[t] equals the flow entering the destination copy.
+            for t in range(release + 1, T + 1):
+                cols = [z_cols[t - (release + 1)]]
+                vals = [-1.0]
+                for edge in gt.in_edges((dst, t)):
+                    col = cols_of.get(edge)
+                    if col is not None:
+                        cols.append(col)
+                        vals.append(1.0)
+                block.add_row(cols, vals, "==", 0.0, name=f"absorb[{i},{j},{t}]")
+            block.add_row(
+                np.arange(z_cols.start, z_cols.stop), 1.0, "==", 1.0,
+                name=f"arrive[{i},{j}]",
+            )
+            # Completion proxies.
+            block.add_row(
+                np.concatenate(
+                    (np.arange(z_cols.start, z_cols.stop), [c_col[fid]])
+                ),
+                np.concatenate(
+                    (np.arange(release + 1, T + 1, dtype=float), [-1.0])
+                ),
+                "<=",
+                0.0,
+                name=f"completion[{i},{j}]",
+            )
+            block.add_row(
+                [c_col[fid], C_start + i], [1.0, -1.0], "<=", 0.0,
+                name=f"coflow[{i},{j}]",
+            )
+
+        # Unit capacity on every movement edge of G^T: the per-(edge, t)
+        # column registry was filled during variable discovery, so no key
+        # probing is needed here.
+        for t in range(T):
+            for u, v in edges:
+                cols = cap_cols.get(((u, t), (v, t + 1)))
+                if cols:
+                    block.add_row(
+                        cols, 1.0, "<=", 1.0, name=f"cap[{((u, t), (v, t + 1))}]"
+                    )
+        block.flush()
+        return lp
+
+    def build_scalar(self) -> LinearProgram:
+        """Legacy scalar assembly (reference for the equivalence tests)."""
+        instance, network, gt = self.instance, self.network, self.expanded
+        T = gt.horizon
+        lp = LinearProgram(name="packet-routing-time-expanded")
+
+        # Completion variables.
+        for i, j, _flow in instance.iter_flows():
+            lp.add_variable(("c", i, j), lower=0.0)
+        for i, coflow in enumerate(instance.coflows):
+            lp.add_variable(("C", i), lower=0.0, objective=coflow.weight)
+
+        # Per-packet flow variables on G^T edges.  Only edges the packet can
+        # actually use are materialised: the departure node must be reachable
+        # from the source copy by the departure time, and the arrival node
+        # must still be able to reach the destination within the horizon.
+        dist_from, dist_to = self._distance_maps()
         infinite = T + 1
 
         for i, j, flow in instance.iter_flows():
@@ -288,20 +473,25 @@ class PacketRoutingLP:
         arrival_mass: Dict[FlowId, np.ndarray] = {}
         flow_completion: Dict[FlowId, float] = {}
         edge_volumes: Dict[FlowId, Dict[Edge, float]] = {}
-        for i, j, flow in self.instance.iter_flows():
-            release = int(round(flow.release_time))
+        for i, j, _flow in self.instance.iter_flows():
+            fid = (i, j)
+            meta = self._extract[fid]
+            release = meta["release"]
             mass = np.zeros(T + 1)
-            for t in range(release + 1, T + 1):
-                mass[t] = solution.value(("z", i, j, t), default=0.0)
-            arrival_mass[(i, j)] = mass
-            flow_completion[(i, j)] = solution.value(("c", i, j))
+            z_vals = solution.take(meta["z_range"])
+            mass[release + 1 : T + 1] = z_vals
+            arrival_mass[fid] = mass
+            flow_completion[fid] = solution.value(("c", i, j))
+            # Collapse the per-packet G^T flow back onto G: only movement
+            # variables (non-waiting) with significant value contribute.
+            f_vals = solution.take(meta["f_range"])
+            moves = meta["moves"]
             volumes: Dict[Edge, float] = {}
-            for t in range(release, T):
-                for u, v in self.network.edges():
-                    val = solution.value(("f", i, j, ((u, t), (v, t + 1))), default=0.0)
-                    if val > 1e-9:
-                        volumes[(u, v)] = volumes.get((u, v), 0.0) + val
-            edge_volumes[(i, j)] = volumes
+            for idx in np.nonzero(f_vals > 1e-9)[0]:
+                move = moves[idx]
+                if move is not None:
+                    volumes[move] = volumes.get(move, 0.0) + float(f_vals[idx])
+            edge_volumes[fid] = volumes
         coflow_completion = {
             i: solution.value(("C", i)) for i in range(len(self.instance.coflows))
         }

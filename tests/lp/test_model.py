@@ -107,3 +107,140 @@ class TestConstraints:
         lp.add_constraint([("x", 1.0), ("y", 2.0)], "<=", 3.0)
         a_ub, _, _, _ = lp.matrices()
         assert np.allclose(a_ub.toarray()[0], a_ub.toarray()[1])
+
+
+class TestBulkAPI:
+    def test_add_variables_returns_contiguous_range(self):
+        lp = LinearProgram()
+        lp.add_variable("first")
+        rng = lp.add_variables(["a", "b", "c"], lower=1.0, upper=5.0, objective=2.0)
+        assert rng == range(1, 4)
+        assert lp.variable_index("b") == 2
+        assert lp.bounds()[1:] == [(1.0, 5.0)] * 3
+        assert list(lp.objective_vector()) == [0.0, 2.0, 2.0, 2.0]
+
+    def test_add_variables_array_bounds(self):
+        lp = LinearProgram()
+        lp.add_variables(
+            ["x", "y"],
+            lower=np.array([0.0, 1.0]),
+            upper=np.array([2.0, 3.0]),
+            objective=np.array([5.0, 6.0]),
+        )
+        assert lp.bounds() == [(0.0, 2.0), (1.0, 3.0)]
+        assert list(lp.objective_vector()) == [5.0, 6.0]
+
+    def test_add_variables_duplicate_rolls_back(self):
+        lp = LinearProgram()
+        lp.add_variable("dup")
+        with pytest.raises(LPError, match="already"):
+            lp.add_variables(["fresh", "dup"])
+        # The partial block must not leak into the index.
+        assert not lp.has_variable("fresh")
+        assert lp.num_variables == 1
+
+    def test_add_variables_bad_bounds(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError, match="upper bound"):
+            lp.add_variables(["x", "y"], lower=[0.0, 2.0], upper=[1.0, 1.0])
+
+    def test_add_constraints_coo_matches_scalar(self):
+        bulk, scalar = LinearProgram(), LinearProgram()
+        for lp in (bulk, scalar):
+            lp.add_variables(["x", "y", "z"])
+        bulk.add_constraints_coo(
+            rows=[0, 0, 1, 2],
+            cols=[0, 1, 1, 2],
+            vals=[1.0, 2.0, 3.0, -1.0],
+            senses=["<=", ">=", "=="],
+            rhs=[5.0, 1.0, -2.0],
+        )
+        scalar.add_constraint({"x": 1.0, "y": 2.0}, "<=", 5.0)
+        scalar.add_constraint({"y": 3.0}, ">=", 1.0)
+        scalar.add_constraint({"z": -1.0}, "==", -2.0)
+        for m_bulk, m_scalar in zip(bulk.matrices(), scalar.matrices()):
+            if m_bulk is None:
+                assert m_scalar is None
+                continue
+            if hasattr(m_bulk, "toarray"):
+                m_bulk, m_scalar = m_bulk.toarray(), m_scalar.toarray()
+            assert np.array_equal(m_bulk, m_scalar)
+
+    def test_add_constraints_coo_single_sense_broadcast(self):
+        lp = LinearProgram()
+        lp.add_variables(["x", "y"])
+        rng = lp.add_constraints_coo(
+            rows=[0, 1], cols=[0, 1], vals=[1.0, 1.0], senses="<=", rhs=[1.0, 2.0]
+        )
+        assert rng == range(0, 2)
+        a_ub, b_ub, _, _ = lp.matrices()
+        assert a_ub.shape == (2, 2)
+        assert list(b_ub) == [1.0, 2.0]
+
+    def test_add_constraints_coo_validates(self):
+        lp = LinearProgram()
+        lp.add_variables(["x"])
+        with pytest.raises(LPError, match="sense"):
+            lp.add_constraints_coo([0], [0], [1.0], "<<", [1.0])
+        with pytest.raises(LPError, match="row ids"):
+            lp.add_constraints_coo([5], [0], [1.0], "<=", [1.0])
+        with pytest.raises(LPError, match="column ids"):
+            lp.add_constraints_coo([0], [9], [1.0], "<=", [1.0])
+
+    def test_duplicate_coo_entries_are_summed(self):
+        lp = LinearProgram()
+        lp.add_variables(["x"])
+        lp.add_constraints_coo([0, 0], [0, 0], [1.0, 2.0], "<=", [3.0])
+        a_ub, _, _, _ = lp.matrices()
+        assert a_ub.toarray()[0, 0] == 3.0
+
+    def test_matrices_cache_invalidation(self):
+        lp = LinearProgram()
+        lp.add_variables(["x", "y"])
+        lp.add_constraint({"x": 1.0}, "<=", 1.0)
+        first = lp.matrices()
+        assert lp.matrices() is first  # cached
+        lp.add_constraint({"y": 1.0}, "<=", 2.0)
+        second = lp.matrices()
+        assert second is not first
+        assert second[0].shape == (2, 2)
+        lp.add_variable("z")
+        assert lp.matrices()[0].shape == (2, 3)  # column count grew
+
+    def test_constraint_block_flush(self):
+        from repro.lp import ConstraintBlock
+
+        lp = LinearProgram()
+        lp.add_variables(["x", "y"])
+        block = ConstraintBlock(lp)
+        block.add_row([0], 1.0, "<=", 4.0)
+        block.add_row([0, 1], [1.0, -1.0], "==", 0.0)
+        rng = block.flush()
+        assert rng == range(0, 2)
+        assert block.num_rows == 0  # reset after flush
+        a_ub, b_ub, a_eq, b_eq = lp.matrices()
+        assert a_ub.toarray().tolist() == [[1.0, 0.0]]
+        assert a_eq.toarray().tolist() == [[1.0, -1.0]]
+
+    def test_iter_constraints_roundtrip(self):
+        lp = LinearProgram()
+        lp.add_variables(["x", "y"])
+        lp.add_constraints_coo(
+            rows=[0, 0, 1],
+            cols=[0, 1, 1],
+            vals=[1.0, 2.0, 3.0],
+            senses=["<=", ">="],
+            rhs=[5.0, 1.0],
+            names=["row0", "row1"],
+        )
+        cons = list(lp.iter_constraints())
+        assert len(cons) == 2
+        assert cons[0].indices == [0, 1] and cons[0].coefficients == [1.0, 2.0]
+        assert cons[0].sense == "<=" and cons[0].name == "row0"
+        assert cons[1].sense == ">=" and cons[1].rhs == 1.0
+
+    def test_stacked_aranges(self):
+        from repro.lp import stacked_aranges
+
+        assert stacked_aranges([2, 0, 3]).tolist() == [0, 1, 0, 1, 2]
+        assert stacked_aranges([]).tolist() == []

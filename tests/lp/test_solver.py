@@ -93,3 +93,80 @@ def test_solution_helpers():
     assert ("y", 0) in nonzero and ("x", 1) not in nonzero
     group = sol.group("x")
     assert set(group) == {("x", 0), ("x", 1)}
+
+
+def test_bulk_getters_take_and_as_array():
+    lp = LinearProgram()
+    rng = lp.add_variables([("x", k) for k in range(4)], objective=1.0)
+    lp.add_constraint({("x", 0): 1.0}, ">=", 1.0)
+    lp.add_constraint({("x", 3): 1.0}, ">=", 2.0)
+    sol = solve(lp)
+    assert np.allclose(sol.take(rng), [1.0, 0.0, 0.0, 2.0])
+    assert np.allclose(sol.take([3, 0]), [2.0, 1.0])
+    assert np.allclose(sol.as_array([("x", 3), ("x", 0)]), [2.0, 1.0])
+    with pytest.raises(KeyError):
+        sol.as_array([("x", 0), "ghost"])
+    assert np.allclose(sol.as_array([("x", 0), "ghost"], default=7.0), [1.0, 7.0])
+
+
+def test_nonzero_reports_negative_values():
+    # min x subject to x >= -5 with x in [-10, 10]: optimum x = -5.
+    lp = LinearProgram()
+    lp.add_variable("x", lower=-10.0, upper=10.0, objective=1.0)
+    lp.add_variable("y", lower=0.0, objective=1.0)
+    lp.add_constraint({"x": 1.0}, ">=", -5.0)
+    sol = solve(lp, clip_negative=False)
+    assert sol.value("x") == pytest.approx(-5.0)
+    # abs() semantics: the negative optimum must not be silently dropped.
+    assert "x" in sol.nonzero()
+    assert "y" not in sol.nonzero()
+
+
+def test_group_prefix_index():
+    lp = LinearProgram()
+    lp.add_variables([("x", 0), ("x", 1), ("y", 0), "scalar-key"], objective=1.0)
+    lp.add_constraint({("x", 0): 1.0}, ">=", 1.0)
+    sol = solve(lp)
+    assert set(sol.group("x")) == {("x", 0), ("x", 1)}
+    assert set(sol.group("y")) == {("y", 0)}
+    assert sol.group("ghost") == {}
+    # position > 0 groups by the second tuple component
+    assert set(sol.group(0, position=1)) == {("x", 0), ("y", 0)}
+
+
+def test_values_dict_matches_raw_vector():
+    lp = LinearProgram()
+    lp.add_variables(["a", "b"], objective=1.0)
+    lp.add_constraint({"a": 1.0, "b": 1.0}, ">=", 3.0)
+    sol = solve(lp)
+    assert sol.values == {k: sol.value(k) for k in ("a", "b")}
+    assert np.allclose(sol.x, [sol.values["a"], sol.values["b"]])
+
+
+def test_solution_snapshots_variable_set():
+    """Variables added to the model after solve() are unknown to the
+    solution (the old snapshot-dict semantics), not index errors."""
+    lp = LinearProgram()
+    lp.add_variable("a", objective=1.0)
+    lp.add_constraint({"a": 1.0}, ">=", 1.0)
+    sol = solve(lp)
+    lp.add_variable("late")
+    assert sol.value("late", default=0.5) == 0.5
+    with pytest.raises(KeyError):
+        sol.value("late")
+    with pytest.raises(KeyError):
+        sol.as_array(["a", "late"])
+    assert np.allclose(sol.as_array(["a", "late"], default=9.0), [1.0, 9.0])
+    assert "late" not in sol.values
+    assert set(sol.group("a", position=0)) == set()  # scalar key, no tuples
+
+
+def test_take_descending_range():
+    lp = LinearProgram()
+    lp.add_variables(["a", "b", "c"], objective=1.0)
+    lp.add_constraint({"a": 1.0}, ">=", 1.0)
+    lp.add_constraint({"b": 1.0}, ">=", 2.0)
+    lp.add_constraint({"c": 1.0}, ">=", 3.0)
+    sol = solve(lp)
+    assert np.allclose(sol.take(range(2, -1, -1)), [3.0, 2.0, 1.0])
+    assert np.allclose(sol.take(range(0, 3)), [1.0, 2.0, 3.0])
