@@ -7,51 +7,48 @@ completion time of LP-Based, Route-only, Schedule-only and Baseline and
 are over 10 random tries; LP-Based improves on Baseline / Schedule-only /
 Route-only by 126% / 96% / 22% on average.
 
-This benchmark regenerates both panels (scaled down by default; set
-``REPRO_PAPER_SCALE=1`` and ``REPRO_TRIES=10`` for the full configuration)
-and times one full sweep.
+This benchmark regenerates both panels on the experiment engine (scaled down
+by default; set ``REPRO_PAPER_SCALE=1`` and ``REPRO_TRIES=10`` for the full
+configuration, ``REPRO_WORKERS=<n>`` for a parallel sweep) and times one full
+sweep.  Results persist in ``results/runstore/fig3.jsonl``: a warm re-run
+skips every LP solve and simulation, which the benchmark asserts by replaying
+the sweep against the store.
 """
 
 import pytest
 
-from repro.analysis import ExperimentSweep, improvement_summary, ratio_table, sweep_table
-from repro.baselines import (
-    BaselineScheme,
-    LPBasedScheme,
-    RouteOnlyScheme,
-    ScheduleOnlyScheme,
-)
+from repro.analysis import ExperimentEngine, improvement_summary, ratio_table, sweep_table
 from repro.workloads import WorkloadConfig
 
 from common import (
+    engine_summary,
     evaluation_network,
     figure3_num_coflows,
     figure3_widths,
+    make_engine,
     num_tries,
+    paper_schemes,
     record,
 )
 
 
-def run_sweep():
-    network = evaluation_network()
-    schemes = [
-        LPBasedScheme(seed=0),
-        RouteOnlyScheme(),
-        ScheduleOnlyScheme(seed=0),
-        BaselineScheme(seed=0),
-    ]
-    sweep = ExperimentSweep(network, schemes, tries=num_tries())
-    config = WorkloadConfig(
+def sweep_config():
+    return WorkloadConfig(
         num_coflows=figure3_num_coflows(), mean_flow_size=8.0, release_rate=4.0, seed=3000
     )
-    return sweep.run(
-        config, "coflow_width", figure3_widths(), label_format="{value} flows"
+
+
+def run_sweep(engine=None):
+    engine = engine or make_engine(evaluation_network(), paper_schemes(), "fig3")
+    result = engine.run(
+        sweep_config(), "coflow_width", figure3_widths(), label_format="{value} flows"
     )
+    return engine, result
 
 
 @pytest.mark.benchmark(group="fig3")
 def test_fig3_coflow_width(benchmark):
-    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    engine, result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     title = (
         f"Figure 3 — coflow width sweep "
@@ -63,6 +60,7 @@ def test_fig3_coflow_width(benchmark):
         improvement_summary(
             result, "LP-Based", ["Baseline", "Schedule-only", "Route-only"]
         ),
+        engine_summary(engine),
     ]
     record("fig3_coflow_width", "\n\n".join(blocks))
 
@@ -71,3 +69,13 @@ def test_fig3_coflow_width(benchmark):
     assert result.average_improvement("LP-Based", "Schedule-only") > 5.0
     for point in result.points:
         assert point.mean("LP-Based") <= point.mean("Baseline") * 1.05
+
+    # Resumability: replaying the sweep against the warm store must not
+    # simulate anything and must reproduce the exact numbers.
+    warm = ExperimentEngine(
+        engine.network, engine.schemes, tries=engine.tries, store=engine.store
+    )
+    _, warm_result = run_sweep(warm)
+    assert warm.last_run_stats.all_cached, "warm run store re-simulated tasks"
+    for a, b in zip(result.points, warm_result.points):
+        assert a.values == b.values

@@ -5,50 +5,50 @@ The paper fixes the coflow width to 16 and sweeps the number of coflows over
 Baseline over 10 random tries; LP-Based improves on Baseline / Schedule-only /
 Route-only by 110% / 72% / 26% on average.
 
-The benchmark regenerates both panels (scaled down by default; set
-``REPRO_PAPER_SCALE=1`` for the paper's parameters) and times one full sweep.
+The benchmark regenerates both panels on the experiment engine (scaled down
+by default; set ``REPRO_PAPER_SCALE=1`` for the paper's parameters,
+``REPRO_WORKERS=<n>`` for a parallel sweep) and times one full sweep.
+Results persist in ``results/runstore/fig4.jsonl``; the warm-store replay at
+the end asserts that a re-run skips all simulation work.
 """
 
 import pytest
 
-from repro.analysis import ExperimentSweep, improvement_summary, ratio_table, sweep_table
-from repro.baselines import (
-    BaselineScheme,
-    LPBasedScheme,
-    RouteOnlyScheme,
-    ScheduleOnlyScheme,
-)
+from repro.analysis import ExperimentEngine, improvement_summary, ratio_table, sweep_table
 from repro.workloads import WorkloadConfig
 
 from common import (
+    engine_summary,
     evaluation_network,
     figure4_coflow_counts,
     figure4_width,
+    make_engine,
     num_tries,
+    paper_schemes,
     record,
 )
 
 
-def run_sweep():
-    network = evaluation_network()
-    schemes = [
-        LPBasedScheme(seed=0),
-        RouteOnlyScheme(),
-        ScheduleOnlyScheme(seed=0),
-        BaselineScheme(seed=0),
-    ]
-    sweep = ExperimentSweep(network, schemes, tries=num_tries())
-    config = WorkloadConfig(
+def sweep_config():
+    return WorkloadConfig(
         coflow_width=figure4_width(), mean_flow_size=8.0, release_rate=4.0, seed=4000
     )
-    return sweep.run(
-        config, "num_coflows", figure4_coflow_counts(), label_format="{value} coflows"
+
+
+def run_sweep(engine=None):
+    engine = engine or make_engine(evaluation_network(), paper_schemes(), "fig4")
+    result = engine.run(
+        sweep_config(),
+        "num_coflows",
+        figure4_coflow_counts(),
+        label_format="{value} coflows",
     )
+    return engine, result
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4_num_coflows(benchmark):
-    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    engine, result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     title = (
         f"Figure 4 — number-of-coflows sweep "
@@ -60,6 +60,7 @@ def test_fig4_num_coflows(benchmark):
         improvement_summary(
             result, "LP-Based", ["Baseline", "Schedule-only", "Route-only"]
         ),
+        engine_summary(engine),
     ]
     record("fig4_num_coflows", "\n\n".join(blocks))
 
@@ -67,3 +68,12 @@ def test_fig4_num_coflows(benchmark):
     assert result.average_improvement("LP-Based", "Schedule-only") > 5.0
     for point in result.points:
         assert point.mean("LP-Based") <= point.mean("Baseline") * 1.05
+
+    # Resumability: the warm store must satisfy a full replay.
+    warm = ExperimentEngine(
+        engine.network, engine.schemes, tries=engine.tries, store=engine.store
+    )
+    _, warm_result = run_sweep(warm)
+    assert warm.last_run_stats.all_cached, "warm run store re-simulated tasks"
+    for a, b in zip(result.points, warm_result.points):
+        assert a.values == b.values

@@ -3,54 +3,54 @@
 The paper's summary statistic is the average improvement of the LP-Based
 scheme over the best competing heuristic (Route-only): at least 22% across the
 experiments.  This benchmark aggregates the Figure-3 and Figure-4 regimes into
-one pool of random instances and reports the average improvement of LP-Based
-over each heuristic, timing the whole evaluation.
+one pool of random instances on the experiment engine and reports the average
+improvement of LP-Based over each heuristic, timing the whole evaluation.
+Both sweeps share one run store (``results/runstore/headline.jsonl``), so
+instances appearing in both pools are solved once.
 """
 
 import numpy as np
 import pytest
 
-from repro.analysis import ExperimentSweep, format_table
-from repro.baselines import (
-    BaselineScheme,
-    LPBasedScheme,
-    RouteOnlyScheme,
-    ScheduleOnlyScheme,
-)
+from repro.analysis import format_table
 from repro.workloads import WorkloadConfig
 
-from common import evaluation_network, figure3_num_coflows, figure4_width, num_tries, record
+from common import (
+    engine_summary,
+    evaluation_network,
+    figure3_num_coflows,
+    figure4_width,
+    make_engine,
+    paper_schemes,
+    record,
+)
 
 
 def run_pool():
     network = evaluation_network()
-    schemes = [
-        LPBasedScheme(seed=0),
-        RouteOnlyScheme(),
-        ScheduleOnlyScheme(seed=0),
-        BaselineScheme(seed=0),
-    ]
-    sweep = ExperimentSweep(network, schemes, tries=num_tries())
+    engine = make_engine(network, paper_schemes(), "headline")
     # A pool mixing the two figures' regimes: width sweep at fixed coflow
     # count plus a coflow-count point at the Figure-4 width.
-    width_result = sweep.run(
+    width_result = engine.run(
         WorkloadConfig(num_coflows=figure3_num_coflows(), mean_flow_size=8.0, release_rate=4.0, seed=5000),
         "coflow_width",
         [4, figure4_width()],
         label_format="width {value}",
     )
-    count_result = sweep.run(
+    count_result = engine.run(
         WorkloadConfig(coflow_width=figure4_width(), mean_flow_size=8.0, release_rate=4.0, seed=6000),
         "num_coflows",
         [figure3_num_coflows()],
         label_format="{value} coflows",
     )
-    return width_result, count_result
+    return engine, width_result, count_result
 
 
 @pytest.mark.benchmark(group="headline")
 def test_headline_improvement(benchmark):
-    width_result, count_result = benchmark.pedantic(run_pool, rounds=1, iterations=1)
+    engine, width_result, count_result = benchmark.pedantic(
+        run_pool, rounds=1, iterations=1
+    )
 
     references = ["Baseline", "Schedule-only", "Route-only"]
     rows = []
@@ -66,7 +66,7 @@ def test_headline_improvement(benchmark):
         title="Headline: average improvement of LP-Based (paper: 110-126% vs Baseline, "
         "72-96% vs Schedule-only, 22-26% vs Route-only)",
     )
-    record("headline_improvement", table)
+    record("headline_improvement", table + "\n\n" + engine_summary(engine))
 
     improvements = {row[0]: row[1] for row in rows}
     assert improvements["Baseline"] > 10.0

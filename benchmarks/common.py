@@ -14,18 +14,37 @@ re-run quickly.  Two environment variables control the scale:
 Each benchmark prints the paper-style tables (the two panels of the figure it
 reproduces) and also appends them to ``benchmarks/results/*.txt`` so the
 output survives pytest's capture.
+
+The figure benchmarks run on the parallel, resumable experiment engine.  Two
+more environment variables control it:
+
+* ``REPRO_WORKERS=<n>`` — worker processes for the engine (default 0 =
+  serial in-process; ``>= 2`` fans (point x try x scheme) tasks out over a
+  process pool);
+* ``REPRO_RUNSTORE=0`` — disable the on-disk run store (default: each
+  figure benchmark persists to ``benchmarks/results/runstore/<name>.jsonl``,
+  so a re-run skips all LP solves and simulations and only re-aggregates —
+  delete the file to force a cold run).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
+from repro.analysis import ExperimentEngine, RunStore
+from repro.baselines import (
+    BaselineScheme,
+    LPBasedScheme,
+    RouteOnlyScheme,
+    ScheduleOnlyScheme,
+)
 from repro.core import topologies
 from repro.core.network import Network
 
 RESULTS_DIR = Path(__file__).parent / "results"
+RUNSTORE_DIR = RESULTS_DIR / "runstore"
 
 
 def paper_scale() -> bool:
@@ -36,6 +55,50 @@ def paper_scale() -> bool:
 def num_tries(default: int = 2) -> int:
     """Random tries per sweep point (the paper averages 10)."""
     return int(os.environ.get("REPRO_TRIES", default))
+
+
+def num_workers(default: int = 0) -> int:
+    """Engine worker processes (0 = serial)."""
+    return int(os.environ.get("REPRO_WORKERS", default))
+
+
+def paper_schemes() -> List:
+    """The four schemes of Section 4.3, as evaluated by every figure."""
+    return [
+        LPBasedScheme(seed=0),
+        RouteOnlyScheme(),
+        ScheduleOnlyScheme(seed=0),
+        BaselineScheme(seed=0),
+    ]
+
+
+def run_store(name: str) -> Optional[RunStore]:
+    """The persistent run store for one benchmark (or ``None`` if disabled)."""
+    if os.environ.get("REPRO_RUNSTORE", "1") in ("", "0", "false", "False"):
+        return None
+    RUNSTORE_DIR.mkdir(parents=True, exist_ok=True)
+    return RunStore(RUNSTORE_DIR / f"{name}.jsonl")
+
+
+def make_engine(network: Network, schemes, name: str, tries: Optional[int] = None) -> ExperimentEngine:
+    """An experiment engine wired to the benchmark environment knobs."""
+    return ExperimentEngine(
+        network,
+        schemes,
+        tries=num_tries() if tries is None else tries,
+        workers=num_workers(),
+        store=run_store(name),
+    )
+
+
+def engine_summary(engine: ExperimentEngine) -> str:
+    """One-line cache/parallelism report for a finished engine run."""
+    stats = engine.last_run_stats
+    return (
+        f"engine: {stats.total_tasks} tasks, {stats.cached} cached, "
+        f"{stats.executed} executed, {stats.workers} worker(s), "
+        f"{stats.seconds:.2f}s"
+    )
 
 
 def evaluation_network() -> Network:

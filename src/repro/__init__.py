@@ -36,10 +36,10 @@ Quickstart::
     print(lp.weighted_completion_time, base.weighted_completion_time)
 """
 
+__version__ = "1.0.0"
+
 from . import analysis, baselines, circuit, core, lp, packet, sim, switch, workloads
 from .core import Coflow, CoflowInstance, Flow, Network, topologies
-
-__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -1,10 +1,24 @@
-"""Experiment sweeps and report formatting for the benchmark harness."""
+"""Experiment engine, sweep aggregation and report formatting.
 
+The analysis layer turns (topology, workload config, schemes) into the
+paper's figures: :class:`ExperimentEngine` executes the (point x try x
+scheme) task grid — serially or over a process pool, cached in a resumable
+:class:`RunStore` — :class:`SweepResult` aggregates the metrics, and the
+report helpers render the paper-style tables.
+"""
+
+from .engine import EngineRunStats, ExperimentEngine, ExperimentSweep, ExperimentTask
 from .report import format_table, improvement_summary, ratio_table, sweep_table
-from .sweep import ExperimentSweep, SweepPoint, SweepResult
+from .runstore import RunStore, run_key
+from .sweep import SweepPoint, SweepResult
 
 __all__ = [
+    "ExperimentEngine",
     "ExperimentSweep",
+    "ExperimentTask",
+    "EngineRunStats",
+    "RunStore",
+    "run_key",
     "SweepPoint",
     "SweepResult",
     "format_table",

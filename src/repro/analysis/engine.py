@@ -1,0 +1,307 @@
+"""Parallel, resumable experiment engine.
+
+The paper's evaluation (Section 4, Figures 3-4) is a sweep: several random
+instances per parameter value, every scheme on every instance through the
+flow-level simulator.  The engine decomposes such a sweep into independent
+*(sweep point x random try x scheme)* tasks and executes them either serially
+in-process or fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(one task = generate the instance from its seed, compute the scheme's plan —
+LP solve included — and simulate it).
+
+Results stream into a :class:`~repro.analysis.runstore.RunStore` keyed by
+``(topology fingerprint, workload config incl. seed, scheme signature)``:
+
+* an interrupted sweep resumes — already-persisted tasks are never re-run;
+* repeated benchmark invocations with a warm store skip all LP/simulation
+  work and only re-aggregate;
+* parallel and serial execution produce bit-identical results, because every
+  task derives its randomness from the config seed alone (covered by
+  ``tests/analysis/test_engine.py``).
+
+:class:`ExperimentSweep` remains as the serial-default alias so existing
+callers keep working.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..baselines.base import Scheme
+from ..core.flows import CoflowInstance
+from ..core.network import Network
+from ..sim import FlowLevelSimulator, SchemeComparison
+from ..workloads.generator import CoflowGenerator, WorkloadConfig
+from ..workloads.serialization import config_to_dict
+from .runstore import RunStore, run_key
+from .sweep import SweepPoint, SweepResult
+
+__all__ = ["ExperimentEngine", "ExperimentSweep", "ExperimentTask", "EngineRunStats"]
+
+#: One sweep point: display label plus the workload configs (one per random
+#: try, each carrying its own seed) evaluated at that point.
+PointSpec = Tuple[str, Sequence[WorkloadConfig]]
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of work: run one scheme on one generated instance."""
+
+    point_index: int
+    label: str
+    trial: int
+    scheme_index: int
+    scheme_name: str
+    config: WorkloadConfig
+    key: str
+
+
+@dataclass
+class EngineRunStats:
+    """Accounting for the most recent :meth:`ExperimentEngine.run_points`."""
+
+    total_tasks: int = 0
+    cached: int = 0
+    executed: int = 0
+    workers: int = 1
+    seconds: float = 0.0
+
+    @property
+    def all_cached(self) -> bool:
+        """True when a warm run store satisfied every task (no simulation)."""
+        return self.total_tasks > 0 and self.executed == 0
+
+
+# ----------------------------------------------------------------- task body
+
+def _execute_task(
+    network: Network,
+    simulator: FlowLevelSimulator,
+    scheme: Scheme,
+    task: ExperimentTask,
+    topology_fingerprint: str,
+) -> Dict[str, Any]:
+    """Generate the instance, plan, simulate; return the run-store record."""
+    instance = CoflowGenerator(network, task.config).instance()
+    plan = scheme.plan(instance, network)
+    result = simulator.run(instance, plan)
+    return {
+        "scheme": scheme.name,
+        "signature": scheme.signature(),
+        "topology": topology_fingerprint,
+        "config": config_to_dict(task.config),
+        "metrics": result.metrics(),
+        "events": result.events,
+        "instance": instance.name,
+    }
+
+
+#: Per-worker state installed by the pool initializer (network and schemes
+#: are pickled once per worker instead of once per task).
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _worker_init(network: Network, schemes: Sequence[Scheme], fingerprint: str) -> None:
+    _WORKER_STATE["network"] = network
+    _WORKER_STATE["schemes"] = list(schemes)
+    _WORKER_STATE["simulator"] = FlowLevelSimulator(network)
+    _WORKER_STATE["fingerprint"] = fingerprint
+
+
+def _worker_run(task: ExperimentTask) -> Tuple[str, Dict[str, Any]]:
+    record = _execute_task(
+        _WORKER_STATE["network"],
+        _WORKER_STATE["simulator"],
+        _WORKER_STATE["schemes"][task.scheme_index],
+        task,
+        _WORKER_STATE["fingerprint"],
+    )
+    return task.key, record
+
+
+# -------------------------------------------------------------------- engine
+
+class ExperimentEngine:
+    """Run schemes over workload sweeps, in parallel and resumably.
+
+    Parameters
+    ----------
+    network:
+        The evaluation topology.  ``None`` requires ``base_config.topology``
+        to carry a spec string (see :meth:`for_config`).
+    schemes:
+        The schemes to compare (each task pickles only its index, so schemes
+        must be picklable for parallel runs — all built-in schemes are).
+    tries:
+        Random instances averaged per sweep point (the paper uses 10).
+    metric:
+        Attribute of :class:`~repro.sim.simulator.SimulationResult` reported
+        by the resulting :class:`~repro.analysis.sweep.SweepResult`.
+    workers:
+        ``None``, 0 or 1 run serially in-process; ``>= 2`` fans tasks out
+        over that many worker processes.
+    store:
+        A :class:`~repro.analysis.runstore.RunStore`, a path to a JSONL store
+        file, or ``None`` for a process-local in-memory store.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        schemes: Sequence[Scheme],
+        tries: int = 10,
+        metric: str = "weighted_completion_time",
+        workers: Optional[int] = None,
+        store: Union[RunStore, str, None] = None,
+    ) -> None:
+        if not schemes:
+            raise ValueError("need at least one scheme")
+        if tries < 1:
+            raise ValueError("need at least one try per point")
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.network = network
+        self.schemes = list(schemes)
+        self.tries = tries
+        self.metric = metric
+        self.workers = workers
+        self.simulator = FlowLevelSimulator(network)
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.topology_fingerprint = network.fingerprint()
+        self.last_run_stats = EngineRunStats()
+
+    @classmethod
+    def for_config(
+        cls, config: WorkloadConfig, schemes: Sequence[Scheme], **kwargs: Any
+    ) -> "ExperimentEngine":
+        """Build an engine on the topology named by ``config.topology``."""
+        return cls(config.build_network(), schemes, **kwargs)
+
+    # ----------------------------------------------------------------- pieces
+    def run_instance(self, instance: CoflowInstance) -> SchemeComparison:
+        """Run every scheme on one concrete instance (serial, uncached)."""
+        comparison = SchemeComparison(metric=self.metric)
+        for scheme in self.schemes:
+            plan = scheme.plan(instance, self.network)
+            comparison.add(self.simulator.run(instance, plan))
+        return comparison
+
+    def tasks_for(self, points: Sequence[PointSpec]) -> List[ExperimentTask]:
+        """Expand point specs into the flat (point x try x scheme) task list."""
+        tasks: List[ExperimentTask] = []
+        for point_index, (label, configs) in enumerate(points):
+            for trial, config in enumerate(configs):
+                for scheme_index, scheme in enumerate(self.schemes):
+                    tasks.append(
+                        ExperimentTask(
+                            point_index=point_index,
+                            label=label,
+                            trial=trial,
+                            scheme_index=scheme_index,
+                            scheme_name=scheme.name,
+                            config=config,
+                            key=run_key(
+                                self.topology_fingerprint, config, scheme.signature()
+                            ),
+                        )
+                    )
+        return tasks
+
+    # ------------------------------------------------------------------- runs
+    def run_points(self, points: Sequence[PointSpec]) -> SweepResult:
+        """Execute all tasks for ``points`` and aggregate a sweep result.
+
+        Tasks whose key is already in the run store are served from it; the
+        rest run serially or in the worker pool and stream into the store as
+        they complete (so interruption loses at most the in-flight tasks).
+        """
+        started = time.perf_counter()
+        tasks = self.tasks_for(points)
+        pending = [task for task in tasks if self.store.get(task.key) is None]
+        cached = len(tasks) - len(pending)
+
+        workers = self.workers or 1
+        if pending:
+            if workers >= 2:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(self.network, self.schemes, self.topology_fingerprint),
+                ) as pool:
+                    futures = [pool.submit(_worker_run, task) for task in pending]
+                    for future in as_completed(futures):
+                        key, record = future.result()
+                        self.store.put(key, record)
+            else:
+                for task in pending:
+                    record = _execute_task(
+                        self.network,
+                        self.simulator,
+                        self.schemes[task.scheme_index],
+                        task,
+                        self.topology_fingerprint,
+                    )
+                    self.store.put(task.key, record)
+
+        result = SweepResult(metric=self.metric)
+        result.points = [SweepPoint(label=label) for label, _ in points]
+        for task in tasks:
+            record = self.store.peek(task.key)
+            assert record is not None, f"run store lost task {task.key}"
+            result.points[task.point_index].add(
+                task.scheme_name, float(record["metrics"][self.metric])
+            )
+
+        self.last_run_stats = EngineRunStats(
+            total_tasks=len(tasks),
+            cached=cached,
+            executed=len(pending),
+            workers=workers,
+            seconds=time.perf_counter() - started,
+        )
+        return result
+
+    def run(
+        self,
+        base_config: WorkloadConfig,
+        parameter: str,
+        values: Sequence[Any],
+        label_format: str = "{value}",
+    ) -> SweepResult:
+        """Sweep one :class:`WorkloadConfig` field over ``values``.
+
+        ``parameter`` may be any config field (``"coflow_width"`` is
+        Figure 3, ``"num_coflows"`` Figure 4; ``"mean_flow_size"``,
+        ``"pareto_shape"`` etc. open the scenario families); each point is
+        averaged over ``self.tries`` random instances with distinct seeds.
+        """
+        points: List[PointSpec] = []
+        for value in values:
+            config = self._with_parameter(base_config, parameter, value)
+            configs = [config.with_seed(config.seed + k) for k in range(self.tries)]
+            points.append((label_format.format(value=value), configs))
+        return self.run_points(points)
+
+    @staticmethod
+    def _with_parameter(
+        config: WorkloadConfig, parameter: str, value: Any
+    ) -> WorkloadConfig:
+        known = {f.name for f in fields(WorkloadConfig)}
+        if parameter not in known:
+            raise ValueError(
+                f"unknown sweep parameter {parameter!r} "
+                f"(workload config fields: {', '.join(sorted(known))})"
+            )
+        current = getattr(config, parameter)
+        if isinstance(current, bool):
+            value = bool(value)
+        elif isinstance(current, int):
+            value = int(value)
+        return replace(config, **{parameter: value})
+
+
+#: Backwards-compatible name: the engine with its serial defaults is a
+#: drop-in replacement for the original single-process sweep runner.
+ExperimentSweep = ExperimentEngine

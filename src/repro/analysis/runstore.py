@@ -1,0 +1,117 @@
+"""On-disk run store for the experiment engine.
+
+Every simulated (topology, workload config, seed, scheme) combination is one
+*run*; the store maps a stable digest of that key to the run's scalar
+metrics.  Records are appended to a JSONL file as results arrive, so an
+interrupted sweep loses at most the in-flight tasks and a re-invocation
+resumes from what is already on disk; repeated benchmark invocations hit the
+cache instead of re-solving LPs and re-simulating.
+
+Layout: one JSON object per line, ``{"key": <digest>, "record": {...}}``.
+The record carries the full key fields (topology fingerprint, config dict,
+scheme signature) alongside the metrics, so a store file is self-describing
+and can be post-processed without the engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import __version__
+from ..workloads.generator import WorkloadConfig
+from ..workloads.serialization import config_to_dict
+
+__all__ = ["RunStore", "run_key"]
+
+
+def run_key(topology_fingerprint: str, config: WorkloadConfig, scheme_signature: str) -> str:
+    """Digest identifying one run: (topology, config incl. seed, scheme).
+
+    The config dict includes the instance seed, so every random try of a
+    sweep point gets its own key.  The package version is mixed in so stores
+    invalidate across releases; *within* a development version the store
+    cannot see code changes — delete the store file after editing scheme or
+    simulator logic (benchmark stores live under
+    ``benchmarks/results/runstore/``).
+    """
+    payload = json.dumps(
+        {
+            "version": __version__,
+            "topology": topology_fingerprint,
+            "config": config_to_dict(config),
+            "scheme": scheme_signature,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class RunStore:
+    """A dict of run records, optionally mirrored to an append-only JSONL file.
+
+    Parameters
+    ----------
+    path:
+        JSONL file backing the store.  ``None`` keeps the store in memory
+        only (still useful for intra-process caching).  Existing files are
+        loaded eagerly; later records for the same key win, so appending is
+        always safe.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, Dict[str, Any]] = {}
+        #: cache accounting for the current process (resume/determinism tests
+        #: and benchmark reports read these).
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            with self.path.open() as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    entry = json.loads(line)
+                    self._records[entry["key"]] = entry["record"]
+
+    # ------------------------------------------------------------------ query
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look up a record, counting the hit or miss."""
+        record = self._records.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look up a record without touching the hit/miss counters."""
+        return self._records.get(key)
+
+    # ----------------------------------------------------------------- update
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Insert a record and (when file-backed) append it to disk."""
+        self._records[key] = record
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps({"key": key, "record": record}, default=repr))
+                handle.write("\n")
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = str(self.path) if self.path else "memory"
+        return f"RunStore({where}, records={len(self)})"

@@ -1,27 +1,23 @@
-"""Experiment sweeps: the machinery behind Figures 3 and 4.
+"""Sweep result containers: the data behind Figures 3 and 4.
 
 The paper's evaluation varies one workload parameter at a time (coflow width
 in Figure 3, number of coflows in Figure 4), generates 10 random instances
 per point, runs every scheme on every instance through the flow-level
 simulator, and reports per-point averages plus ratios to the Baseline scheme.
-:class:`ExperimentSweep` implements exactly that loop; the benchmark modules
-only declare the parameter grid and print the result.
+:class:`SweepPoint` and :class:`SweepResult` hold those aggregates; the loop
+that fills them lives in :class:`repro.analysis.engine.ExperimentEngine`
+(serial or multi-process, backed by a resumable run store), and the benchmark
+modules only declare the parameter grid and print the result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
-from ..baselines.base import Scheme
-from ..core.flows import CoflowInstance
-from ..core.network import Network
-from ..sim import FlowLevelSimulator, SchemeComparison, SimulationResult
-from ..workloads.generator import CoflowGenerator, WorkloadConfig
-
-__all__ = ["SweepPoint", "SweepResult", "ExperimentSweep"]
+__all__ = ["SweepPoint", "SweepResult"]
 
 
 @dataclass
@@ -84,73 +80,3 @@ class SweepResult:
         """Improvement of ``scheme`` over ``reference`` averaged over all points."""
         values = [point.improvement_percent(scheme, reference) for point in self.points]
         return float(np.mean(values)) if values else float("nan")
-
-
-class ExperimentSweep:
-    """Run a set of schemes over a one-dimensional workload sweep."""
-
-    def __init__(
-        self,
-        network: Network,
-        schemes: Sequence[Scheme],
-        tries: int = 10,
-        metric: str = "weighted_completion_time",
-    ) -> None:
-        if not schemes:
-            raise ValueError("need at least one scheme")
-        if tries < 1:
-            raise ValueError("need at least one try per point")
-        self.network = network
-        self.schemes = list(schemes)
-        self.tries = tries
-        self.metric = metric
-        self.simulator = FlowLevelSimulator(network)
-
-    # ----------------------------------------------------------------- pieces
-    def run_instance(self, instance: CoflowInstance) -> SchemeComparison:
-        """Run every scheme on one instance."""
-        comparison = SchemeComparison(metric=self.metric)
-        for scheme in self.schemes:
-            plan = scheme.plan(instance, self.network)
-            comparison.add(self.simulator.run(instance, plan))
-        return comparison
-
-    def run_point(
-        self, label: str, configs: Iterable[WorkloadConfig]
-    ) -> SweepPoint:
-        """Run every scheme on every instance generated from ``configs``."""
-        point = SweepPoint(label=label)
-        for config in configs:
-            instance = CoflowGenerator(self.network, config).instance()
-            comparison = self.run_instance(instance)
-            for name in comparison.schemes():
-                point.add(name, comparison.value(name))
-        return point
-
-    # ------------------------------------------------------------------- runs
-    def run(
-        self,
-        base_config: WorkloadConfig,
-        parameter: str,
-        values: Sequence[int],
-        label_format: str = "{value}",
-    ) -> SweepResult:
-        """Sweep ``parameter`` of the workload config over ``values``.
-
-        ``parameter`` is either ``"coflow_width"`` (Figure 3) or
-        ``"num_coflows"`` (Figure 4); each point is averaged over
-        ``self.tries`` random instances with distinct seeds.
-        """
-        if parameter not in ("coflow_width", "num_coflows"):
-            raise ValueError(f"unknown sweep parameter {parameter!r}")
-        result = SweepResult(metric=self.metric)
-        for value in values:
-            if parameter == "coflow_width":
-                config = base_config.with_width(int(value))
-            else:
-                config = base_config.with_num_coflows(int(value))
-            configs = [config.with_seed(config.seed + k) for k in range(self.tries)]
-            result.points.append(
-                self.run_point(label_format.format(value=value), configs)
-            )
-        return result

@@ -42,6 +42,24 @@ class Scheme(abc.ABC):
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
         """Compute the simulation plan for ``instance`` on ``network``."""
 
+    def signature(self) -> str:
+        """Stable identity string: scheme name plus its parameters.
+
+        Two scheme objects with the same signature produce the same plan on
+        the same instance, so the experiment engine's run store keys cached
+        results on it.  Mutable result attributes (``last_*`` diagnostics)
+        are excluded; every other attribute is included via ``repr`` —
+        parameters whose repr is unstable across processes (default object
+        repr) merely cause cache misses, never cache corruption.
+        """
+        params = {
+            key: value
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("last")
+        }
+        rendered = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{self.name}({rendered})"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 

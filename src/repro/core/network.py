@@ -19,6 +19,7 @@ string names such as ``"host_3"`` and ``"edge_1_0"``).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -284,6 +285,23 @@ class Network:
         for u, v in path_edges(path):
             if not self.has_edge(u, v):
                 raise ValueError(f"path uses missing edge {(u, v)!r}")
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the topology (nodes, edges, capacities).
+
+        Two :class:`Network` objects with the same node set and the same
+        capacitated edge set produce the same fingerprint regardless of
+        insertion order.  The experiment engine's run store uses this to key
+        cached results by topology.
+        """
+        hasher = hashlib.sha256()
+        for node in sorted(self._graph.nodes, key=repr):
+            hasher.update(repr(node).encode())
+            hasher.update(b"\x00")
+        for (u, v), cap in sorted(self.capacities().items(), key=lambda kv: repr(kv[0])):
+            hasher.update(f"{u!r}->{v!r}:{cap!r}".encode())
+            hasher.update(b"\x00")
+        return hasher.hexdigest()[:16]
 
     def copy(self) -> "Network":
         """Deep copy of the network."""

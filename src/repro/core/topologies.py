@@ -6,6 +6,9 @@ example (Figure 1).  This module builds those topologies plus the standard
 structures used throughout the test-suite and the extension modules:
 
 * :func:`fat_tree` — the k-ary fat-tree of Al-Fares et al. (k^3/4 hosts),
+  optionally oversubscribed at the edge/aggregation uplinks,
+* :func:`leaf_spine` — the two-tier Clos fabric of modern datacenters,
+* :func:`random_regular` — a jellyfish-style random regular switch fabric,
 * :func:`triangle` — the three-node example network of Figure 1,
 * :func:`nonblocking_switch` — the big-switch abstraction used by the Varys
   line of work (every host pair connected through a single crossbar node),
@@ -16,13 +19,19 @@ structures used throughout the test-suite and the extension modules:
 All builders return :class:`repro.core.network.Network` objects with
 bidirectional (two directed edges) links, matching the paper's model of
 full-duplex datacenter links.
+
+Every named builder is also reachable by a compact *spec string* through
+:func:`from_spec` (e.g. ``"fat_tree(k=4, oversubscription=2)"``), which is
+how :class:`repro.workloads.generator.WorkloadConfig` and the experiment
+engine's run store refer to topologies declaratively.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -31,6 +40,8 @@ from .network import Network
 __all__ = [
     "fat_tree",
     "fat_tree_hosts",
+    "leaf_spine",
+    "random_regular",
     "triangle",
     "nonblocking_switch",
     "line",
@@ -39,6 +50,8 @@ __all__ = [
     "tree",
     "random_graph",
     "host_nodes",
+    "from_spec",
+    "TOPOLOGY_BUILDERS",
 ]
 
 #: Default link capacity, interpreted as 1 Gb/s expressed in Gb/s.
@@ -56,7 +69,11 @@ def host_nodes(network: Network) -> List[str]:
     )
 
 
-def fat_tree(k: int = 4, link_capacity: float = DEFAULT_LINK_CAPACITY) -> Network:
+def fat_tree(
+    k: int = 4,
+    link_capacity: float = DEFAULT_LINK_CAPACITY,
+    oversubscription: float = 1.0,
+) -> Network:
     """Build a k-ary fat-tree.
 
     The fat-tree has ``k`` pods; each pod contains ``k/2`` edge switches and
@@ -71,14 +88,21 @@ def fat_tree(k: int = 4, link_capacity: float = DEFAULT_LINK_CAPACITY) -> Networ
     * agg sw.:    ``agg_{pod}_{i}``
     * core sw.:   ``core_{i}_{j}`` for ``i, j in range(k/2)``
 
-    Every link is added in both directions with capacity ``link_capacity``.
+    Every link is added in both directions.  Host links always have capacity
+    ``link_capacity``; switch-to-switch links (edge-agg and agg-core) have
+    capacity ``link_capacity / oversubscription``, so ``oversubscription > 1``
+    models the under-provisioned cores common in production datacenters
+    (``1`` is the paper's full-bisection fabric).
     """
     if k < 2 or k % 2 != 0:
         raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {k}")
     if link_capacity <= 0:
         raise ValueError("link capacity must be positive")
+    if oversubscription < 1.0:
+        raise ValueError("oversubscription ratio must be at least 1")
 
     half = k // 2
+    uplink_capacity = link_capacity / oversubscription
     net = Network(default_capacity=link_capacity)
 
     host_id = 0
@@ -91,12 +115,12 @@ def fat_tree(k: int = 4, link_capacity: float = DEFAULT_LINK_CAPACITY) -> Networ
                 host_id += 1
             for a in range(half):
                 agg_sw = f"agg_{pod}_{a}"
-                net.add_bidirectional_edge(edge_sw, agg_sw, capacity=link_capacity)
+                net.add_bidirectional_edge(edge_sw, agg_sw, capacity=uplink_capacity)
         for a in range(half):
             agg_sw = f"agg_{pod}_{a}"
             for c in range(half):
                 core_sw = f"core_{a}_{c}"
-                net.add_bidirectional_edge(agg_sw, core_sw, capacity=link_capacity)
+                net.add_bidirectional_edge(agg_sw, core_sw, capacity=uplink_capacity)
     return net
 
 
@@ -105,6 +129,92 @@ def fat_tree_hosts(k: int) -> int:
     if k < 2 or k % 2 != 0:
         raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {k}")
     return k**3 // 4
+
+
+def leaf_spine(
+    num_leaves: int = 4,
+    num_spines: int = 2,
+    hosts_per_leaf: int = 4,
+    link_capacity: float = DEFAULT_LINK_CAPACITY,
+    uplink_capacity: Optional[float] = None,
+) -> Network:
+    """A two-tier leaf-spine (folded Clos) fabric.
+
+    Every host connects to exactly one leaf switch; every leaf connects to
+    every spine.  This is the dominant modern datacenter fabric and — unlike
+    the fat-tree — has exactly ``num_spines`` equal-length core paths between
+    hosts under different leaves, which stresses the routing side of the
+    paper's algorithm.
+
+    Node naming scheme: ``host_{i}``, ``leaf_{l}``, ``spine_{s}``.  Host
+    links have capacity ``link_capacity``; leaf-spine links default to the
+    same (full bisection when ``num_spines * uplink >= hosts_per_leaf *
+    link_capacity``) and can be set independently via ``uplink_capacity``.
+    """
+    if num_leaves < 2:
+        raise ValueError("a leaf-spine fabric needs at least two leaves")
+    if num_spines < 1:
+        raise ValueError("a leaf-spine fabric needs at least one spine")
+    if hosts_per_leaf < 1:
+        raise ValueError("each leaf needs at least one host")
+    if link_capacity <= 0:
+        raise ValueError("link capacity must be positive")
+    uplink = link_capacity if uplink_capacity is None else float(uplink_capacity)
+    if uplink <= 0:
+        raise ValueError("uplink capacity must be positive")
+
+    net = Network(default_capacity=link_capacity)
+    host_id = 0
+    for leaf in range(num_leaves):
+        leaf_sw = f"leaf_{leaf}"
+        for _ in range(hosts_per_leaf):
+            net.add_bidirectional_edge(f"host_{host_id}", leaf_sw, capacity=link_capacity)
+            host_id += 1
+        for spine in range(num_spines):
+            net.add_bidirectional_edge(leaf_sw, f"spine_{spine}", capacity=uplink)
+    return net
+
+
+def random_regular(
+    num_switches: int = 8,
+    degree: int = 3,
+    hosts_per_switch: int = 2,
+    link_capacity: float = DEFAULT_LINK_CAPACITY,
+    seed: Optional[int] = 0,
+) -> Network:
+    """A jellyfish-style fabric: a random regular graph of switches.
+
+    Following the Jellyfish proposal (Singla et al., NSDI'12), the switch
+    layer is a uniformly random ``degree``-regular graph (``num_switches *
+    degree`` must be even) and each switch additionally serves
+    ``hosts_per_switch`` hosts.  Random regular graphs have near-optimal
+    expansion, so path diversity is high but paths are irregular — the
+    opposite regime from the symmetric fat-tree.
+
+    Node naming scheme: ``host_{i}``, ``sw_{s}``.  All links are
+    bidirectional with capacity ``link_capacity``.
+    """
+    if num_switches < 2:
+        raise ValueError("need at least two switches")
+    if not (0 < degree < num_switches):
+        raise ValueError("switch degree must be in (0, num_switches)")
+    if (num_switches * degree) % 2 != 0:
+        raise ValueError("num_switches * degree must be even for a regular graph")
+    if hosts_per_switch < 1:
+        raise ValueError("each switch needs at least one host")
+    if link_capacity <= 0:
+        raise ValueError("link capacity must be positive")
+
+    fabric = nx.random_regular_graph(degree, num_switches, seed=seed)
+    net = Network(default_capacity=link_capacity)
+    host_id = 0
+    for sw in range(num_switches):
+        for _ in range(hosts_per_switch):
+            net.add_bidirectional_edge(f"host_{host_id}", f"sw_{sw}", capacity=link_capacity)
+            host_id += 1
+    for u, v in sorted(fabric.edges()):
+        net.add_bidirectional_edge(f"sw_{u}", f"sw_{v}", capacity=link_capacity)
+    return net
 
 
 def triangle(capacity: float = 1.0) -> Network:
@@ -239,3 +349,73 @@ def random_graph(
             if rng.random() < edge_probability:
                 net.add_edge(u, v, capacity=rng.uniform(lo, hi))
     return net
+
+
+# --------------------------------------------------------------- spec strings
+
+#: Named builders reachable from declarative topology specs.
+TOPOLOGY_BUILDERS: Dict[str, Callable[..., Network]] = {
+    "fat_tree": fat_tree,
+    "leaf_spine": leaf_spine,
+    "random_regular": random_regular,
+    "nonblocking_switch": nonblocking_switch,
+    "triangle": triangle,
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "tree": tree,
+    "random_graph": random_graph,
+}
+
+_SPEC_RE = re.compile(r"^\s*(?P<name>[a-z_][a-z0-9_]*)\s*(?:\((?P<args>[^()]*)\))?\s*$")
+
+
+def _parse_spec_value(text: str) -> object:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def from_spec(spec: str) -> Network:
+    """Build a topology from a compact spec string.
+
+    A spec is ``"name"`` or ``"name(key=value, ...)"`` where ``name`` is one
+    of :data:`TOPOLOGY_BUILDERS` and values are int/float/bool/``none``
+    literals (anything else is passed through as a string).  Examples::
+
+        from_spec("fat_tree(k=4)")
+        from_spec("fat_tree(k=8, oversubscription=4)")
+        from_spec("leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=4)")
+        from_spec("random_regular(num_switches=10, degree=3, seed=7)")
+
+    Spec strings are how workload configs and the experiment engine's run
+    store name topologies declaratively (they are hashable and JSON-safe,
+    unlike :class:`Network` objects).
+    """
+    match = _SPEC_RE.match(spec)
+    if not match:
+        raise ValueError(f"malformed topology spec {spec!r}")
+    name = match.group("name")
+    if name not in TOPOLOGY_BUILDERS:
+        known = ", ".join(sorted(TOPOLOGY_BUILDERS))
+        raise ValueError(f"unknown topology {name!r} (known: {known})")
+    kwargs: Dict[str, object] = {}
+    args_text = match.group("args") or ""
+    for part in filter(None, (p.strip() for p in args_text.split(","))):
+        if "=" not in part:
+            raise ValueError(
+                f"topology spec arguments must be key=value pairs, got {part!r}"
+            )
+        key, _, value = part.partition("=")
+        kwargs[key.strip()] = _parse_spec_value(value.strip())
+    return TOPOLOGY_BUILDERS[name](**kwargs)

@@ -53,9 +53,14 @@ class SchemeComparison:
     def ratios_to(self, reference: str) -> Dict[str, float]:
         """Each scheme's value divided by the reference scheme's value.
 
-        This is the paper's "ratio with respect to baseline" panel.
+        This is the paper's "ratio with respect to baseline" panel.  A
+        non-positive reference value yields NaN ratios (mirroring the guard
+        in :meth:`repro.analysis.sweep.SweepPoint.ratio_to`) instead of
+        raising ``ZeroDivisionError``.
         """
         ref = self.value(reference)
+        if ref <= 0:
+            return {name: float("nan") for name in self.results}
         return {name: self.value(name) / ref for name in self.results}
 
     def improvement_over(self, scheme: str, reference: str) -> float:

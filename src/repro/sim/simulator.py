@@ -70,6 +70,19 @@ class SimulationResult:
     def makespan(self) -> float:
         return self.breakdown.makespan
 
+    def metrics(self) -> Dict[str, float]:
+        """The scalar metrics of this run as a plain (JSON-safe) dict.
+
+        This is the payload the experiment engine persists in its run store;
+        keys match the metric names accepted by sweeps and comparisons.
+        """
+        return {
+            "weighted_completion_time": float(self.weighted_completion_time),
+            "total_completion_time": float(self.total_completion_time),
+            "average_completion_time": float(self.average_completion_time),
+            "makespan": float(self.makespan),
+        }
+
 
 class FlowLevelSimulator:
     """Simulate a :class:`SimulationPlan` on a network.

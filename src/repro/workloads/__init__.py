@@ -1,7 +1,15 @@
 """Workload generation: Poisson instances (Section 4.1) and synthetic traces."""
 
-from .generator import CoflowGenerator, WorkloadConfig, generate_instance
+from .generator import (
+    ENDPOINT_DISTRIBUTIONS,
+    FLOW_SIZE_DISTRIBUTIONS,
+    CoflowGenerator,
+    WorkloadConfig,
+    generate_instance,
+)
 from .serialization import (
+    config_from_dict,
+    config_to_dict,
     instance_from_dict,
     instance_to_dict,
     load_instance,
@@ -13,6 +21,8 @@ __all__ = [
     "WorkloadConfig",
     "CoflowGenerator",
     "generate_instance",
+    "FLOW_SIZE_DISTRIBUTIONS",
+    "ENDPOINT_DISTRIBUTIONS",
     "mapreduce_shuffle",
     "broadcast",
     "heavy_tailed_instance",
@@ -20,4 +30,6 @@ __all__ = [
     "instance_from_dict",
     "save_instance",
     "load_instance",
+    "config_to_dict",
+    "config_from_dict",
 ]

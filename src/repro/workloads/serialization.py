@@ -1,19 +1,30 @@
-"""JSON (de)serialization of coflow instances.
+"""JSON (de)serialization of coflow instances and workload configs.
 
 Lets benchmark workloads be saved and replayed exactly, and makes it easy to
 import externally collected coflow traces (e.g. the published Facebook trace
 format: per-coflow lists of source/destination/bytes) into the data model.
+Workload configs round-trip through plain dictionaries so the experiment
+engine's run store can persist them (and key cached results on them).
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict, fields
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from ..core.flows import Coflow, CoflowInstance, Flow
+from .generator import WorkloadConfig
 
-__all__ = ["instance_to_dict", "instance_from_dict", "save_instance", "load_instance"]
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 
 def instance_to_dict(instance: CoflowInstance) -> Dict[str, Any]:
@@ -62,6 +73,21 @@ def instance_from_dict(data: Dict[str, Any]) -> CoflowInstance:
             )
         )
     return CoflowInstance(coflows=coflows, name=data.get("name"))
+
+
+def config_to_dict(config: WorkloadConfig) -> Dict[str, Any]:
+    """Convert a workload config to a JSON-serializable dictionary."""
+    return asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> WorkloadConfig:
+    """Inverse of :func:`config_to_dict`.
+
+    Unknown keys are ignored so run stores written by newer versions (with
+    extra config fields) still load.
+    """
+    known = {f.name for f in fields(WorkloadConfig)}
+    return WorkloadConfig(**{k: v for k, v in data.items() if k in known})
 
 
 def save_instance(instance: CoflowInstance, path: Union[str, Path]) -> None:

@@ -1,0 +1,182 @@
+"""Tests for the parallel, resumable experiment engine.
+
+The two engine guarantees the benchmarks lean on:
+
+* **determinism** — a parallel sweep (>= 2 worker processes) produces results
+  identical to the serial sweep for the same seeds, because each task derives
+  all randomness from its config seed;
+* **resumability** — re-running against a warm run store reuses every cached
+  entry without re-simulating (asserted through the store's hit/miss
+  accounting), and a partially-filled store only executes the missing tasks.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    EngineRunStats,
+    ExperimentEngine,
+    RunStore,
+    run_key,
+)
+from repro.baselines import BaselineScheme, RouteOnlyScheme, ScheduleOnlyScheme
+from repro.core import topologies
+from repro.workloads import WorkloadConfig
+
+
+@pytest.fixture
+def network():
+    return topologies.fat_tree(4)
+
+
+@pytest.fixture
+def schemes():
+    return [BaselineScheme(seed=0), RouteOnlyScheme(), ScheduleOnlyScheme(seed=0)]
+
+
+@pytest.fixture
+def config():
+    return WorkloadConfig(num_coflows=3, coflow_width=3, seed=17)
+
+
+def sweep_values(result):
+    return [(point.label, dict(point.values)) for point in result.points]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, network, schemes, config):
+        serial = ExperimentEngine(network, schemes, tries=2)
+        parallel = ExperimentEngine(network, schemes, tries=2, workers=2)
+        kwargs = dict(label_format="{value} flows")
+        serial_result = serial.run(config, "coflow_width", [2, 4], **kwargs)
+        parallel_result = parallel.run(config, "coflow_width", [2, 4], **kwargs)
+        assert serial.last_run_stats.workers == 1
+        assert parallel.last_run_stats.workers == 2
+        # Bit-identical, not approximately equal: same seeds, same float ops.
+        assert sweep_values(serial_result) == sweep_values(parallel_result)
+
+    def test_repeated_serial_runs_identical(self, network, schemes, config):
+        first = ExperimentEngine(network, schemes, tries=2).run(
+            config, "num_coflows", [2, 3]
+        )
+        second = ExperimentEngine(network, schemes, tries=2).run(
+            config, "num_coflows", [2, 3]
+        )
+        assert sweep_values(first) == sweep_values(second)
+
+
+class TestRunStore:
+    def test_resume_skips_all_simulation(self, tmp_path, network, schemes, config):
+        store_path = tmp_path / "runs.jsonl"
+        cold = ExperimentEngine(
+            network, schemes, tries=2, workers=2, store=str(store_path)
+        )
+        cold_result = cold.run(config, "coflow_width", [2, 3])
+        assert cold.last_run_stats.executed == cold.last_run_stats.total_tasks
+        assert not cold.last_run_stats.all_cached
+
+        warm = ExperimentEngine(
+            network, schemes, tries=2, workers=2, store=str(store_path)
+        )
+        warm_result = warm.run(config, "coflow_width", [2, 3])
+        assert warm.last_run_stats.all_cached
+        assert warm.last_run_stats.executed == 0
+        assert warm.last_run_stats.cached == cold.last_run_stats.total_tasks
+        assert warm.store.hits == cold.last_run_stats.total_tasks
+        assert sweep_values(cold_result) == sweep_values(warm_result)
+        # The store file was not appended to by the warm run.
+        lines = store_path.read_text().strip().splitlines()
+        assert len(lines) == cold.last_run_stats.total_tasks
+
+    def test_partial_store_executes_only_missing(self, tmp_path, network, config):
+        schemes = [BaselineScheme(seed=0), RouteOnlyScheme()]
+        store_path = tmp_path / "runs.jsonl"
+        seeded = ExperimentEngine(network, schemes, tries=2, store=str(store_path))
+        seeded.run(config, "coflow_width", [2])
+        filled = seeded.last_run_stats.total_tasks
+
+        resumed = ExperimentEngine(network, schemes, tries=2, store=str(store_path))
+        resumed.run(config, "coflow_width", [2, 3])
+        assert resumed.last_run_stats.cached == filled
+        assert resumed.last_run_stats.executed == (
+            resumed.last_run_stats.total_tasks - filled
+        )
+
+    def test_records_are_self_describing(self, tmp_path, network, config):
+        schemes = [BaselineScheme(seed=0)]
+        store_path = tmp_path / "runs.jsonl"
+        engine = ExperimentEngine(network, schemes, tries=1, store=str(store_path))
+        engine.run(config, "coflow_width", [2])
+        entry = json.loads(store_path.read_text().splitlines()[0])
+        record = entry["record"]
+        assert record["scheme"] == "Baseline"
+        assert record["topology"] == network.fingerprint()
+        assert record["config"]["coflow_width"] == 2
+        assert set(record["metrics"]) >= {
+            "weighted_completion_time",
+            "makespan",
+        }
+        # The stored key matches what the engine would recompute.
+        assert entry["key"] == run_key(
+            network.fingerprint(),
+            WorkloadConfig(**{
+                k: v for k, v in record["config"].items()
+            }),
+            schemes[0].signature(),
+        )
+
+    def test_key_distinguishes_topology_config_seed_scheme(self, network, config):
+        fp = network.fingerprint()
+        other_fp = topologies.fat_tree(4, oversubscription=2.0).fingerprint()
+        baseline = BaselineScheme(seed=0)
+        keys = {
+            run_key(fp, config, baseline.signature()),
+            run_key(other_fp, config, baseline.signature()),
+            run_key(fp, config.with_seed(config.seed + 1), baseline.signature()),
+            run_key(fp, config.with_width(5), baseline.signature()),
+            run_key(fp, config, BaselineScheme(seed=1).signature()),
+            run_key(fp, config, RouteOnlyScheme().signature()),
+        }
+        assert len(keys) == 6
+
+    def test_in_memory_store_caches_within_engine(self, network, config):
+        engine = ExperimentEngine(network, [BaselineScheme(seed=0)], tries=2)
+        engine.run(config, "coflow_width", [2])
+        first = engine.last_run_stats
+        engine.run(config, "coflow_width", [2])
+        assert first.executed > 0
+        assert engine.last_run_stats.all_cached
+
+
+class TestEngineApi:
+    def test_for_config_builds_topology(self):
+        config = WorkloadConfig(
+            num_coflows=2,
+            coflow_width=2,
+            seed=3,
+            topology="leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)",
+        )
+        engine = ExperimentEngine.for_config(config, [BaselineScheme(seed=0)], tries=1)
+        result = engine.run(config, "coflow_width", [2])
+        assert result.points[0].mean("Baseline") > 0
+
+    def test_stats_fields(self, network, config):
+        engine = ExperimentEngine(network, [BaselineScheme(seed=0)], tries=1)
+        engine.run(config, "coflow_width", [2])
+        stats = engine.last_run_stats
+        assert isinstance(stats, EngineRunStats)
+        assert stats.total_tasks == 1
+        assert stats.seconds > 0
+
+    def test_invalid_workers_rejected(self, network):
+        with pytest.raises(ValueError):
+            ExperimentEngine(network, [BaselineScheme()], workers=-1)
+
+    def test_run_store_accepts_runstore_instance(self, tmp_path, network, config):
+        store = RunStore(tmp_path / "shared.jsonl")
+        a = ExperimentEngine(network, [BaselineScheme(seed=0)], tries=1, store=store)
+        a.run(config, "coflow_width", [2])
+        b = ExperimentEngine(network, [BaselineScheme(seed=0)], tries=1, store=store)
+        b.run(config, "coflow_width", [2])
+        assert b.last_run_stats.all_cached

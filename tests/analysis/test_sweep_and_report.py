@@ -64,7 +64,20 @@ class TestExperimentSweep:
         net = topologies.fat_tree(4)
         sweep = ExperimentSweep(net, [BaselineScheme()], tries=1)
         with pytest.raises(ValueError):
-            sweep.run(WorkloadConfig(), "mean_flow_size", [1, 2])
+            sweep.run(WorkloadConfig(), "not_a_config_field", [1, 2])
+
+    def test_generalized_parameter_sweep(self):
+        # Any workload config field is sweepable now, not just the two
+        # figure parameters.
+        net = topologies.fat_tree(4)
+        sweep = ExperimentSweep(net, [BaselineScheme(seed=0)], tries=1)
+        result = sweep.run(
+            WorkloadConfig(num_coflows=2, coflow_width=2, seed=3),
+            "mean_flow_size",
+            [2.0, 8.0],
+        )
+        assert len(result.points) == 2
+        assert result.points[0].mean("Baseline") < result.points[1].mean("Baseline")
 
     def test_requires_schemes_and_tries(self):
         net = topologies.fat_tree(4)

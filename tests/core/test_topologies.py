@@ -144,3 +144,148 @@ class TestHostNodes:
     def test_sorted_and_filtered(self):
         net = topologies.nonblocking_switch(3)
         assert host_nodes(net) == ["host_0", "host_1", "host_2"]
+
+
+class TestOversubscribedFatTree:
+    def test_default_is_full_bisection(self):
+        plain = topologies.fat_tree(4)
+        explicit = topologies.fat_tree(4, oversubscription=1.0)
+        assert plain.capacities() == explicit.capacities()
+
+    def test_uplinks_scaled_host_links_untouched(self):
+        net = topologies.fat_tree(4, oversubscription=4.0)
+        caps = net.capacities()
+        assert caps[("host_0", "edge_0_0")] == 1.0
+        assert caps[("edge_0_0", "agg_0_0")] == pytest.approx(0.25)
+        assert caps[("agg_0_0", "core_0_0")] == pytest.approx(0.25)
+
+    def test_bidirectional_symmetry(self):
+        net = topologies.fat_tree(4, oversubscription=2.0)
+        caps = net.capacities()
+        for (u, v), cap in caps.items():
+            assert caps[(v, u)] == cap
+
+    def test_undersubscription_rejected(self):
+        with pytest.raises(ValueError):
+            topologies.fat_tree(4, oversubscription=0.5)
+
+
+class TestLeafSpine:
+    def test_host_count(self):
+        net = topologies.leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=3)
+        assert len(host_nodes(net)) == 12
+
+    def test_bidirectional_links(self):
+        net = topologies.leaf_spine(num_leaves=3, num_spines=2, hosts_per_leaf=2)
+        caps = net.capacities()
+        for (u, v), cap in caps.items():
+            assert caps[(v, u)] == cap
+
+    def test_every_leaf_reaches_every_spine(self):
+        net = topologies.leaf_spine(num_leaves=3, num_spines=4, hosts_per_leaf=1)
+        for leaf in range(3):
+            for spine in range(4):
+                assert net.has_edge(f"leaf_{leaf}", f"spine_{spine}")
+
+    def test_cross_leaf_path_diversity(self):
+        net = topologies.leaf_spine(num_leaves=2, num_spines=3, hosts_per_leaf=1)
+        # host - leaf - spine - leaf - host: one path per spine.
+        assert len(net.all_shortest_paths("host_0", "host_1")) == 3
+
+    def test_uplink_capacity(self):
+        net = topologies.leaf_spine(
+            num_leaves=2, num_spines=2, hosts_per_leaf=2, uplink_capacity=4.0
+        )
+        caps = net.capacities()
+        assert caps[("host_0", "leaf_0")] == 1.0
+        assert caps[("leaf_0", "spine_0")] == 4.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            topologies.leaf_spine(num_leaves=1)
+        with pytest.raises(ValueError):
+            topologies.leaf_spine(num_spines=0)
+        with pytest.raises(ValueError):
+            topologies.leaf_spine(hosts_per_leaf=0)
+        with pytest.raises(ValueError):
+            topologies.leaf_spine(uplink_capacity=0.0)
+
+
+class TestRandomRegular:
+    def test_host_count_and_determinism(self):
+        net1 = topologies.random_regular(num_switches=8, degree=3, hosts_per_switch=2, seed=5)
+        net2 = topologies.random_regular(num_switches=8, degree=3, hosts_per_switch=2, seed=5)
+        assert len(host_nodes(net1)) == 16
+        assert net1.fingerprint() == net2.fingerprint()
+
+    def test_switch_degree_regular(self):
+        degree, hosts_per_switch = 3, 2
+        net = topologies.random_regular(
+            num_switches=8, degree=degree, hosts_per_switch=hosts_per_switch, seed=0
+        )
+        for sw in range(8):
+            neighbours = [v for _, v in net.out_edges(f"sw_{sw}")]
+            switch_neighbours = [n for n in neighbours if str(n).startswith("sw_")]
+            host_neighbours = [n for n in neighbours if str(n).startswith("host_")]
+            assert len(switch_neighbours) == degree
+            assert len(host_neighbours) == hosts_per_switch
+
+    def test_bidirectional_links(self):
+        net = topologies.random_regular(num_switches=6, degree=3, seed=2)
+        caps = net.capacities()
+        for (u, v), cap in caps.items():
+            assert caps[(v, u)] == cap
+
+    def test_all_hosts_connected(self):
+        net = topologies.random_regular(num_switches=6, degree=3, hosts_per_switch=1, seed=4)
+        hosts = host_nodes(net)
+        for target in hosts[1:]:
+            assert net.shortest_path(hosts[0], target)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            topologies.random_regular(num_switches=1)
+        with pytest.raises(ValueError):
+            topologies.random_regular(num_switches=4, degree=0)
+        with pytest.raises(ValueError):
+            # odd num_switches * degree has no regular graph
+            topologies.random_regular(num_switches=5, degree=3)
+        with pytest.raises(ValueError):
+            topologies.random_regular(num_switches=4, degree=2, hosts_per_switch=0)
+
+
+class TestFromSpec:
+    def test_name_only(self):
+        assert len(host_nodes(topologies.from_spec("fat_tree"))) == 16
+
+    def test_with_arguments(self):
+        net = topologies.from_spec("leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=4)")
+        assert len(host_nodes(net)) == 8
+
+    def test_matches_direct_builder(self):
+        via_spec = topologies.from_spec("fat_tree(k=4, oversubscription=2.0)")
+        direct = topologies.fat_tree(4, oversubscription=2.0)
+        assert via_spec.fingerprint() == direct.fingerprint()
+
+    def test_value_literals(self):
+        net = topologies.from_spec("random_regular(num_switches=6, degree=3, seed=none)")
+        assert len(host_nodes(net)) == 12
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topologies.from_spec("hypercube(k=3)")
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ValueError):
+            topologies.from_spec("fat_tree(k=4")
+        with pytest.raises(ValueError):
+            topologies.from_spec("fat_tree(4)")
+
+    def test_registry_covers_all_builders(self):
+        assert set(topologies.TOPOLOGY_BUILDERS) >= {
+            "fat_tree",
+            "leaf_spine",
+            "random_regular",
+            "nonblocking_switch",
+            "random_graph",
+        }

@@ -1,5 +1,7 @@
 """Tests for cross-scheme comparison metrics."""
 
+import math
+
 import pytest
 
 from repro.core import Coflow, CoflowInstance, Flow, topologies
@@ -56,3 +58,37 @@ def test_improvement_over(comparison):
 def test_missing_scheme_raises(comparison):
     with pytest.raises(KeyError):
         comparison.value("nonexistent")
+
+
+def test_ratios_to_zero_reference_is_nan(comparison):
+    # A reference scheme whose metric is zero must not raise
+    # ZeroDivisionError; every ratio becomes NaN (mirroring the guard in
+    # SweepPoint.ratio_to).
+    net = topologies.triangle()
+    sim = FlowLevelSimulator(net)
+    instance = CoflowInstance(
+        coflows=[Coflow(flows=(Flow("x", "y", size=0.0),), weight=1.0)]
+    )
+    plan = SimulationPlan(paths={(0, 0): ("x", "y")}, order=[(0, 0)], name="empty")
+    cmp = SchemeComparison()
+    cmp.add(sim.run(instance, plan))
+    assert cmp.value("empty") == 0.0
+    ratios = cmp.ratios_to("empty")
+    assert math.isnan(ratios["empty"])
+
+
+def test_ratios_to_zero_reference_all_schemes_nan(comparison):
+    # Force a zero value onto a recorded result to check every scheme's
+    # ratio degrades to NaN, not just the reference's own entry.
+    comparison.results["big-first"].breakdown = type(
+        comparison.results["big-first"].breakdown
+    )(
+        weighted_completion_time=0.0,
+        total_completion_time=0.0,
+        average_completion_time=0.0,
+        makespan=0.0,
+        per_coflow={},
+    )
+    ratios = comparison.ratios_to("big-first")
+    assert set(ratios) == {"big-first", "small-first"}
+    assert all(math.isnan(r) for r in ratios.values())

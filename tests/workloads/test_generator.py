@@ -1,5 +1,6 @@
-"""Tests for the Poisson workload generator."""
+"""Tests for the workload generator and its scenario families."""
 
+import numpy as np
 import pytest
 
 from repro.core import topologies
@@ -121,3 +122,156 @@ class TestGenerator:
     def test_generate_instance_wrapper(self, fat_tree):
         instance = generate_instance(fat_tree, WorkloadConfig(num_coflows=2, coflow_width=2))
         assert instance.num_coflows == 2
+
+
+def all_sizes(instance):
+    return np.array([f.size for _, _, f in instance.iter_flows()])
+
+
+class TestFlowSizeFamilies:
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="flow size distribution"):
+            WorkloadConfig(flow_size_distribution="lognormal")
+        with pytest.raises(ValueError, match="pareto shape"):
+            WorkloadConfig(flow_size_distribution="pareto", pareto_shape=1.0)
+
+    def test_pareto_is_heavy_tailed(self, fat_tree):
+        # Same mean target, drastically different tails: the Pareto family's
+        # maximum dwarfs its median, the Poisson family's does not.
+        base = dict(num_coflows=10, coflow_width=16, mean_flow_size=4.0, seed=21)
+        poisson = all_sizes(
+            CoflowGenerator(fat_tree, WorkloadConfig(**base)).instance()
+        )
+        pareto = all_sizes(
+            CoflowGenerator(
+                fat_tree,
+                WorkloadConfig(flow_size_distribution="pareto", pareto_shape=1.3, **base),
+            ).instance()
+        )
+        assert np.max(poisson) / np.median(poisson) < 5.0
+        assert np.max(pareto) / np.median(pareto) > 5.0
+        # The tail index parameterisation keeps the mean in the right regime.
+        assert 1.0 < np.mean(pareto) < 20.0
+
+    def test_pareto_mean_tracks_config(self, fat_tree):
+        config = WorkloadConfig(
+            num_coflows=30,
+            coflow_width=16,
+            mean_flow_size=6.0,
+            flow_size_distribution="pareto",
+            pareto_shape=2.5,
+            seed=5,
+        )
+        sizes = all_sizes(CoflowGenerator(fat_tree, config).instance())
+        assert np.mean(sizes) == pytest.approx(6.0, rel=0.5)
+
+    def test_facebook_mixture_mice_and_elephants(self, fat_tree):
+        config = WorkloadConfig(
+            num_coflows=20,
+            coflow_width=16,
+            mean_flow_size=8.0,
+            flow_size_distribution="facebook",
+            seed=9,
+        )
+        sizes = all_sizes(CoflowGenerator(fat_tree, config).instance())
+        # Trace-style shape: the median flow is small relative to the mean
+        # (mice majority) while the top decile carries the bytes (elephants).
+        assert np.median(sizes) < np.mean(sizes)
+        assert np.percentile(sizes, 90) > 3.0 * np.median(sizes)
+        assert np.min(sizes) >= 1.0
+
+    def test_unit_sizes_overrides_family(self, fat_tree):
+        config = WorkloadConfig(
+            num_coflows=2,
+            coflow_width=4,
+            unit_sizes=True,
+            flow_size_distribution="pareto",
+            seed=0,
+        )
+        assert np.all(all_sizes(CoflowGenerator(fat_tree, config).instance()) == 1.0)
+
+
+class TestEndpointFamilies:
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="endpoint distribution"):
+            WorkloadConfig(endpoint_distribution="ring")
+        with pytest.raises(ValueError, match="zipf"):
+            WorkloadConfig(endpoint_distribution="skewed", zipf_exponent=-1.0)
+
+    def test_incast_fan_in(self, fat_tree):
+        config = WorkloadConfig(
+            num_coflows=5, coflow_width=6, endpoint_distribution="incast", seed=13
+        )
+        instance = CoflowGenerator(fat_tree, config).instance()
+        destinations = set()
+        for coflow in instance:
+            targets = {f.destination for f in coflow.flows}
+            # All of a coflow's flows converge on one destination...
+            assert len(targets) == 1
+            destination = targets.pop()
+            destinations.add(destination)
+            # ...from sources that are never the destination itself, with
+            # fan-in equal to the coflow width.
+            assert all(f.source != destination for f in coflow.flows)
+            assert len(coflow.flows) == 6
+        # Different coflows pick their own hotspots (with 16 hosts and 5
+        # coflows, a collision of all five is essentially impossible).
+        assert len(destinations) > 1
+
+    def test_skewed_concentrates_traffic(self, fat_tree):
+        uniform_cfg = WorkloadConfig(num_coflows=12, coflow_width=16, seed=31)
+        skewed_cfg = WorkloadConfig(
+            num_coflows=12,
+            coflow_width=16,
+            endpoint_distribution="skewed",
+            zipf_exponent=2.0,
+            seed=31,
+        )
+
+        def top_share(config):
+            instance = CoflowGenerator(fat_tree, config).instance()
+            counts = {}
+            for _, _, flow in instance.iter_flows():
+                for node in (flow.source, flow.destination):
+                    counts[node] = counts.get(node, 0) + 1
+            total = sum(counts.values())
+            return max(counts.values()) / total
+
+        # Under Zipf(2.0) the hottest host should see far more than the
+        # uniform 1/16 share of endpoints.
+        assert top_share(skewed_cfg) > 2.0 * top_share(uniform_cfg)
+
+    def test_skewed_endpoints_still_distinct(self, fat_tree):
+        config = WorkloadConfig(
+            num_coflows=6,
+            coflow_width=10,
+            endpoint_distribution="skewed",
+            zipf_exponent=2.5,
+            seed=2,
+        )
+        instance = CoflowGenerator(fat_tree, config).instance()
+        assert all(f.source != f.destination for _, _, f in instance.iter_flows())
+
+
+class TestTopologyField:
+    def test_build_network_from_spec(self):
+        config = WorkloadConfig(
+            num_coflows=2,
+            coflow_width=2,
+            topology="leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=3)",
+        )
+        net = config.build_network()
+        assert len(host_nodes(net)) == 6
+        instance = CoflowGenerator(config=config).instance()
+        assert instance.num_coflows == 2
+
+    def test_missing_topology_raises(self):
+        with pytest.raises(ValueError, match="topology"):
+            WorkloadConfig().build_network()
+        with pytest.raises(ValueError, match="topology"):
+            CoflowGenerator(config=WorkloadConfig())
+
+    def test_explicit_network_takes_precedence(self, fat_tree):
+        config = WorkloadConfig(num_coflows=2, coflow_width=2, topology="triangle")
+        generator = CoflowGenerator(fat_tree, config)
+        assert len(generator.hosts) == 16

@@ -1,4 +1,6 @@
-"""Tests for JSON serialization of coflow instances."""
+"""Tests for JSON serialization of coflow instances and workload configs."""
+
+import json
 
 import pytest
 
@@ -6,6 +8,8 @@ from repro.core import Coflow, CoflowInstance, Flow, topologies
 from repro.workloads import (
     CoflowGenerator,
     WorkloadConfig,
+    config_from_dict,
+    config_to_dict,
     instance_from_dict,
     instance_to_dict,
     load_instance,
@@ -77,3 +81,40 @@ def test_defaults_on_partial_dict():
     assert instance[0].weight == 1.0
     assert instance.flow((0, 0)).size == 1.0
     assert instance.flow((0, 0)).path is None
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = WorkloadConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_extended_config(self):
+        config = WorkloadConfig(
+            num_coflows=7,
+            coflow_width=9,
+            mean_flow_size=5.5,
+            release_rate=None,
+            mean_weight=3.0,
+            unit_sizes=True,
+            seed=42,
+            flow_size_distribution="pareto",
+            pareto_shape=1.7,
+            endpoint_distribution="incast",
+            zipf_exponent=0.8,
+            topology="fat_tree(k=4, oversubscription=2.0)",
+        )
+        data = config_to_dict(config)
+        # JSON-safe: survives an actual encode/decode cycle.
+        restored = config_from_dict(json.loads(json.dumps(data)))
+        assert restored == config
+
+    def test_unknown_keys_ignored(self):
+        data = config_to_dict(WorkloadConfig(seed=5))
+        data["added_in_a_future_version"] = 123
+        assert config_from_dict(data).seed == 5
+
+    def test_every_field_serialized(self):
+        from dataclasses import fields
+
+        data = config_to_dict(WorkloadConfig())
+        assert set(data) == {f.name for f in fields(WorkloadConfig)}
