@@ -7,60 +7,50 @@ completion time of LP-Based, Route-only, Schedule-only and Baseline and
 are over 10 random tries; LP-Based improves on Baseline / Schedule-only /
 Route-only by 126% / 96% / 22% on average.
 
-This benchmark regenerates both panels on the experiment engine (scaled down
-by default; set ``REPRO_PAPER_SCALE=1`` and ``REPRO_TRIES=10`` for the full
-configuration, ``REPRO_WORKERS=<n>`` for a parallel sweep) and times one full
-sweep.  Results persist in ``results/runstore/fig3.jsonl``: a warm re-run
-skips every LP solve and simulation, which the benchmark asserts by replaying
-the sweep against the store.
+This benchmark is a thin wrapper over the CLI suite (``repro bench fig3``):
+the sweep is declared by :func:`repro.cli.bench.fig3_spec` and executed by
+:func:`repro.analysis.artifacts.run_spec` (scaled down by default; set
+``REPRO_PAPER_SCALE=1`` and ``REPRO_TRIES=10`` for the full configuration,
+``REPRO_WORKERS=<n>`` for a parallel sweep).  Results persist in
+``results/runstore/fig3.jsonl``: a warm re-run skips every LP solve and
+simulation, which the benchmark asserts by replaying the sweep against the
+store.
 """
 
 import pytest
 
-from repro.analysis import ExperimentEngine, improvement_summary, ratio_table, sweep_table
-from repro.workloads import WorkloadConfig
+from repro.analysis import RunStore, improvement_summary, render_report, run_spec
+from repro.cli.bench import fig3_spec
 
 from common import (
     engine_summary,
-    evaluation_network,
-    figure3_num_coflows,
-    figure3_widths,
-    make_engine,
     num_tries,
-    paper_schemes,
+    num_workers,
+    paper_scale,
     record,
+    run_store,
 )
 
 
-def sweep_config():
-    return WorkloadConfig(
-        num_coflows=figure3_num_coflows(), mean_flow_size=8.0, release_rate=4.0, seed=3000
-    )
-
-
-def run_sweep(engine=None):
-    engine = engine or make_engine(evaluation_network(), paper_schemes(), "fig3")
-    result = engine.run(
-        sweep_config(), "coflow_width", figure3_widths(), label_format="{value} flows"
-    )
-    return engine, result
+def run_sweep(store=None):
+    spec = fig3_spec(paper_scale=paper_scale(), tries=num_tries())
+    if store is None:
+        store = run_store("fig3") or RunStore()
+    return spec, store, run_spec(spec, store, workers=num_workers())
 
 
 @pytest.mark.benchmark(group="fig3")
 def test_fig3_coflow_width(benchmark):
-    engine, result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    spec, store, run = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = run.result
 
-    title = (
-        f"Figure 3 — coflow width sweep "
-        f"({figure3_num_coflows()} coflows, {num_tries()} tries per point)"
-    )
+    title = f"{spec.display_title()} ({num_tries()} tries per point)"
     blocks = [
-        sweep_table(result, title, value_label="avg weighted completion time"),
-        ratio_table(result, "Baseline", title),
+        render_report(result, title, reference=spec.reference, fmt="text"),
         improvement_summary(
             result, "LP-Based", ["Baseline", "Schedule-only", "Route-only"]
         ),
-        engine_summary(engine),
+        engine_summary(run.stats),
     ]
     record("fig3_coflow_width", "\n\n".join(blocks))
 
@@ -72,10 +62,7 @@ def test_fig3_coflow_width(benchmark):
 
     # Resumability: replaying the sweep against the warm store must not
     # simulate anything and must reproduce the exact numbers.
-    warm = ExperimentEngine(
-        engine.network, engine.schemes, tries=engine.tries, store=engine.store
-    )
-    _, warm_result = run_sweep(warm)
-    assert warm.last_run_stats.all_cached, "warm run store re-simulated tasks"
-    for a, b in zip(result.points, warm_result.points):
+    _, _, warm = run_sweep(store=store)
+    assert warm.stats.executed == 0, "warm run store re-simulated tasks"
+    for a, b in zip(result.points, warm.result.points):
         assert a.values == b.values

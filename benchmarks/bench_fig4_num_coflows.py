@@ -5,62 +5,49 @@ The paper fixes the coflow width to 16 and sweeps the number of coflows over
 Baseline over 10 random tries; LP-Based improves on Baseline / Schedule-only /
 Route-only by 110% / 72% / 26% on average.
 
-The benchmark regenerates both panels on the experiment engine (scaled down
-by default; set ``REPRO_PAPER_SCALE=1`` for the paper's parameters,
-``REPRO_WORKERS=<n>`` for a parallel sweep) and times one full sweep.
-Results persist in ``results/runstore/fig4.jsonl``; the warm-store replay at
-the end asserts that a re-run skips all simulation work.
+This benchmark is a thin wrapper over the CLI suite (``repro bench fig4``):
+the sweep is declared by :func:`repro.cli.bench.fig4_spec` and executed by
+:func:`repro.analysis.artifacts.run_spec` (scaled down by default; set
+``REPRO_PAPER_SCALE=1`` for the paper's parameters, ``REPRO_WORKERS=<n>``
+for a parallel sweep).  Results persist in ``results/runstore/fig4.jsonl``;
+the warm-store replay at the end asserts that a re-run skips all simulation
+work.
 """
 
 import pytest
 
-from repro.analysis import ExperimentEngine, improvement_summary, ratio_table, sweep_table
-from repro.workloads import WorkloadConfig
+from repro.analysis import RunStore, improvement_summary, render_report, run_spec
+from repro.cli.bench import fig4_spec
 
 from common import (
     engine_summary,
-    evaluation_network,
-    figure4_coflow_counts,
-    figure4_width,
-    make_engine,
     num_tries,
-    paper_schemes,
+    num_workers,
+    paper_scale,
     record,
+    run_store,
 )
 
 
-def sweep_config():
-    return WorkloadConfig(
-        coflow_width=figure4_width(), mean_flow_size=8.0, release_rate=4.0, seed=4000
-    )
-
-
-def run_sweep(engine=None):
-    engine = engine or make_engine(evaluation_network(), paper_schemes(), "fig4")
-    result = engine.run(
-        sweep_config(),
-        "num_coflows",
-        figure4_coflow_counts(),
-        label_format="{value} coflows",
-    )
-    return engine, result
+def run_sweep(store=None):
+    spec = fig4_spec(paper_scale=paper_scale(), tries=num_tries())
+    if store is None:
+        store = run_store("fig4") or RunStore()
+    return spec, store, run_spec(spec, store, workers=num_workers())
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4_num_coflows(benchmark):
-    engine, result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    spec, store, run = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = run.result
 
-    title = (
-        f"Figure 4 — number-of-coflows sweep "
-        f"(width {figure4_width()}, {num_tries()} tries per point)"
-    )
+    title = f"{spec.display_title()} ({num_tries()} tries per point)"
     blocks = [
-        sweep_table(result, title, value_label="avg weighted completion time"),
-        ratio_table(result, "Baseline", title),
+        render_report(result, title, reference=spec.reference, fmt="text"),
         improvement_summary(
             result, "LP-Based", ["Baseline", "Schedule-only", "Route-only"]
         ),
-        engine_summary(engine),
+        engine_summary(run.stats),
     ]
     record("fig4_num_coflows", "\n\n".join(blocks))
 
@@ -70,10 +57,7 @@ def test_fig4_num_coflows(benchmark):
         assert point.mean("LP-Based") <= point.mean("Baseline") * 1.05
 
     # Resumability: the warm store must satisfy a full replay.
-    warm = ExperimentEngine(
-        engine.network, engine.schemes, tries=engine.tries, store=engine.store
-    )
-    _, warm_result = run_sweep(warm)
-    assert warm.last_run_stats.all_cached, "warm run store re-simulated tasks"
-    for a, b in zip(result.points, warm_result.points):
+    _, _, warm = run_sweep(store=store)
+    assert warm.stats.executed == 0, "warm run store re-simulated tasks"
+    for a, b in zip(result.points, warm.result.points):
         assert a.values == b.values

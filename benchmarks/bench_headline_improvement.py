@@ -1,74 +1,60 @@
 """Headline claim of Sections 1.2 / 4.3: >= 22% average improvement.
 
 The paper's summary statistic is the average improvement of the LP-Based
-scheme over the best competing heuristic (Route-only): at least 22% across the
-experiments.  This benchmark aggregates the Figure-3 and Figure-4 regimes into
-one pool of random instances on the experiment engine and reports the average
-improvement of LP-Based over each heuristic, timing the whole evaluation.
-Both sweeps share one run store (``results/runstore/headline.jsonl``), so
-instances appearing in both pools are solved once.
+scheme over the best competing heuristic (Route-only): at least 22% across
+the experiments.  This benchmark is a thin wrapper over the CLI suite
+(``repro bench headline``): the two pooled regimes are declared by
+:func:`repro.cli.bench.headline_specs` and share one run store
+(``results/runstore/headline.jsonl``), so instances appearing in both pools
+are solved once.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis import format_table
-from repro.workloads import WorkloadConfig
+from repro.analysis import RunStore, format_table, run_spec
+from repro.cli.bench import headline_improvements, headline_specs
 
 from common import (
     engine_summary,
-    evaluation_network,
-    figure3_num_coflows,
-    figure4_width,
-    make_engine,
-    paper_schemes,
+    num_tries,
+    num_workers,
+    paper_scale,
     record,
+    run_store,
 )
 
 
 def run_pool():
-    network = evaluation_network()
-    engine = make_engine(network, paper_schemes(), "headline")
-    # A pool mixing the two figures' regimes: width sweep at fixed coflow
-    # count plus a coflow-count point at the Figure-4 width.
-    width_result = engine.run(
-        WorkloadConfig(num_coflows=figure3_num_coflows(), mean_flow_size=8.0, release_rate=4.0, seed=5000),
-        "coflow_width",
-        [4, figure4_width()],
-        label_format="width {value}",
+    width_spec, count_spec = headline_specs(
+        paper_scale=paper_scale(), tries=num_tries()
     )
-    count_result = engine.run(
-        WorkloadConfig(coflow_width=figure4_width(), mean_flow_size=8.0, release_rate=4.0, seed=6000),
-        "num_coflows",
-        [figure3_num_coflows()],
-        label_format="{value} coflows",
-    )
-    return engine, width_result, count_result
+    store = run_store("headline") or RunStore()
+    width_run = run_spec(width_spec, store, workers=num_workers())
+    count_run = run_spec(count_spec, store, workers=num_workers())
+    return width_run, count_run
 
 
 @pytest.mark.benchmark(group="headline")
 def test_headline_improvement(benchmark):
-    engine, width_result, count_result = benchmark.pedantic(
-        run_pool, rounds=1, iterations=1
-    )
+    width_run, count_run = benchmark.pedantic(run_pool, rounds=1, iterations=1)
 
-    references = ["Baseline", "Schedule-only", "Route-only"]
-    rows = []
-    for reference in references:
-        gains = [
-            width_result.average_improvement("LP-Based", reference),
-            count_result.average_improvement("LP-Based", reference),
-        ]
-        rows.append([reference, float(np.mean(gains))])
+    improvements = headline_improvements(width_run, count_run)
     table = format_table(
         ["reference scheme", "avg improvement of LP-Based (%)"],
-        rows,
+        [[name, gain] for name, gain in improvements.items()],
         title="Headline: average improvement of LP-Based (paper: 110-126% vs Baseline, "
         "72-96% vs Schedule-only, 22-26% vs Route-only)",
     )
-    record("headline_improvement", table + "\n\n" + engine_summary(engine))
+    record(
+        "headline_improvement",
+        table
+        + "\n\n"
+        + engine_summary(width_run.stats)
+        + "  [width pool]\n"
+        + engine_summary(count_run.stats)
+        + "  [count pool]",
+    )
 
-    improvements = {row[0]: row[1] for row in rows}
     assert improvements["Baseline"] > 10.0
     assert improvements["Schedule-only"] > 5.0
     # Route-only is the strongest heuristic; LP-Based should not lose to it.

@@ -1,11 +1,13 @@
 """Scenario matrix: every scheme crossed with the new workload families.
 
 The paper evaluates one scenario — Poisson flow sizes, uniform endpoints, a
-full-bisection fat-tree.  The ROADMAP's north star ("as many scenarios as you
-can imagine") asks for more; this benchmark crosses the schemes of Section
-4.3 with four qualitatively different scenario families, each declared purely
-through :class:`~repro.workloads.generator.WorkloadConfig` (topology spec
-included):
+full-bisection fat-tree.  The ROADMAP's north star ("as many scenarios as
+you can imagine") asks for more; this benchmark is a thin wrapper over the
+CLI suite (``repro bench scenario-matrix``): the matrix is declared by
+:func:`repro.cli.bench.scenario_matrix_spec` (and, identically, by the
+checked-in ``specs/scenario-matrix.yaml``) — four qualitatively different
+scenario families, each a pure :class:`~repro.workloads.generator.
+WorkloadConfig` with a declarative topology spec:
 
 * ``poisson/fat-tree`` — the paper's baseline regime;
 * ``pareto/oversub-fat-tree`` — heavy-tailed elephants through a 4:1
@@ -14,135 +16,42 @@ included):
 * ``facebook-skew/jellyfish`` — trace-style mice/elephants mixture with
   Zipf-popular hosts on a random regular (jellyfish) fabric.
 
-One engine per scenario (the run stores are keyed by topology), so re-runs
-are warm everywhere.  ``--smoke`` runs the tiny CI configuration end-to-end
-— build (topology from spec) -> solve (LP-Based) -> simulate -> store ->
-resume — with a 2-worker pool, asserting the resumed run re-simulates
-nothing.  ``--compare-workers N`` additionally times the cold sweep serially
-and with N workers (informational: on a single hardware core a process pool
-cannot beat serial execution).
+All scenarios share one run store (keys embed the topology fingerprint), so
+re-runs are warm everywhere.  ``--smoke`` runs the tiny CI configuration
+end-to-end — build (topology from spec) -> solve (LP-Based) -> simulate ->
+store -> resume — with a 2-worker pool, asserting the resumed run
+re-simulates nothing.  ``--compare-workers N`` additionally times the cold
+matrix serially and with N workers (informational: on a single hardware
+core a process pool cannot beat serial execution).
 """
 
 import argparse
 import sys
 import time
 
-import numpy as np
+from repro.analysis import RunStore, render_report, run_spec
+from repro.cli.bench import scenario_matrix_spec, smoke_scenario_matrix
 
-from repro.analysis import ExperimentEngine, RunStore, format_table
-from repro.workloads import WorkloadConfig
-
-from common import (
-    engine_summary,
-    make_engine,
-    num_tries,
-    num_workers,
-    paper_schemes,
-    record,
-)
-
-#: label -> workload config (topology spec included).  Seeds are disjoint so
-#: scenarios never share instances.
-def scenario_configs(num_coflows=4, coflow_width=4):
-    shape = dict(num_coflows=num_coflows, coflow_width=coflow_width)
-    return {
-        "poisson/fat-tree": WorkloadConfig(
-            mean_flow_size=6.0,
-            release_rate=4.0,
-            seed=7000,
-            topology="fat_tree(k=4)",
-            **shape,
-        ),
-        "pareto/oversub-fat-tree": WorkloadConfig(
-            mean_flow_size=6.0,
-            release_rate=4.0,
-            seed=7100,
-            flow_size_distribution="pareto",
-            pareto_shape=1.3,
-            topology="fat_tree(k=4, oversubscription=4.0)",
-            **shape,
-        ),
-        "incast/leaf-spine": WorkloadConfig(
-            mean_flow_size=6.0,
-            release_rate=4.0,
-            seed=7200,
-            endpoint_distribution="incast",
-            topology="leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=4)",
-            **shape,
-        ),
-        "facebook-skew/jellyfish": WorkloadConfig(
-            mean_flow_size=6.0,
-            release_rate=4.0,
-            seed=7300,
-            flow_size_distribution="facebook",
-            endpoint_distribution="skewed",
-            zipf_exponent=1.5,
-            topology="random_regular(num_switches=8, degree=3, hosts_per_switch=2, seed=1)",
-            **shape,
-        ),
-    }
+from common import engine_summary, num_tries, num_workers, record, run_store
 
 
-def run_matrix(scenarios=None, tries=None, store_prefix="scenario", workers=None,
-               persistent=True):
-    """Run every scheme on every scenario; returns {label: (engine, point)}.
-
-    ``persistent=False`` gives every engine a fresh in-memory store, forcing
-    a genuinely cold run (used by the worker-count comparison).
-    """
-    scenarios = scenarios or scenario_configs()
-    results = {}
-    for label, config in scenarios.items():
-        if persistent:
-            slug = label.replace("/", "_").replace(" ", "_")
-            engine = make_engine(
-                config.build_network(),
-                paper_schemes(),
-                f"{store_prefix}_{slug}",
-                tries=tries,
-            )
-        else:
-            engine = ExperimentEngine(
-                config.build_network(),
-                paper_schemes(),
-                tries=num_tries() if tries is None else tries,
-            )
-        if workers is not None:
-            engine.workers = workers
-        tries_n = engine.tries
-        configs = [config.with_seed(config.seed + k) for k in range(tries_n)]
-        sweep = engine.run_points([(label, configs)])
-        results[label] = (engine, sweep.points[0])
-    return results
+def run_matrix(tries=None, store=None, workers=None):
+    """Run the matrix; returns ``(spec, store, SpecRunResult)``."""
+    spec = scenario_matrix_spec(tries=num_tries() if tries is None else tries)
+    if store is None:
+        store = run_store("scenario_matrix") or RunStore()
+    workers = num_workers() if workers is None else workers
+    return spec, store, run_spec(spec, store, workers=workers)
 
 
-def report(results, name="scenario_matrix"):
-    schemes = ["LP-Based", "Route-only", "Schedule-only", "Baseline"]
-    value_rows = []
-    ratio_rows = []
-    for label, (_, point) in results.items():
-        value_rows.append([label] + [point.mean(s) for s in schemes])
-        ratio_rows.append([label] + [point.ratio_to(s, "Baseline") for s in schemes])
+def report(spec, run, name="scenario_matrix"):
+    """Record the two scenario panels plus the engine summary."""
+    title = f"{spec.display_title()} ({spec.tries} tries per scenario)"
     blocks = [
-        format_table(
-            ["scenario"] + schemes,
-            value_rows,
-            title="Scenario matrix — avg weighted completion time "
-            f"({num_tries()} tries per scenario)",
-        ),
-        format_table(
-            ["scenario"] + schemes,
-            ratio_rows,
-            title="Scenario matrix — ratio w.r.t. Baseline",
-            float_format="{:.3f}",
-        ),
-        "\n".join(
-            engine_summary(engine) + f"  [{label}]"
-            for label, (engine, _) in results.items()
-        ),
+        render_report(run.result, title, reference=spec.reference, fmt="text"),
+        engine_summary(run.stats),
     ]
     record(name, "\n\n".join(blocks))
-    return value_rows
 
 
 try:
@@ -155,56 +64,12 @@ if pytest is not None:
 
     @pytest.mark.benchmark(group="scenario-matrix")
     def test_scenario_matrix(benchmark):
-        results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
-        report(results)
-        for label, (_, point) in results.items():
+        spec, _, run = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+        report(spec, run)
+        for point in run.result.points:
             # The LP-Based scheme should never badly lose to random
             # routing+ordering in any scenario family.
-            assert point.mean("LP-Based") <= point.mean("Baseline") * 1.10, label
-
-
-def run_smoke(workers=2):
-    """Tiny end-to-end pass: build -> solve -> simulate -> store -> resume."""
-    import tempfile
-    from pathlib import Path
-
-    scenarios = scenario_configs(num_coflows=2, coflow_width=2)
-    with tempfile.TemporaryDirectory() as tmp:
-        stores = {
-            label: RunStore(Path(tmp) / f"{i}.jsonl")
-            for i, label in enumerate(scenarios)
-        }
-
-        def pass_over(tag):
-            results = {}
-            for label, config in scenarios.items():
-                engine = ExperimentEngine(
-                    config.build_network(),
-                    paper_schemes(),
-                    tries=1,
-                    workers=workers,
-                    store=stores[label],
-                )
-                configs = [config.with_seed(config.seed)]
-                sweep = engine.run_points([(label, configs)])
-                results[label] = (engine, sweep.points[0])
-                print(f"  [{tag}] {label}: {engine_summary(engine)}")
-            return results
-
-        print(f"scenario smoke: cold pass ({workers} workers)")
-        cold = pass_over("cold")
-        print("scenario smoke: warm pass (resume from store)")
-        warm = pass_over("warm")
-
-        for label in scenarios:
-            cold_engine, cold_point = cold[label]
-            warm_engine, warm_point = warm[label]
-            assert cold_engine.last_run_stats.executed > 0, label
-            assert warm_engine.last_run_stats.all_cached, (
-                f"{label}: warm run re-simulated tasks"
-            )
-            assert cold_point.values == warm_point.values, label
-    print("scenario smoke: OK (parallel sweep + resume verified)")
+            assert point.mean("LP-Based") <= point.mean("Baseline") * 1.10, point.label
 
 
 def run_worker_comparison(workers):
@@ -213,10 +78,10 @@ def run_worker_comparison(workers):
     Both passes use fresh in-memory stores so neither can hit a warm cache.
     """
     start = time.perf_counter()
-    run_matrix(workers=0, persistent=False)
+    run_matrix(store=RunStore(), workers=0)
     serial = time.perf_counter() - start
     start = time.perf_counter()
-    run_matrix(workers=workers, persistent=False)
+    run_matrix(store=RunStore(), workers=workers)
     parallel = time.perf_counter() - start
     print(
         f"cold matrix: serial {serial:.2f}s, {workers} workers {parallel:.2f}s "
@@ -240,12 +105,13 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     if args.smoke:
-        run_smoke()
+        smoke_scenario_matrix()
         return 0
     if args.compare_workers:
         run_worker_comparison(args.compare_workers)
         return 0
-    report(run_matrix())
+    spec, _, run = run_matrix()
+    report(spec, run)
     return 0
 
 

@@ -7,102 +7,27 @@ Table 1 of the paper summarises the *proved* approximation guarantees:
 * circuit-based, paths given         — O(1)   (17.6 after optimisation)
 * circuit-based, paths not given     — O(log |E| / log log |E|)
 
-This benchmark measures, for each variant, the ratio between the objective of
-the schedule our implementation produces and the corresponding LP lower bound
-on small random instances, and prints it next to the theoretical guarantee —
-confirming the measured ratios are small constants far below the worst case
-(for the routing variant it also prints the Chernoff congestion bound the
-analysis tolerates).
+This benchmark is a thin wrapper over the CLI suite (``repro bench
+table1``): :func:`repro.cli.bench.table1_ratios` measures, for each
+variant, the ratio between the objective of the schedule our implementation
+produces and the corresponding LP lower bound on small random instances,
+and prints it next to the theoretical guarantee — confirming the measured
+ratios are small constants far below the worst case (for the routing
+variant it also prints the Chernoff congestion bound the analysis
+tolerates).
 """
 
 import pytest
 
 from repro.analysis import format_table
-from repro.circuit import (
-    GivenPathsScheduler,
-    PathsNotGivenScheduler,
-    chernoff_congestion_bound,
-)
-from repro.core import topologies
-from repro.packet import PacketGivenPathsScheduler, PacketRoutingScheduler
-from repro.workloads import CoflowGenerator, WorkloadConfig
+from repro.cli.bench import table1_ratios
 
 from common import record
 
 
-def circuit_given_paths_ratio():
-    network = topologies.fat_tree(4)
-    instance = CoflowGenerator(
-        network, WorkloadConfig(num_coflows=4, coflow_width=4, seed=41)
-    ).instance()
-    routed = instance.with_paths(
-        {
-            fid: network.shortest_path(
-                instance.flow(fid).source, instance.flow(fid).destination
-            )
-            for fid in instance.flow_ids()
-        }
-    )
-    result = GivenPathsScheduler(routed, network).schedule()
-    return result.approximation_ratio, result.parameters.blowup_factor
-
-
-def circuit_routing_ratio():
-    network = topologies.fat_tree(4)
-    instance = CoflowGenerator(
-        network, WorkloadConfig(num_coflows=4, coflow_width=4, seed=42)
-    ).instance()
-    scheduler = PathsNotGivenScheduler(instance, network, seed=0)
-    plan, result = scheduler.schedule()
-    ratio = result.objective / plan.lower_bound if plan.lower_bound > 0 else 1.0
-    return ratio, chernoff_congestion_bound(network.num_edges)
-
-
-def packet_given_paths_ratio():
-    network = topologies.fat_tree(4)
-    instance = CoflowGenerator(
-        network,
-        WorkloadConfig(num_coflows=4, coflow_width=3, unit_sizes=True, release_rate=None, seed=43),
-    ).instance()
-    routed = instance.with_paths(
-        {
-            fid: network.shortest_path(
-                instance.flow(fid).source, instance.flow(fid).destination
-            )
-            for fid in instance.flow_ids()
-        }
-    )
-    result = PacketGivenPathsScheduler(routed, network).schedule()
-    return result.approximation_ratio
-
-
-def packet_routing_ratio():
-    network = topologies.ring(6)
-    instance = CoflowGenerator(
-        network,
-        WorkloadConfig(num_coflows=3, coflow_width=3, unit_sizes=True, release_rate=None, seed=44),
-    ).instance()
-    result = PacketRoutingScheduler(instance, network, seed=0).schedule()
-    return result.approximation_ratio
-
-
-def run_all():
-    circuit_given, circuit_given_bound = circuit_given_paths_ratio()
-    circuit_routed, congestion_bound = circuit_routing_ratio()
-    return {
-        "circuit / given": (circuit_given, f"O(1): {circuit_given_bound:.1f}"),
-        "circuit / not given": (
-            circuit_routed,
-            f"O(log E / log log E): 1+delta = {congestion_bound:.1f}",
-        ),
-        "packet / given": (packet_given_paths_ratio(), "O(1)"),
-        "packet / not given": (packet_routing_ratio(), "O(1)"),
-    }
-
-
 @pytest.mark.benchmark(group="table1")
 def test_table1_approximation_ratios(benchmark):
-    ratios = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    ratios = benchmark.pedantic(table1_ratios, rounds=1, iterations=1)
 
     rows = [
         [model, measured, bound] for model, (measured, bound) in ratios.items()

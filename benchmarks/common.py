@@ -1,47 +1,41 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper.  Because the
-paper's full scale (128-server fat-tree, widths up to 32, 10 random tries per
-point) takes hours with an open-source LP solver, the benchmarks default to a
-scaled-down configuration that preserves the comparison's shape and can be
-re-run quickly.  Two environment variables control the scale:
+Every benchmark regenerates one table or figure of the paper.  The heavy
+lifting — sweep specs, scheme registry, engine runs, artifact export —
+lives in :mod:`repro.analysis.artifacts` and :mod:`repro.cli.bench`; this
+module only maps the benchmark environment knobs onto that layer and pins
+the on-disk locations under ``benchmarks/results/``.
+
+Because the paper's full scale (128-server fat-tree, widths up to 32, 10
+random tries per point) takes hours with an open-source LP solver, the
+benchmarks default to a scaled-down configuration that preserves the
+comparison's shape and can be re-run quickly.  Environment variables:
 
 * ``REPRO_PAPER_SCALE=1`` — use the paper's parameters (k=8 fat-tree,
-  widths {4, 8, 16, 32}, coflow counts {10, ..., 30}, width 16 for Figure 4);
-* ``REPRO_TRIES=<n>`` — number of random instances averaged per sweep point
-  (the paper uses 10; the default here is 2).
-
-Each benchmark prints the paper-style tables (the two panels of the figure it
-reproduces) and also appends them to ``benchmarks/results/*.txt`` so the
-output survives pytest's capture.
-
-The figure benchmarks run on the parallel, resumable experiment engine.  Two
-more environment variables control it:
-
-* ``REPRO_WORKERS=<n>`` — worker processes for the engine (default 0 =
-  serial in-process; ``>= 2`` fans (point x try x scheme) tasks out over a
-  process pool);
+  widths {4, 8, 16, 32}, coflow counts {10, ..., 30}, width 16 for Fig. 4);
+* ``REPRO_TRIES=<n>`` — random instances averaged per sweep point
+  (the paper uses 10; the default here is 2);
+* ``REPRO_WORKERS=<n>`` — worker processes for the experiment engine
+  (default 0 = serial; ``>= 2`` fans (point x try x scheme) tasks out over
+  a process pool);
 * ``REPRO_RUNSTORE=0`` — disable the on-disk run store (default: each
   figure benchmark persists to ``benchmarks/results/runstore/<name>.jsonl``,
   so a re-run skips all LP solves and simulations and only re-aggregates —
   delete the file to force a cold run).
+
+Everything here is equally reachable through the ``repro`` CLI
+(``repro bench fig3 --paper-scale --tries 10 --workers 4``), which writes
+its artifacts under ``--out`` instead of ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import List, Optional
+from typing import Optional
 
-from repro.analysis import ExperimentEngine, RunStore
-from repro.baselines import (
-    BaselineScheme,
-    LPBasedScheme,
-    RouteOnlyScheme,
-    ScheduleOnlyScheme,
-)
-from repro.core import topologies
-from repro.core.network import Network
+from repro.analysis import RunStore, stats_summary
+from repro.analysis.engine import EngineRunStats
 
 RESULTS_DIR = Path(__file__).parent / "results"
 RUNSTORE_DIR = RESULTS_DIR / "runstore"
@@ -62,16 +56,6 @@ def num_workers(default: int = 0) -> int:
     return int(os.environ.get("REPRO_WORKERS", default))
 
 
-def paper_schemes() -> List:
-    """The four schemes of Section 4.3, as evaluated by every figure."""
-    return [
-        LPBasedScheme(seed=0),
-        RouteOnlyScheme(),
-        ScheduleOnlyScheme(seed=0),
-        BaselineScheme(seed=0),
-    ]
-
-
 def run_store(name: str) -> Optional[RunStore]:
     """The persistent run store for one benchmark (or ``None`` if disabled)."""
     if os.environ.get("REPRO_RUNSTORE", "1") in ("", "0", "false", "False"):
@@ -80,50 +64,9 @@ def run_store(name: str) -> Optional[RunStore]:
     return RunStore(RUNSTORE_DIR / f"{name}.jsonl")
 
 
-def make_engine(network: Network, schemes, name: str, tries: Optional[int] = None) -> ExperimentEngine:
-    """An experiment engine wired to the benchmark environment knobs."""
-    return ExperimentEngine(
-        network,
-        schemes,
-        tries=num_tries() if tries is None else tries,
-        workers=num_workers(),
-        store=run_store(name),
-    )
-
-
-def engine_summary(engine: ExperimentEngine) -> str:
+def engine_summary(stats: EngineRunStats) -> str:
     """One-line cache/parallelism report for a finished engine run."""
-    stats = engine.last_run_stats
-    return (
-        f"engine: {stats.total_tasks} tasks, {stats.cached} cached, "
-        f"{stats.executed} executed, {stats.workers} worker(s), "
-        f"{stats.seconds:.2f}s"
-    )
-
-
-def evaluation_network() -> Network:
-    """The evaluation topology: k=8 (128 servers) at paper scale, k=4 otherwise."""
-    return topologies.fat_tree(8 if paper_scale() else 4)
-
-
-def figure3_widths() -> List[int]:
-    """Coflow widths swept by Figure 3."""
-    return [4, 8, 16, 32] if paper_scale() else [4, 8, 16]
-
-
-def figure4_coflow_counts() -> List[int]:
-    """Coflow counts swept by Figure 4."""
-    return [10, 15, 20, 25, 30] if paper_scale() else [4, 6, 8, 10]
-
-
-def figure4_width() -> int:
-    """Coflow width used by Figure 4 (16 in the paper)."""
-    return 16 if paper_scale() else 6
-
-
-def figure3_num_coflows() -> int:
-    """Number of coflows used by Figure 3 (10 in the paper)."""
-    return 10 if paper_scale() else 6
+    return stats_summary(stats)
 
 
 def record(name: str, text: str) -> None:

@@ -7,8 +7,32 @@ scheme) task grid — serially or over a process pool, cached in a resumable
 report helpers render the paper-style tables.
 """
 
+from .artifacts import (
+    DEFAULT_SCHEMES,
+    SCHEME_REGISTRY,
+    SpecPoint,
+    SpecRunResult,
+    SweepSpec,
+    build_schemes,
+    export_artifacts,
+    load_spec,
+    provenance,
+    result_from_store,
+    run_spec,
+    spec_from_dict,
+    stats_summary,
+)
 from .engine import EngineRunStats, ExperimentEngine, ExperimentSweep, ExperimentTask
-from .report import format_table, improvement_summary, ratio_table, sweep_table
+from .report import (
+    csv_report,
+    format_csv,
+    format_markdown,
+    format_table,
+    improvement_summary,
+    ratio_table,
+    render_report,
+    sweep_table,
+)
 from .runstore import RunStore, run_key
 from .sweep import SweepPoint, SweepResult
 
@@ -22,7 +46,24 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "format_table",
+    "format_markdown",
+    "format_csv",
     "sweep_table",
     "ratio_table",
     "improvement_summary",
+    "csv_report",
+    "render_report",
+    "SCHEME_REGISTRY",
+    "DEFAULT_SCHEMES",
+    "build_schemes",
+    "SpecPoint",
+    "SpecRunResult",
+    "SweepSpec",
+    "spec_from_dict",
+    "load_spec",
+    "run_spec",
+    "result_from_store",
+    "stats_summary",
+    "provenance",
+    "export_artifacts",
 ]

@@ -1,20 +1,57 @@
-"""Plain-text reporting of experiment results.
+"""Rendering experiment results as text, Markdown and CSV tables.
 
-The benchmark harness prints, for every figure and table of the paper, the
-same rows/series the paper reports: per-point average completion times per
-scheme (the upper panel of Figures 3 and 4), the ratios with respect to the
-Baseline scheme (the lower panel), and the headline average-improvement
-percentages of Section 4.3.  Everything is formatted as aligned ASCII tables
-so the benchmark output is directly comparable with the paper's plots.
+The benchmark harness and the ``repro report`` CLI print, for every figure
+and table of the paper, the same rows/series the paper reports: per-point
+average completion times per scheme (the upper panel of Figures 3 and 4),
+the ratios with respect to the Baseline scheme (the lower panel), and the
+headline average-improvement percentages of Section 4.3.
+
+Three output formats share the same row-building code so they can never
+disagree:
+
+* **text** — aligned ASCII tables, directly comparable with the paper's
+  plots (:func:`format_table`);
+* **markdown** — GitHub pipe tables for docs and CI summaries
+  (:func:`format_markdown`);
+* **csv** — one long-format table per sweep (point x scheme rows) for
+  downstream tooling (:func:`format_csv`, :func:`csv_report`).
+
+All renderers tolerate sparse results (a scheme missing at a point renders
+as ``nan``), so a partially filled run store — e.g. an interrupted
+``repro sweep`` — can still be reported.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+import csv
+import io
+from typing import List, Optional, Sequence, Tuple
 
-from .sweep import SweepResult
+from .sweep import SweepPoint, SweepResult
 
-__all__ = ["format_table", "sweep_table", "ratio_table", "improvement_summary"]
+__all__ = [
+    "format_table",
+    "format_markdown",
+    "format_csv",
+    "sweep_rows",
+    "ratio_rows",
+    "sweep_table",
+    "ratio_table",
+    "improvement_summary",
+    "csv_report",
+    "render_report",
+    "REPORT_FORMATS",
+]
+
+#: Formats understood by :func:`render_report` (and the ``repro`` CLI).
+REPORT_FORMATS = ("text", "markdown", "csv")
+
+
+def _render_cell(cell: object, float_format: str) -> str:
+    """Render one table cell (floats through ``float_format``)."""
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
 
 
 def format_table(
@@ -24,12 +61,7 @@ def format_table(
     float_format: str = "{:.2f}",
 ) -> str:
     """Render an aligned ASCII table."""
-    def render(cell: object) -> str:
-        if isinstance(cell, float):
-            return float_format.format(cell)
-        return str(cell)
-
-    rendered = [[render(c) for c in row] for row in rows]
+    rendered = [[_render_cell(c, float_format) for c in row] for row in rows]
     widths = [
         max(len(str(headers[col])), *(len(r[col]) for r in rendered)) if rendered else len(str(headers[col]))
         for col in range(len(headers))
@@ -44,27 +76,106 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a GitHub-flavoured Markdown pipe table.
+
+    Example::
+
+        >>> print(format_markdown(["a", "b"], [[1, 2.0]]))
+        | a | b |
+        | --- | --- |
+        | 1 | 2.00 |
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_render_cell(c, float_format) for c in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render rows as an RFC-4180 CSV document (header line included).
+
+    Floats go through ``float_format`` (default ``{:.6g}``) so output is
+    byte-stable across runs; everything else is stringified by the ``csv``
+    module, which handles quoting.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([_render_cell(c, float_format) for c in row])
+    return buffer.getvalue()
+
+
+# ------------------------------------------------------------- row builders
+
+def _mean(point: SweepPoint, scheme: str) -> float:
+    """Mean value of ``scheme`` at ``point``, NaN when the scheme is absent."""
+    values = point.values.get(scheme)
+    if not values:
+        return float("nan")
+    return point.mean(scheme)
+
+
+def _ratio(point: SweepPoint, scheme: str, reference: str) -> float:
+    """Per-try ratio of ``scheme`` to ``reference``, NaN when either is absent."""
+    if not point.values.get(scheme) or not point.values.get(reference):
+        return float("nan")
+    return point.ratio_to(scheme, reference)
+
+
+def sweep_rows(result: SweepResult) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) of the per-point scheme means (a figure's upper panel)."""
+    schemes = result.schemes()
+    headers = ["point"] + schemes
+    rows: List[List[object]] = [
+        [point.label] + [_mean(point, s) for s in schemes] for point in result.points
+    ]
+    return headers, rows
+
+
+def ratio_rows(
+    result: SweepResult, reference: str
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) of the per-point ratios to ``reference`` (lower panel)."""
+    schemes = result.schemes()
+    headers = ["point"] + schemes
+    rows: List[List[object]] = [
+        [point.label] + [_ratio(point, s, reference) for s in schemes]
+        for point in result.points
+    ]
+    return headers, rows
+
+
+# ------------------------------------------------------------ whole reports
+
 def sweep_table(
     result: SweepResult, title: str, value_label: str = "avg completion time"
 ) -> str:
     """Upper panel of a figure: mean objective per scheme per sweep point."""
-    schemes = result.schemes()
-    headers = ["point"] + schemes
-    rows = []
-    for point in result.points:
-        rows.append([point.label] + [point.mean(s) for s in schemes])
+    headers, rows = sweep_rows(result)
     return format_table(headers, rows, title=f"{title} — {value_label}")
 
 
 def ratio_table(result: SweepResult, reference: str, title: str) -> str:
     """Lower panel of a figure: ratio of each scheme to the reference scheme."""
-    schemes = result.schemes()
-    headers = ["point"] + schemes
-    rows = []
-    for point in result.points:
-        rows.append(
-            [point.label] + [point.ratio_to(s, reference) for s in schemes]
-        )
+    headers, rows = ratio_rows(result, reference)
     return format_table(
         headers, rows, title=f"{title} — ratio w.r.t. {reference}", float_format="{:.3f}"
     )
@@ -79,3 +190,65 @@ def improvement_summary(
         gain = result.average_improvement(scheme, reference)
         parts.append(f"{gain:.0f}% over {reference}")
     return f"Average improvement of {scheme}: " + ", ".join(parts)
+
+
+def csv_report(result: SweepResult, reference: Optional[str] = None) -> str:
+    """One long-format CSV for a whole sweep: a row per (point, scheme).
+
+    Columns: ``point, scheme, tries, mean, std, ratio_to_<reference>`` (the
+    ratio column is omitted when ``reference`` is ``None``).
+    """
+    headers = ["point", "scheme", "tries", "mean", "std"]
+    if reference is not None:
+        headers.append(f"ratio_to_{reference}")
+    rows: List[List[object]] = []
+    for point in result.points:
+        for scheme in result.schemes():
+            values = point.values.get(scheme, [])
+            row: List[object] = [
+                point.label,
+                scheme,
+                len(values),
+                _mean(point, scheme),
+                point.std(scheme) if values else float("nan"),
+            ]
+            if reference is not None:
+                row.append(_ratio(point, scheme, reference))
+            rows.append(row)
+    return format_csv(headers, rows)
+
+
+def render_report(
+    result: SweepResult,
+    title: str,
+    reference: Optional[str] = None,
+    fmt: str = "text",
+) -> str:
+    """Render a full sweep report in one of :data:`REPORT_FORMATS`.
+
+    ``text`` and ``markdown`` emit the paper's two panels (values then
+    ratios, when ``reference`` is given); ``csv`` emits the long-format
+    table of :func:`csv_report`.  Both ``repro sweep`` and ``repro report``
+    call this, so a report re-rendered from the run store alone is
+    byte-identical to the one written when the sweep ran.
+    """
+    if fmt not in REPORT_FORMATS:
+        raise ValueError(f"unknown report format {fmt!r} (known: {', '.join(REPORT_FORMATS)})")
+    if fmt == "csv":
+        return csv_report(result, reference)
+    table = format_table if fmt == "text" else format_markdown
+    value_headers, value_rows = sweep_rows(result)
+    blocks = [
+        table(value_headers, value_rows, title=f"{title} — avg weighted completion time")
+    ]
+    if reference is not None:
+        ratio_headers, rows = ratio_rows(result, reference)
+        blocks.append(
+            table(
+                ratio_headers,
+                rows,
+                title=f"{title} — ratio w.r.t. {reference}",
+                float_format="{:.3f}",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -109,6 +109,7 @@ class RunStore:
                 handle.write("\n")
 
     def reset_counters(self) -> None:
+        """Zero the hit/miss counters (between engine passes in tests)."""
         self.hits = 0
         self.misses = 0
 

@@ -29,12 +29,15 @@ class SweepPoint:
     values: Dict[str, List[float]] = field(default_factory=dict)
 
     def add(self, scheme: str, value: float) -> None:
+        """Record one random try's objective value for ``scheme``."""
         self.values.setdefault(scheme, []).append(value)
 
     def mean(self, scheme: str) -> float:
+        """Mean objective of ``scheme`` over the point's random tries."""
         return float(np.mean(self.values[scheme]))
 
     def std(self, scheme: str) -> float:
+        """Standard deviation of ``scheme``'s objective over the tries."""
         return float(np.std(self.values[scheme]))
 
     def ratio_to(self, scheme: str, reference: str) -> float:
@@ -62,6 +65,7 @@ class SweepResult:
     points: List[SweepPoint] = field(default_factory=list)
 
     def schemes(self) -> List[str]:
+        """All scheme names appearing in the sweep, first-seen order."""
         names: List[str] = []
         for point in self.points:
             for name in point.values:
@@ -74,6 +78,7 @@ class SweepResult:
         return [point.mean(scheme) for point in self.points]
 
     def ratio_series(self, scheme: str, reference: str) -> List[float]:
+        """Per-point ratio of ``scheme`` to ``reference`` (a lower-panel line)."""
         return [point.ratio_to(scheme, reference) for point in self.points]
 
     def average_improvement(self, scheme: str, reference: str) -> float:

@@ -1,0 +1,109 @@
+"""``repro report`` — render an existing run store, executing nothing.
+
+Re-renders the paper-style tables for a sweep spec from its run store
+alone: no topology is simulated, no LP is solved, no instance is generated
+(networks are only built to recompute store keys).  Because ``report`` and
+``sweep`` share the same row builders and float formats, a report rendered
+from the store of a completed sweep is byte-identical to the artifact files
+the sweep wrote.
+
+A partially filled store — an interrupted sweep — still renders: missing
+grid cells are reported on stderr and contribute no values (schemes absent
+at a point show as ``nan``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..analysis.artifacts import export_artifacts, result_from_store
+from ..analysis.engine import EngineRunStats
+from ..analysis.report import REPORT_FORMATS, render_report
+from ..analysis.runstore import RunStore
+from .sweep import add_spec_arguments, resolve_spec, resolve_store_path
+
+
+def configure(subparsers: argparse._SubParsersAction) -> None:
+    """Register the ``report`` subparser."""
+    parser = subparsers.add_parser(
+        "report",
+        help="render a run store into the paper's tables (no re-running)",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_spec_arguments(parser)
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=REPORT_FORMATS,
+        default="text",
+        help="format printed to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--export",
+        action="store_true",
+        help="also (re)write the report artifacts under <out>/<spec name>/",
+    )
+    parser.set_defaults(func=execute)
+
+
+def _recorded_stats(args: argparse.Namespace, spec) -> Optional[EngineRunStats]:
+    """The engine stats the sweep wrote to run.json, if still on disk.
+
+    ``--export`` rewrites run.json; re-using the recorded stats keeps the
+    sweep's execution accounting instead of silently dropping it.
+    """
+    metadata_path = Path(args.out) / spec.name / "run.json"
+    if not metadata_path.exists():
+        return None
+    try:
+        recorded = json.loads(metadata_path.read_text()).get("engine")
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(recorded, dict):
+        return None
+    known = {f.name for f in dataclasses.fields(EngineRunStats)}
+    return EngineRunStats(**{k: v for k, v in recorded.items() if k in known})
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Render the store; exit 1 when the store is empty or absent."""
+    spec = resolve_spec(args)
+    store_path = resolve_store_path(args, spec)
+    if not store_path.exists():
+        print(f"repro report: no run store at {store_path}", file=sys.stderr)
+        print("run `repro sweep` first, or pass --store", file=sys.stderr)
+        return 1
+    store = RunStore(store_path)
+    if len(store) == 0:
+        print(f"repro report: run store {store_path} is empty", file=sys.stderr)
+        print("run `repro sweep` first, or pass --store", file=sys.stderr)
+        return 1
+
+    result, missing, fingerprints = result_from_store(spec, store)
+    if missing:
+        total = spec.total_tasks()
+        print(
+            f"repro report: store covers {total - missing}/{total} tasks "
+            "(sweep incomplete; missing cells render as nan)",
+            file=sys.stderr,
+        )
+
+    print(render_report(result, spec.display_title(), spec.reference, fmt=args.fmt))
+    if args.export:
+        paths = export_artifacts(
+            args.out,
+            spec,
+            result,
+            stats=_recorded_stats(args, spec),
+            fingerprints=fingerprints,
+            store=store,
+        )
+        for kind in ("run", "text", "markdown", "csv"):
+            print(f"  {kind:<8} -> {paths[kind]}", file=sys.stderr)
+    return 0

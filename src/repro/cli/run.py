@@ -1,0 +1,147 @@
+"""``repro run`` — one workload instance x one scheme, JSON result.
+
+Generates a random coflow instance from a workload config (built from flags
+or loaded from a YAML/JSON file), plans it with one registry scheme, runs
+the flow-level simulator, and prints a self-describing JSON document:
+provenance, topology fingerprint, the exact config (seed included), the
+scheme signature, and every scalar metric.  The document carries everything
+the experiment engine would persist for the same task, so a ``repro run``
+is one reproducible cell of a sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from ..analysis.artifacts import (
+    SCHEME_REGISTRY,
+    build_schemes,
+    load_document,
+    provenance,
+    strict_config_from_dict,
+)
+from ..sim import FlowLevelSimulator
+from ..workloads.generator import (
+    ENDPOINT_DISTRIBUTIONS,
+    FLOW_SIZE_DISTRIBUTIONS,
+    CoflowGenerator,
+    WorkloadConfig,
+)
+from ..workloads.serialization import config_to_dict
+
+#: CLI flag name (dest) -> WorkloadConfig field it overrides.
+_CONFIG_FLAGS = (
+    "num_coflows",
+    "coflow_width",
+    "mean_flow_size",
+    "release_rate",
+    "mean_weight",
+    "seed",
+    "flow_size_distribution",
+    "pareto_shape",
+    "endpoint_distribution",
+    "zipf_exponent",
+    "topology",
+)
+
+
+def configure(subparsers: argparse._SubParsersAction) -> None:
+    """Register the ``run`` subparser."""
+    parser = subparsers.add_parser(
+        "run",
+        help="run one instance x scheme and print the JSON result",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scheme",
+        default="LP-Based",
+        choices=sorted(SCHEME_REGISTRY),
+        help="registry scheme to plan with (default: LP-Based)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        metavar="FILE",
+        help="YAML/JSON workload config mapping; explicit flags override it",
+    )
+    parser.add_argument(
+        "--topology",
+        help='topology spec string, e.g. "fat_tree(k=4)" '
+        "(default: fat_tree(k=4) unless the config file sets one)",
+    )
+    parser.add_argument("--num-coflows", type=int, help="coflows in the instance")
+    parser.add_argument("--coflow-width", type=int, help="flows per coflow")
+    parser.add_argument("--mean-flow-size", type=float, help="mean flow size")
+    parser.add_argument(
+        "--release-rate", type=float, help="Poisson release rate (omit for default)"
+    )
+    parser.add_argument("--mean-weight", type=float, help="mean coflow weight")
+    parser.add_argument("--seed", type=int, help="instance RNG seed")
+    parser.add_argument(
+        "--flow-sizes",
+        dest="flow_size_distribution",
+        choices=FLOW_SIZE_DISTRIBUTIONS,
+        help="flow-size family",
+    )
+    parser.add_argument(
+        "--pareto-shape", type=float, help="tail index for the pareto families"
+    )
+    parser.add_argument(
+        "--endpoints",
+        dest="endpoint_distribution",
+        choices=ENDPOINT_DISTRIBUTIONS,
+        help="endpoint family",
+    )
+    parser.add_argument(
+        "--zipf-exponent", type=float, help="skew strength of the skewed family"
+    )
+    parser.add_argument(
+        "--output", type=Path, metavar="FILE", help="write the JSON here instead of stdout"
+    )
+    parser.set_defaults(func=execute)
+
+
+def build_config(args: argparse.Namespace) -> WorkloadConfig:
+    """Resolve the workload config: file values first, flags on top."""
+    data: Dict[str, Any] = {}
+    if args.config is not None:
+        data.update(load_document(args.config))
+    for name in _CONFIG_FLAGS:
+        value = getattr(args, name, None)
+        if value is not None:
+            data[name] = value
+    data.setdefault("topology", "fat_tree(k=4)")
+    try:
+        return strict_config_from_dict(data, where="repro run config")
+    except ValueError as error:
+        raise SystemExit(f"repro run: {error}")
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Run the instance and emit the JSON document."""
+    config = build_config(args)
+    network = config.build_network()
+    scheme = build_schemes([args.scheme])[0]
+    instance = CoflowGenerator(network, config).instance()
+    plan = scheme.plan(instance, network)
+    result = FlowLevelSimulator(network).run(instance, plan)
+    document = {
+        "provenance": provenance(),
+        "topology": {"spec": config.topology, "fingerprint": network.fingerprint()},
+        "config": config_to_dict(config),
+        "scheme": {"name": scheme.name, "signature": scheme.signature()},
+        "instance": instance.name,
+        "metrics": result.metrics(),
+    }
+    rendered = json.dumps(document, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0

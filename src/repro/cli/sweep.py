@@ -1,0 +1,119 @@
+"""``repro sweep`` — run a declarative sweep spec end-to-end.
+
+Loads a YAML/JSON sweep spec (see :mod:`repro.analysis.artifacts`), drives
+the experiment engine over its (point x try x scheme) grid — optionally
+over ``--workers`` processes — and exports durable artifacts under
+``--out/<spec name>/``: the resumable run store, ``run.json`` metadata with
+full provenance, and the paper-style tables as text/Markdown/CSV.
+
+Resume is the default: the run store is loaded if it exists and tasks
+already recorded are never re-executed, so an interrupted sweep continues
+where it stopped and a completed sweep re-invoked is pure aggregation.
+``--fresh`` deletes the store first for a guaranteed cold run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from pathlib import Path
+
+from ..analysis.artifacts import (
+    SweepSpec,
+    export_artifacts,
+    load_spec,
+    run_spec,
+    stats_summary,
+)
+from ..analysis.report import render_report
+from ..analysis.runstore import RunStore
+
+
+def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``sweep`` and ``report`` (must match for the
+    two commands to agree on run-store keys)."""
+    parser.add_argument("spec", type=Path, help="YAML/JSON sweep spec file")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the spec to CI size (1 try, tiny instances, same grid)",
+    )
+    parser.add_argument(
+        "--tries", type=int, help="override the spec's tries-per-point"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("artifacts"),
+        help="artifact directory (default: ./artifacts)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        help="run store JSONL path (default: <out>/<spec name>/runstore.jsonl)",
+    )
+
+
+def resolve_spec(args: argparse.Namespace) -> SweepSpec:
+    """Load the spec and apply the shared ``--smoke`` / ``--tries`` transforms."""
+    spec = load_spec(args.spec)
+    if args.smoke:
+        spec = spec.smoke()
+    if args.tries is not None:
+        spec = replace(spec, tries=args.tries)
+    return spec
+
+
+def resolve_store_path(args: argparse.Namespace, spec: SweepSpec) -> Path:
+    """The run store location ``sweep`` writes and ``report`` reads."""
+    if args.store is not None:
+        return args.store
+    return args.out / spec.name / "runstore.jsonl"
+
+
+def configure(subparsers: argparse._SubParsersAction) -> None:
+    """Register the ``sweep`` subparser."""
+    parser = subparsers.add_parser(
+        "sweep",
+        help="run a YAML/JSON sweep spec on the experiment engine",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_spec_arguments(parser)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="engine worker processes (0 = serial, >=2 = process pool)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="delete the run store first (a cold run instead of a resume)",
+    )
+    parser.set_defaults(func=execute)
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Run the sweep and write artifacts."""
+    spec = resolve_spec(args)
+    store_path = resolve_store_path(args, spec)
+    if args.fresh and store_path.exists():
+        store_path.unlink()
+    store = RunStore(store_path)
+    resumed = len(store)
+    if resumed:
+        print(f"resuming from {store_path} ({resumed} recorded task(s))")
+
+    run = run_spec(spec, store, workers=args.workers)
+    paths = export_artifacts(
+        args.out, spec, run.result, run.stats, run.fingerprints, store
+    )
+
+    print(render_report(run.result, spec.display_title(), spec.reference, fmt="text"))
+    print()
+    print(stats_summary(run.stats))
+    for kind in ("run", "text", "markdown", "csv"):
+        print(f"  {kind:<8} -> {paths[kind]}")
+    print(f"  store    -> {store_path}")
+    return 0

@@ -157,6 +157,7 @@ class WorkloadConfig:
         return replace(self, num_coflows=num_coflows)
 
     def with_seed(self, seed: int) -> "WorkloadConfig":
+        """Copy with a different RNG seed (one copy per random try)."""
         return replace(self, seed=seed)
 
     def build_network(self) -> Network:

@@ -1,0 +1,189 @@
+"""Edge-case and golden-file tests for the report renderers.
+
+The Markdown and CSV renders are pinned by golden files under
+``tests/analysis/golden/`` — ``repro report`` promises byte-identical
+re-renders from a run store, so the formats themselves must not drift
+silently.  Regenerate the golden files by running this module directly::
+
+    PYTHONPATH=src python tests/analysis/test_report_renderers.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import (
+    REPORT_FORMATS,
+    csv_report,
+    format_csv,
+    format_markdown,
+    format_table,
+    improvement_summary,
+    ratio_rows,
+    ratio_table,
+    render_report,
+    sweep_rows,
+    sweep_table,
+)
+from repro.analysis.sweep import SweepPoint, SweepResult
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def reference_result() -> SweepResult:
+    """A small deterministic sweep: 2 points x 2 schemes x 2 tries."""
+    result = SweepResult(metric="weighted_completion_time")
+    first = SweepPoint(label="4 flows")
+    first.add("LP-Based", 10.0)
+    first.add("LP-Based", 20.0)
+    first.add("Baseline", 20.0)
+    first.add("Baseline", 50.0)
+    second = SweepPoint(label="8 flows")
+    second.add("LP-Based", 30.0)
+    second.add("LP-Based", 40.0)
+    second.add("Baseline", 60.0)
+    second.add("Baseline", 100.0)
+    result.points = [first, second]
+    return result
+
+
+def golden_markdown() -> str:
+    return render_report(
+        reference_result(), "Reference sweep", reference="Baseline", fmt="markdown"
+    )
+
+
+def golden_csv() -> str:
+    return render_report(
+        reference_result(), "Reference sweep", reference="Baseline", fmt="csv"
+    )
+
+
+class TestGolden:
+    def test_markdown_matches_golden(self):
+        expected = (GOLDEN_DIR / "reference_report.md").read_text()
+        assert golden_markdown() + "\n" == expected
+
+    def test_csv_matches_golden(self):
+        expected = (GOLDEN_DIR / "reference_report.csv").read_text()
+        assert golden_csv() == expected
+
+    def test_text_contains_both_panels(self):
+        text = render_report(
+            reference_result(), "Reference sweep", reference="Baseline", fmt="text"
+        )
+        assert "avg weighted completion time" in text
+        assert "ratio w.r.t. Baseline" in text
+
+
+class TestEmptySweep:
+    def test_all_formats_render_headers_only(self):
+        empty = SweepResult(metric="weighted_completion_time")
+        for fmt in REPORT_FORMATS:
+            rendered = render_report(empty, "Empty", reference=None, fmt=fmt)
+            assert "point" in rendered
+
+    def test_sweep_table_empty(self):
+        empty = SweepResult(metric="weighted_completion_time")
+        table = sweep_table(empty, "Empty")
+        assert table.splitlines()[1].startswith("point")
+
+    def test_csv_report_empty_has_header_only(self):
+        empty = SweepResult(metric="weighted_completion_time")
+        lines = csv_report(empty, reference=None).splitlines()
+        assert lines == ["point,scheme,tries,mean,std"]
+
+    def test_improvement_summary_empty_is_nan(self):
+        empty = SweepResult(metric="weighted_completion_time")
+        assert "nan%" in improvement_summary(empty, "LP-Based", ["Baseline"])
+
+
+class TestNaNRatios:
+    def zero_reference_result(self) -> SweepResult:
+        result = SweepResult(metric="weighted_completion_time")
+        point = SweepPoint(label="p")
+        point.add("A", 10.0)
+        point.add("Ref", 0.0)  # SweepPoint.ratio_to guards r > 0 -> NaN
+        result.points = [point]
+        return result
+
+    def test_ratio_rows_are_nan(self):
+        result = self.zero_reference_result()
+        _, rows = ratio_rows(result, "Ref")
+        assert all(cell != cell for cell in rows[0][1:])  # NaN != NaN
+
+    def test_nan_renders_in_every_format(self):
+        result = self.zero_reference_result()
+        assert "nan" in ratio_table(result, "Ref", "t")
+        headers, rows = ratio_rows(result, "Ref")
+        assert "nan" in format_markdown(headers, rows, float_format="{:.3f}")
+        assert "nan" in format_csv(headers, rows)
+
+
+class TestSinglePoint:
+    def test_single_point_tables(self):
+        result = SweepResult(metric="weighted_completion_time")
+        point = SweepPoint(label="only")
+        point.add("A", 4.0)
+        point.add("B", 8.0)
+        result.points = [point]
+        table = sweep_table(result, "Single")
+        assert "only" in table
+        headers, rows = sweep_rows(result)
+        assert headers == ["point", "A", "B"]
+        assert rows == [["only", 4.0, 8.0]]
+        assert result.points[0].ratio_to("A", "B") == pytest.approx(0.5)
+
+
+class TestSparseResults:
+    def sparse_result(self) -> SweepResult:
+        # Scheme "B" never completed at the second point (interrupted sweep).
+        result = SweepResult(metric="weighted_completion_time")
+        first = SweepPoint(label="p0")
+        first.add("A", 1.0)
+        first.add("B", 2.0)
+        second = SweepPoint(label="p1")
+        second.add("A", 3.0)
+        result.points = [first, second]
+        return result
+
+    def test_missing_scheme_renders_nan(self):
+        headers, rows = sweep_rows(self.sparse_result())
+        assert headers == ["point", "A", "B"]
+        assert rows[1][2] != rows[1][2]  # NaN
+
+    def test_missing_scheme_in_csv_has_zero_tries(self):
+        lines = csv_report(self.sparse_result(), reference="A").splitlines()
+        missing = [line for line in lines if line.startswith("p1,B")]
+        assert missing == ["p1,B,0,nan,nan,nan"]
+
+
+class TestFormatPrimitives:
+    def test_csv_quotes_commas(self):
+        rendered = format_csv(["a"], [["x,y"]])
+        assert '"x,y"' in rendered
+
+    def test_markdown_title_bold(self):
+        rendered = format_markdown(["a"], [[1]], title="T")
+        assert rendered.splitlines()[0] == "**T**"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_report(reference_result(), "t", fmt="html")
+
+    def test_text_table_unchanged(self):
+        # The ASCII renderer is the benchmarks' historical output format.
+        table = format_table(["h1", "h2"], [["x", 1.5]], title="T")
+        assert table.splitlines() == ["T", "h1  h2  ", "--  ----", "x   1.50"]
+
+
+def regenerate() -> None:
+    """Rewrite the golden files from the current renderers."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    (GOLDEN_DIR / "reference_report.md").write_text(golden_markdown() + "\n")
+    (GOLDEN_DIR / "reference_report.csv").write_text(golden_csv())
+    print(f"regenerated golden files under {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -1,0 +1,299 @@
+"""End-to-end tests for the ``repro`` CLI.
+
+Covers the acceptance path of the CLI PR: ``repro sweep`` on the
+scenario-matrix spec with a 2-worker pool, interrupted (emulated by
+truncating the run store) and re-invoked, resumes from the store without
+re-simulating completed tasks, and ``repro report`` renders identical
+Markdown/CSV tables from the store alone.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cli.bench import fig3_spec, fig4_spec, scenario_matrix_spec
+from repro.analysis.artifacts import load_spec
+
+ROOT = Path(__file__).resolve().parents[2]
+SPECS_DIR = ROOT / "specs"
+
+try:
+    import yaml  # noqa: F401 - availability probe for the checked-in specs
+    HAVE_YAML = True
+except ImportError:  # pragma: no cover
+    HAVE_YAML = False
+
+needs_yaml = pytest.mark.skipif(not HAVE_YAML, reason="PyYAML not installed")
+
+
+def tiny_spec_path(tmp_path, tries=1) -> Path:
+    """Write a minimal JSON sweep spec and return its path."""
+    spec = {
+        "name": "tiny",
+        "schemes": ["Baseline", "Route-only"],
+        "tries": tries,
+        "reference": "Baseline",
+        "base": {"num_coflows": 2, "coflow_width": 2, "topology": "fat_tree(k=4)"},
+        "sweep": {"parameter": "coflow_width", "values": [2, 3], "label": "{value}f"},
+    }
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def run_metadata(out_dir: Path, name: str) -> dict:
+    return json.loads((out_dir / name / "run.json").read_text())
+
+
+class TestTopLevel:
+    def test_version_prints_provenance(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert "HiGHS" in out
+        assert "deviations" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "sweep" in capsys.readouterr().out
+
+    def test_parser_knows_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("run", "sweep", "report", "bench"):
+            assert command in text
+
+
+class TestRun:
+    def test_json_document_on_stdout(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--scheme",
+                    "Baseline",
+                    "--num-coflows",
+                    "2",
+                    "--coflow-width",
+                    "2",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["scheme"]["name"] == "Baseline"
+        assert document["config"]["seed"] == 1
+        assert document["topology"]["spec"] == "fat_tree(k=4)"
+        assert document["metrics"]["weighted_completion_time"] > 0
+        assert document["provenance"]["version"]
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--scheme",
+                    "Baseline",
+                    "--num-coflows",
+                    "2",
+                    "--coflow-width",
+                    "2",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert json.loads(target.read_text())["scheme"]["name"] == "Baseline"
+
+    def test_config_file_with_flag_override(self, tmp_path, capsys):
+        config = tmp_path / "config.json"
+        config.write_text(
+            json.dumps({"num_coflows": 2, "coflow_width": 2, "seed": 9})
+        )
+        assert (
+            main(["run", "--scheme", "Baseline", "--config", str(config), "--seed", "3"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["config"]["seed"] == 3  # flag wins
+        assert document["config"]["num_coflows"] == 2  # file survives
+
+
+class TestSweepAndReport:
+    def test_sweep_writes_artifacts_and_resumes(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        assert main(["sweep", str(spec), "--out", str(out)]) == 0
+        capsys.readouterr()
+        metadata = run_metadata(out, "tiny")
+        assert metadata["engine"]["executed"] == 4  # 2 points x 1 try x 2 schemes
+        for name in ("runstore.jsonl", "report.txt", "report.md", "report.csv"):
+            assert (out / "tiny" / name).exists(), name
+
+        # Second invocation: resume-by-default, nothing re-simulated.
+        assert main(["sweep", str(spec), "--out", str(out)]) == 0
+        assert "resuming" in capsys.readouterr().out
+        assert run_metadata(out, "tiny")["engine"]["executed"] == 0
+
+    def test_interrupted_sweep_resumes_only_the_missing_tasks(
+        self, tmp_path, capsys
+    ):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        main(["sweep", str(spec), "--out", str(out)])
+        store_path = out / "tiny" / "runstore.jsonl"
+        lines = store_path.read_text().splitlines()
+        # Emulate an interruption: keep only half the completed tasks.
+        store_path.write_text("\n".join(lines[:2]) + "\n")
+        capsys.readouterr()
+        assert main(["sweep", str(spec), "--out", str(out)]) == 0
+        metadata = run_metadata(out, "tiny")
+        assert metadata["engine"]["cached"] == 2
+        assert metadata["engine"]["executed"] == 2
+
+    def test_fresh_forces_a_cold_run(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        main(["sweep", str(spec), "--out", str(out)])
+        main(["sweep", str(spec), "--out", str(out), "--fresh"])
+        capsys.readouterr()
+        assert run_metadata(out, "tiny")["engine"]["executed"] == 4
+
+    def test_report_renders_identical_tables_from_the_store_alone(
+        self, tmp_path, capsys
+    ):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        main(["sweep", str(spec), "--out", str(out)])
+        capsys.readouterr()
+
+        for fmt, filename in (("markdown", "report.md"), ("csv", "report.csv")):
+            assert (
+                main(["report", str(spec), "--out", str(out), "--format", fmt]) == 0
+            )
+            stdout = capsys.readouterr().out
+            artifact = (out / "tiny" / filename).read_text()
+            assert stdout.rstrip("\n") == artifact.rstrip("\n"), fmt
+
+    def test_report_without_store_fails_cleanly(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        assert main(["report", str(spec), "--out", str(tmp_path / "nowhere")]) == 1
+        assert "no run store" in capsys.readouterr().err
+
+    def test_report_on_empty_store_fails_cleanly(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        store = out / "tiny" / "runstore.jsonl"
+        store.parent.mkdir(parents=True)
+        store.write_text("")  # sweep killed before its first task persisted
+        assert main(["report", str(spec), "--out", str(out)]) == 1
+        assert "is empty" in capsys.readouterr().err
+
+    def test_report_warns_on_partial_store(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        main(["sweep", str(spec), "--out", str(out)])
+        store_path = out / "tiny" / "runstore.jsonl"
+        store_path.write_text(store_path.read_text().splitlines()[0] + "\n")
+        capsys.readouterr()
+        assert main(["report", str(spec), "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "store covers 1/4 tasks" in captured.err
+        assert "nan" in captured.out
+
+    def test_report_export_rewrites_artifacts(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        main(["sweep", str(spec), "--out", str(out)])
+        markdown = (out / "tiny" / "report.md").read_text()
+        engine_stats = run_metadata(out, "tiny")["engine"]
+        (out / "tiny" / "report.md").unlink()
+        capsys.readouterr()
+        assert main(["report", str(spec), "--out", str(out), "--export"]) == 0
+        assert (out / "tiny" / "report.md").read_text() == markdown
+        # The rewritten run.json keeps the sweep's execution accounting.
+        assert run_metadata(out, "tiny")["engine"] == engine_stats
+
+
+@needs_yaml
+class TestScenarioMatrixAcceptance:
+    """The PR's acceptance criterion, against the checked-in spec."""
+
+    def test_checked_in_specs_pin_the_bench_suites(self):
+        assert load_spec(SPECS_DIR / "scenario-matrix.yaml") == scenario_matrix_spec()
+        assert load_spec(SPECS_DIR / "fig3.yaml") == fig3_spec()
+        assert load_spec(SPECS_DIR / "fig4.yaml") == fig4_spec()
+
+    def test_smoke_sweep_two_workers_resume_and_report(self, tmp_path, capsys):
+        spec = str(SPECS_DIR / "scenario-matrix.yaml")
+        out = tmp_path / "artifacts"
+        args = ["sweep", spec, "--smoke", "--workers", "2", "--out", str(out)]
+        assert main(args) == 0
+        capsys.readouterr()
+        metadata = run_metadata(out, "scenario-matrix-smoke")
+        assert metadata["engine"]["executed"] == 16  # 4 points x 1 try x 4 schemes
+        assert metadata["engine"]["workers"] == 2
+
+        # Re-invoked: resumes from the store, re-simulates nothing.
+        assert main(args) == 0
+        capsys.readouterr()
+        assert run_metadata(out, "scenario-matrix-smoke")["engine"]["executed"] == 0
+
+        # Report renders identical tables from the store alone.
+        for fmt, filename in (("markdown", "report.md"), ("csv", "report.csv")):
+            assert (
+                main(
+                    [
+                        "report",
+                        spec,
+                        "--smoke",
+                        "--out",
+                        str(out),
+                        "--format",
+                        fmt,
+                    ]
+                )
+                == 0
+            )
+            stdout = capsys.readouterr().out
+            artifact = (out / "scenario-matrix-smoke" / filename).read_text()
+            assert stdout.rstrip("\n") == artifact.rstrip("\n"), fmt
+
+
+class TestBench:
+    def test_fig3_smoke_suite(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["bench", "fig3", "--smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Figure 3" in stdout
+        assert "Average improvement of LP-Based" in stdout
+        metadata = run_metadata(out, "fig3-smoke")
+        assert metadata["engine"]["executed"] == 12  # 3 widths x 1 try x 4 schemes
+
+    def test_table1_suite(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["bench", "table1", "--out", str(out)]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        for name in ("report.txt", "report.md", "report.csv", "run.json"):
+            assert (out / "table1" / name).exists()
+
+    def test_table1_warns_about_ignored_flags(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["bench", "table1", "--out", str(out), "--workers", "2"]) == 0
+        assert "does not use --workers" in capsys.readouterr().err
+
+    def test_headline_smoke_suite(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["bench", "headline", "--smoke", "--out", str(out)]) == 0
+        assert "Headline" in capsys.readouterr().out
+        metadata = json.loads((out / "headline-smoke" / "run.json").read_text())
+        # smoke: (2 width points + 1 count point) x 1 try x 4 schemes
+        assert metadata["engine"]["executed"] == 12
+        assert metadata["provenance"]["version"]
