@@ -1,0 +1,84 @@
+"""Simulator event-loop benchmark: array kernel vs the reference loop.
+
+The flow-level simulator is the inner loop of every sweep, so its
+throughput bounds how large a scenario matrix can get.  This benchmark is a
+thin wrapper over the CLI suite (``repro bench simulator``): on a pinned
+instance — 8 coflows x 48 flows each on a 32-host leaf-spine fabric — it
+measures events/sec of
+
+* the **reference** event loop (``FlowLevelSimulator.run_reference``, the
+  original dict-based implementation, kept as the executable spec),
+* the **array kernel** (``FlowLevelSimulator.run``), and
+* the **online** re-planning engine (kernel epochs spliced at every coflow
+  arrival),
+
+in two regimes: every flow backlogged from time zero, and coflows arriving
+over time (``coflow_arrival_rate``).  The kernel must produce *identical*
+completion times to the reference (asserted on every run) and beat it by at
+least **5x** on both regimes — the acceptance gate of the kernel refactor.
+``--smoke`` shrinks the instance for CI and only requires the kernel to
+win (shared runners are too noisy for a hard wall-clock factor).
+
+Artifacts land under ``benchmarks/results/simulator/`` (report.txt/md/csv
+plus run.json with the measured speedups).
+"""
+
+import argparse
+import sys
+
+from repro.cli.bench import run_simulator
+
+from common import RESULTS_DIR
+
+
+def main(argv=None):
+    """Run the benchmark; exits non-zero when the speedup gate fails."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized instance; only asserts the kernel beats the reference",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="override the required kernel speedup (default: 5.0, smoke: 1.0)",
+    )
+    args = parser.parse_args(argv)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 1.0 if args.smoke else 5.0
+    speedups = run_simulator(RESULTS_DIR, smoke=args.smoke, min_speedup=min_speedup)
+    name = "simulator-smoke" if args.smoke else "simulator"
+    print((RESULTS_DIR / name / "report.txt").read_text())
+    print(
+        f"kernel speedup: {speedups['backlogged']:.2f}x backlogged, "
+        f"{speedups['arrivals']:.2f}x with arrivals "
+        f"(required: >= {min_speedup:.2f}x)"
+    )
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone mode
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="simulator")
+    def test_simulator_kernel_speedup(benchmark):
+        """The kernel matches the reference exactly and beats it >= 5x."""
+        speedups = benchmark.pedantic(
+            lambda: run_simulator(RESULTS_DIR, smoke=False, min_speedup=5.0),
+            rounds=1,
+            iterations=1,
+        )
+        assert speedups["backlogged"] >= 5.0
+        assert speedups["arrivals"] >= 5.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

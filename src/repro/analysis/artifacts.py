@@ -53,6 +53,7 @@ from .. import __version__
 from ..baselines import (
     BaselineScheme,
     LPBasedScheme,
+    OnlineScheme,
     RouteOnlyScheme,
     SEBFScheme,
     ScheduleOnlyScheme,
@@ -83,6 +84,7 @@ __all__ = [
     "load_spec",
     "run_spec",
     "result_from_store",
+    "results_from_store",
     "stats_summary",
     "provenance",
     "provenance_lines",
@@ -90,15 +92,33 @@ __all__ = [
     "ARTIFACT_FORMATS",
 ]
 
+def _named(scheme: Scheme, name: str) -> Scheme:
+    """Give a scheme variant its registry display name (and table label)."""
+    scheme.name = name
+    return scheme
+
+
 #: Scheme display name -> zero-argument factory.  Factories fix all
 #: parameters (seeds included) so a name alone identifies a scheme and its
 #: run-store signature, which is what makes spec files reproducible.
+#: ``Online-*`` names wrap the static scheme of the same name in the
+#: arrival-driven re-planning engine; ``*-MaxMin`` / ``*-WFair`` select the
+#: fair-sharing rate allocators instead of strict priority service (their
+#: display names are overridden so they never collide with the strict
+#: variant in one report).
 SCHEME_REGISTRY: Dict[str, Callable[[], Scheme]] = {
     "LP-Based": lambda: LPBasedScheme(seed=0),
     "Route-only": RouteOnlyScheme,
     "Schedule-only": lambda: ScheduleOnlyScheme(seed=0),
     "Baseline": lambda: BaselineScheme(seed=0),
     "SEBF": SEBFScheme,
+    "SEBF-MaxMin": lambda: _named(SEBFScheme(allocator="max-min"), "SEBF-MaxMin"),
+    "SEBF-WFair": lambda: _named(SEBFScheme(allocator="weighted"), "SEBF-WFair"),
+    "Online-LP-Based": lambda: OnlineScheme(LPBasedScheme(seed=0)),
+    "Online-Route-only": lambda: OnlineScheme(RouteOnlyScheme()),
+    "Online-Schedule-only": lambda: OnlineScheme(ScheduleOnlyScheme(seed=0)),
+    "Online-Baseline": lambda: OnlineScheme(BaselineScheme(seed=0)),
+    "Online-SEBF": lambda: OnlineScheme(SEBFScheme()),
 }
 
 #: The four schemes of Section 4.3, in the paper's table order.
@@ -172,6 +192,10 @@ class SweepSpec:
     schemes: Tuple[str, ...] = DEFAULT_SCHEMES
     tries: int = 2
     metric: str = "weighted_completion_time"
+    #: Additional metric columns aggregated from the same run records and
+    #: appended to reports (e.g. the per-coflow slowdown summaries
+    #: ``mean_slowdown`` / ``max_slowdown``).
+    extra_metrics: Tuple[str, ...] = ()
     reference: Optional[str] = "Baseline"
     title: Optional[str] = None
 
@@ -184,6 +208,8 @@ class SweepSpec:
             raise ValueError(f"spec {self.name!r} declares no schemes")
         if self.tries < 1:
             raise ValueError("tries must be at least 1")
+        if any(not m for m in self.extra_metrics):
+            raise ValueError(f"spec {self.name!r} has an empty extra metric name")
         build_schemes(self.schemes)  # fail fast on unknown names
         if self.reference is not None and self.reference not in self.schemes:
             raise ValueError(
@@ -270,6 +296,8 @@ class SweepSpec:
                 for p in self.points
             ],
         }
+        if self.extra_metrics:
+            data["extra_metrics"] = list(self.extra_metrics)
         if self.title is not None:
             data["title"] = self.title
         return data
@@ -281,6 +309,7 @@ _SPEC_KEYS = {
     "schemes",
     "tries",
     "metric",
+    "extra_metrics",
     "reference",
     "base",
     "sweep",
@@ -349,6 +378,8 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
         kwargs["tries"] = int(data["tries"])
     if "metric" in data:
         kwargs["metric"] = str(data["metric"])
+    if "extra_metrics" in data:
+        kwargs["extra_metrics"] = tuple(str(m) for m in data["extra_metrics"])
     if "reference" in data:
         kwargs["reference"] = data["reference"]
     return SweepSpec(
@@ -405,6 +436,8 @@ class SpecRunResult:
     stats: EngineRunStats
     #: topology spec string -> network fingerprint actually used.
     fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: extra metric name -> its aggregate (one per ``spec.extra_metrics``).
+    extras: Dict[str, SweepResult] = field(default_factory=dict)
 
 
 def run_spec(
@@ -443,22 +476,29 @@ def run_spec(
         stats.cached += engine.last_run_stats.cached
         stats.executed += engine.last_run_stats.executed
         stats.seconds += engine.last_run_stats.seconds
+    extras = (
+        results_from_store(spec, store, spec.extra_metrics)[0]
+        if spec.extra_metrics
+        else {}
+    )
     return SpecRunResult(
-        spec=spec, result=merged, stats=stats, fingerprints=fingerprints
+        spec=spec, result=merged, stats=stats, fingerprints=fingerprints,
+        extras=extras,
     )
 
 
-def result_from_store(
-    spec: SweepSpec, store: RunStore
-) -> Tuple[SweepResult, int, Dict[str, str]]:
-    """Rebuild a spec's :class:`SweepResult` from a run store, running nothing.
+def results_from_store(
+    spec: SweepSpec, store: RunStore, metrics: Sequence[str]
+) -> Tuple[Dict[str, SweepResult], Dict[str, int], Dict[str, str]]:
+    """Rebuild several metrics' :class:`SweepResult` in one store pass.
 
     Iterates the spec's (point x try x scheme) grid in the same order the
-    engine aggregates it, so a complete store yields a result identical to
-    :func:`run_spec`'s.  Returns ``(result, missing, fingerprints)`` where
-    ``missing`` counts grid cells absent from the store (non-zero for an
-    interrupted sweep; absent cells simply contribute no value to their
-    point) and ``fingerprints`` maps topology spec -> network fingerprint.
+    engine aggregates it — once, peeking each record a single time however
+    many metrics are requested.  Returns ``(results, missing,
+    fingerprints)``: per-metric results and per-metric missing-cell counts
+    (a record lacking a metric — e.g. written by an older version — counts
+    as missing for that metric only), plus topology spec -> network
+    fingerprint.
     """
     schemes = build_schemes(spec.schemes)
     signatures = [scheme.signature() for scheme in schemes]
@@ -466,21 +506,40 @@ def result_from_store(
         topology: from_spec(topology).fingerprint()
         for topology, _ in _topology_groups(spec)
     }
-    result = SweepResult(metric=spec.metric)
-    result.points = [SweepPoint(label=point.label) for point in spec.points]
-    missing = 0
+    results = {metric: SweepResult(metric=metric) for metric in metrics}
+    for result in results.values():
+        result.points = [SweepPoint(label=point.label) for point in spec.points]
+    missing = {metric: 0 for metric in metrics}
     for index, (label, configs) in enumerate(spec.point_specs()):
         fingerprint = fingerprints[spec.points[index].config.topology]
         for config in configs:
             for scheme, signature in zip(schemes, signatures):
                 record = store.peek(run_key(fingerprint, config, signature))
-                if record is None:
-                    missing += 1
-                    continue
-                result.points[index].add(
-                    scheme.name, float(record["metrics"][spec.metric])
-                )
-    return result, missing, fingerprints
+                values = record["metrics"] if record is not None else {}
+                for metric in metrics:
+                    if metric not in values:
+                        missing[metric] += 1
+                        continue
+                    results[metric].points[index].add(
+                        scheme.name, float(values[metric])
+                    )
+    return results, missing, fingerprints
+
+
+def result_from_store(
+    spec: SweepSpec, store: RunStore, metric: Optional[str] = None
+) -> Tuple[SweepResult, int, Dict[str, str]]:
+    """Rebuild a spec's :class:`SweepResult` from a run store, running nothing.
+
+    Single-metric convenience over :func:`results_from_store` (``metric``
+    defaults to the spec's primary metric), returning ``(result, missing,
+    fingerprints)``; a complete store yields a result identical to
+    :func:`run_spec`'s, and a partial store simply contributes no value for
+    its missing cells.
+    """
+    metric = metric or spec.metric
+    results, missing, fingerprints = results_from_store(spec, store, [metric])
+    return results[metric], missing[metric], fingerprints
 
 
 def stats_summary(stats: EngineRunStats) -> str:
@@ -554,6 +613,7 @@ def export_artifacts(
     stats: Optional[EngineRunStats] = None,
     fingerprints: Optional[Mapping[str, str]] = None,
     store: Optional[RunStore] = None,
+    extras: Optional[Mapping[str, SweepResult]] = None,
 ) -> Dict[str, Path]:
     """Write a sweep's durable artifacts under ``out_dir/<spec.name>/``.
 
@@ -590,7 +650,11 @@ def export_artifacts(
 
     for fmt in REPORT_FORMATS:
         rendered = render_report(
-            result, spec.display_title(), reference=spec.reference, fmt=fmt
+            result,
+            spec.display_title(),
+            reference=spec.reference,
+            fmt=fmt,
+            extras=extras,
         )
         path = target / f"report.{ARTIFACT_FORMATS[fmt]}"
         path.write_text(rendered if rendered.endswith("\n") else rendered + "\n")

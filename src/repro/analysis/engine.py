@@ -83,10 +83,14 @@ def _execute_task(
     task: ExperimentTask,
     topology_fingerprint: str,
 ) -> Dict[str, Any]:
-    """Generate the instance, plan, simulate; return the run-store record."""
+    """Generate the instance, plan, simulate; return the run-store record.
+
+    Dispatches through :meth:`~repro.baselines.base.Scheme.simulate`, so
+    online schemes run their arrival-driven re-planning loop while static
+    schemes plan once and execute on the array kernel.
+    """
     instance = CoflowGenerator(network, task.config).instance()
-    plan = scheme.plan(instance, network)
-    result = simulator.run(instance, plan)
+    result = scheme.simulate(instance, network, simulator)
     return {
         "scheme": scheme.name,
         "signature": scheme.signature(),
@@ -184,8 +188,7 @@ class ExperimentEngine:
         """Run every scheme on one concrete instance (serial, uncached)."""
         comparison = SchemeComparison(metric=self.metric)
         for scheme in self.schemes:
-            plan = scheme.plan(instance, self.network)
-            comparison.add(self.simulator.run(instance, plan))
+            comparison.add(scheme.simulate(instance, self.network, self.simulator))
         return comparison
 
     def tasks_for(self, points: Sequence[PointSpec]) -> List[ExperimentTask]:

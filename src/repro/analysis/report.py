@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from .sweep import SweepPoint, SweepResult
 
@@ -192,17 +192,25 @@ def improvement_summary(
     return f"Average improvement of {scheme}: " + ", ".join(parts)
 
 
-def csv_report(result: SweepResult, reference: Optional[str] = None) -> str:
+def csv_report(
+    result: SweepResult,
+    reference: Optional[str] = None,
+    extras: Optional[Mapping[str, SweepResult]] = None,
+) -> str:
     """One long-format CSV for a whole sweep: a row per (point, scheme).
 
     Columns: ``point, scheme, tries, mean, std, ratio_to_<reference>`` (the
-    ratio column is omitted when ``reference`` is ``None``).
+    ratio column is omitted when ``reference`` is ``None``), plus one
+    ``mean_<metric>`` column per entry of ``extras`` (extra metric
+    aggregates over the same grid, e.g. the per-coflow slowdown summaries).
     """
+    extras = extras or {}
     headers = ["point", "scheme", "tries", "mean", "std"]
     if reference is not None:
         headers.append(f"ratio_to_{reference}")
+    headers.extend(f"mean_{metric}" for metric in extras)
     rows: List[List[object]] = []
-    for point in result.points:
+    for index, point in enumerate(result.points):
         for scheme in result.schemes():
             values = point.values.get(scheme, [])
             row: List[object] = [
@@ -214,6 +222,8 @@ def csv_report(result: SweepResult, reference: Optional[str] = None) -> str:
             ]
             if reference is not None:
                 row.append(_ratio(point, scheme, reference))
+            for extra in extras.values():
+                row.append(_mean(extra.points[index], scheme))
             rows.append(row)
     return format_csv(headers, rows)
 
@@ -223,19 +233,23 @@ def render_report(
     title: str,
     reference: Optional[str] = None,
     fmt: str = "text",
+    extras: Optional[Mapping[str, SweepResult]] = None,
 ) -> str:
     """Render a full sweep report in one of :data:`REPORT_FORMATS`.
 
     ``text`` and ``markdown`` emit the paper's two panels (values then
     ratios, when ``reference`` is given); ``csv`` emits the long-format
-    table of :func:`csv_report`.  Both ``repro sweep`` and ``repro report``
-    call this, so a report re-rendered from the run store alone is
-    byte-identical to the one written when the sweep ran.
+    table of :func:`csv_report`.  ``extras`` maps additional metric names to
+    their aggregates over the same grid (see
+    :attr:`~repro.analysis.artifacts.SweepSpec.extra_metrics`); each adds a
+    table block (text/markdown) or a mean column (csv).  Both ``repro
+    sweep`` and ``repro report`` call this, so a report re-rendered from the
+    run store alone is byte-identical to the one written when the sweep ran.
     """
     if fmt not in REPORT_FORMATS:
         raise ValueError(f"unknown report format {fmt!r} (known: {', '.join(REPORT_FORMATS)})")
     if fmt == "csv":
-        return csv_report(result, reference)
+        return csv_report(result, reference, extras)
     table = format_table if fmt == "text" else format_markdown
     value_headers, value_rows = sweep_rows(result)
     blocks = [
@@ -248,6 +262,16 @@ def render_report(
                 ratio_headers,
                 rows,
                 title=f"{title} — ratio w.r.t. {reference}",
+                float_format="{:.3f}",
+            )
+        )
+    for metric, extra in (extras or {}).items():
+        extra_headers, extra_rows = sweep_rows(extra)
+        blocks.append(
+            table(
+                extra_headers,
+                extra_rows,
+                title=f"{title} — avg {metric}",
                 float_format="{:.3f}",
             )
         )

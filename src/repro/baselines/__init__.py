@@ -8,6 +8,7 @@ from .heuristics import (
     ScheduleOnlyScheme,
 )
 from .lp_based import LPBasedScheme, LPGivenPathsScheme
+from .online import OnlineScheme
 
 __all__ = [
     "Scheme",
@@ -20,4 +21,5 @@ __all__ = [
     "SEBFScheme",
     "LPBasedScheme",
     "LPGivenPathsScheme",
+    "OnlineScheme",
 ]

@@ -42,6 +42,21 @@ class Scheme(abc.ABC):
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
         """Compute the simulation plan for ``instance`` on ``network``."""
 
+    def simulate(self, instance: CoflowInstance, network: Network, simulator=None):
+        """Plan the instance and execute it on the flow-level simulator.
+
+        This is the entry point the experiment engine drives: one call is
+        one (instance, scheme) evaluation.  Static schemes plan once and
+        simulate; online schemes (:mod:`repro.baselines.online`) override
+        this to re-plan at every coflow arrival instead.  ``simulator`` is
+        an optional pre-built :class:`~repro.sim.simulator.FlowLevelSimulator`
+        for ``network`` (the engine reuses one across tasks).
+        """
+        from ..sim.simulator import FlowLevelSimulator
+
+        simulator = simulator or FlowLevelSimulator(network)
+        return simulator.run(instance, self.plan(instance, network))
+
     def signature(self) -> str:
         """Stable identity string: scheme name plus its parameters.
 

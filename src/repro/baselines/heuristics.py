@@ -40,16 +40,24 @@ class BaselineScheme(Scheme):
 
     name = "Baseline"
 
-    def __init__(self, seed: Optional[int] = 0, max_paths: int = 16) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        max_paths: int = 16,
+        allocator: str = "greedy",
+    ) -> None:
         self.seed = seed
         self.max_paths = max_paths
+        self.allocator = allocator
 
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
         rng = random.Random(self.seed)
         paths = random_route(instance, network, rng, max_paths=self.max_paths)
         order = list(instance.flow_ids())
         rng.shuffle(order)
-        return SimulationPlan(paths=paths, order=order, name=self.name)
+        return SimulationPlan(
+            paths=paths, order=order, name=self.name, allocator=self.allocator
+        )
 
 
 class ScheduleOnlyScheme(Scheme):
@@ -57,9 +65,15 @@ class ScheduleOnlyScheme(Scheme):
 
     name = "Schedule-only"
 
-    def __init__(self, seed: Optional[int] = 0, max_paths: int = 16) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        max_paths: int = 16,
+        allocator: str = "greedy",
+    ) -> None:
         self.seed = seed
         self.max_paths = max_paths
+        self.allocator = allocator
 
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
         rng = random.Random(self.seed)
@@ -71,7 +85,9 @@ class ScheduleOnlyScheme(Scheme):
             return flow.release_time + flow.size / bandwidth
 
         order = sorted(instance.flow_ids(), key=lambda fid: (min_completion(fid), fid))
-        return SimulationPlan(paths=paths, order=order, name=self.name)
+        return SimulationPlan(
+            paths=paths, order=order, name=self.name, allocator=self.allocator
+        )
 
 
 class RouteOnlyScheme(Scheme):
@@ -79,13 +95,16 @@ class RouteOnlyScheme(Scheme):
 
     name = "Route-only"
 
-    def __init__(self, max_paths: int = 16) -> None:
+    def __init__(self, max_paths: int = 16, allocator: str = "greedy") -> None:
         self.max_paths = max_paths
+        self.allocator = allocator
 
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
         paths = load_balanced_route(instance, network, max_paths=self.max_paths)
         order = list(instance.flow_ids())
-        return SimulationPlan(paths=paths, order=order, name=self.name)
+        return SimulationPlan(
+            paths=paths, order=order, name=self.name, allocator=self.allocator
+        )
 
 
 class SEBFScheme(Scheme):
@@ -100,8 +119,9 @@ class SEBFScheme(Scheme):
 
     name = "SEBF"
 
-    def __init__(self, max_paths: int = 16) -> None:
+    def __init__(self, max_paths: int = 16, allocator: str = "greedy") -> None:
         self.max_paths = max_paths
+        self.allocator = allocator
 
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
         paths = load_balanced_route(instance, network, max_paths=self.max_paths)
@@ -124,4 +144,6 @@ class SEBFScheme(Scheme):
                 key=lambda fid: (-instance.flow(fid).size, fid),
             )
             order.extend(flow_ids)
-        return SimulationPlan(paths=paths, order=order, name=self.name)
+        return SimulationPlan(
+            paths=paths, order=order, name=self.name, allocator=self.allocator
+        )

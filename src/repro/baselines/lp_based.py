@@ -36,7 +36,9 @@ class LPBasedScheme(Scheme):
         max_candidate_paths: int = 16,
         seed: Optional[int] = 0,
         path_selection: str = "thickest",
+        allocator: str = "greedy",
     ) -> None:
+        self.allocator = allocator
         self.epsilon = epsilon
         self.formulation = formulation
         self.max_candidate_paths = max_candidate_paths
@@ -64,6 +66,7 @@ class LPBasedScheme(Scheme):
             paths=dict(routing_plan.paths),
             order=list(routing_plan.flow_order),
             name=self.name,
+            allocator=self.allocator,
         )
 
 
@@ -72,8 +75,11 @@ class LPGivenPathsScheme(Scheme):
 
     name = "LP-Based (given paths)"
 
-    def __init__(self, epsilon: float = DEFAULT_EPSILON) -> None:
+    def __init__(
+        self, epsilon: float = DEFAULT_EPSILON, allocator: str = "greedy"
+    ) -> None:
         self.epsilon = epsilon
+        self.allocator = allocator
         self.last_relaxation = None
 
     def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
@@ -90,4 +96,5 @@ class LPGivenPathsScheme(Scheme):
             paths=respect_given_paths(instance),
             order=relaxation.flow_order(),
             name=self.name,
+            allocator=self.allocator,
         )

@@ -1,0 +1,69 @@
+"""Online scheme wrappers: re-plan any static scheme at every arrival.
+
+Wrapping a static :class:`~repro.baselines.base.Scheme` in
+:class:`OnlineScheme` turns it into the operating mode of Varys-style
+systems: the scheme no longer sees the whole instance up front — at every
+coflow arrival it is re-invoked on the *currently known, unfinished*
+volume (sizes replaced by what remains, flows that already moved volume
+pinned to their current route), and the resulting plan is spliced into one
+continuous simulation by the
+:class:`~repro.sim.online.OnlineFlowSimulator`.
+
+The registry in :mod:`repro.analysis.artifacts` exposes these as
+``Online-<scheme>`` names, so ``repro sweep`` / ``repro bench`` can compare
+static and online variants of the same scheme head-to-head (see
+``specs/online.yaml``).
+"""
+
+from __future__ import annotations
+
+from ..core.flows import CoflowInstance
+from ..core.network import Network
+from ..sim.online import OnlineFlowSimulator, ReplanContext
+from ..sim.plan import SimulationPlan
+from .base import Scheme
+
+__all__ = ["OnlineScheme"]
+
+
+class OnlineScheme(Scheme):
+    """Arrival-driven re-planning wrapper around a static scheme.
+
+    Parameters
+    ----------
+    inner:
+        The static scheme invoked at every coflow arrival (on the arrived,
+        unfinished sub-instance).
+    name:
+        Display name; defaults to ``Online-<inner name>``.
+    """
+
+    def __init__(self, inner: Scheme, name: str = None) -> None:
+        self.inner = inner
+        self.name = name or f"Online-{inner.name}"
+
+    def signature(self) -> str:
+        """Stable identity: the wrapper name over the inner scheme's identity."""
+        return f"{self.name}[{self.inner.signature()}]"
+
+    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
+        """The epoch-zero plan (what the scheme knows at the first arrival).
+
+        Online schemes cannot be reduced to one static plan — use
+        :meth:`simulate` for the full re-planning run.  This method exists
+        for the :class:`~repro.baselines.base.Scheme` contract and for
+        inspecting the initial decision.
+        """
+        return self.inner.plan(instance, network)
+
+    def _replan(self, context: ReplanContext) -> SimulationPlan:
+        """Invoke the inner scheme on the arrival context's sub-instance."""
+        return self.inner.plan(context.instance, context.network)
+
+    def simulate(self, instance: CoflowInstance, network: Network, simulator=None):
+        """Run the online re-planning simulation end-to-end."""
+        engine = OnlineFlowSimulator(network, self._replan)
+        return engine.run(instance, plan_name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OnlineScheme(name={self.name!r}, inner={self.inner!r})"

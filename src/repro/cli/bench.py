@@ -9,7 +9,11 @@ spec/engine/artifact pipeline as ``repro sweep``:
 * ``table1``          — measured approximation ratios vs the LP lower
   bounds for the four model variants (Table 1);
 * ``scenario-matrix`` — every scheme crossed with four scenario families
-  (heavy-tailed, incast, skewed hotspots) on four topologies.
+  (heavy-tailed, incast, skewed hotspots) on four topologies;
+* ``online``          — static vs arrival-driven re-planning schemes with
+  per-coflow slowdown columns (the checked-in ``specs/online.yaml``);
+* ``simulator``       — events/sec of the array kernel vs the reference
+  event loop, static vs online, on a pinned leaf-spine instance.
 
 The suites default to a scaled-down configuration that preserves each
 comparison's shape and runs in minutes; ``--paper-scale`` switches to the
@@ -46,7 +50,7 @@ from ..analysis.report import (
 )
 from ..analysis.runstore import RunStore
 
-SUITES = ("fig3", "fig4", "headline", "table1", "scenario-matrix")
+SUITES = ("fig3", "fig4", "headline", "table1", "scenario-matrix", "online", "simulator")
 
 #: Shared workload shape of the figure sweeps (Section 4.1's Poisson regime).
 _FIGURE_BASE = {"mean_flow_size": 8.0, "release_rate": 4.0}
@@ -222,6 +226,54 @@ def scenario_matrix_spec(
     )
 
 
+def online_spec(tries: int = 2) -> SweepSpec:
+    """Static vs online re-planning schemes, with per-coflow slowdowns.
+
+    Coflows arrive over time (``coflow_arrival_rate``), which is the regime
+    the online schemes exist for: an ``Online-*`` scheme re-plans the
+    unfinished volume at every arrival while its static counterpart commits
+    to one clairvoyant plan.  The report carries the per-coflow slowdown
+    summaries as extra metric columns.  The checked-in ``specs/online.yaml``
+    is pinned to this function by ``tests/cli/test_cli.py``.
+    """
+    return spec_from_dict(
+        {
+            "name": "online",
+            "title": "Online re-planning vs static plans",
+            "schemes": [
+                "SEBF",
+                "Online-SEBF",
+                "Schedule-only",
+                "Online-Schedule-only",
+                "Baseline",
+            ],
+            "tries": tries,
+            "reference": "Baseline",
+            "extra_metrics": ["mean_slowdown", "max_slowdown"],
+            "base": {
+                "topology": "leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=4)",
+                "num_coflows": 6,
+                "coflow_width": 4,
+                "mean_flow_size": 6.0,
+                "release_rate": 2.0,
+                "coflow_arrival_rate": 0.25,
+                "seed": 9000,
+            },
+            "points": [
+                {"label": "staggered-arrivals", "config": {}},
+                {
+                    "label": "bursty-arrivals",
+                    "config": {"coflow_arrival_rate": 1.0, "seed": 9100},
+                },
+                {
+                    "label": "incast-arrivals",
+                    "config": {"endpoint_distribution": "incast", "seed": 9200},
+                },
+            ],
+        }
+    )
+
+
 def _write_static_report(
     target: Path,
     headers: Sequence[str],
@@ -254,7 +306,10 @@ def run_sweep_suite(
     if store is None:
         store = RunStore(Path(out_dir) / spec.name / "runstore.jsonl")
     run = run_spec(spec, store, workers=workers)
-    paths = export_artifacts(out_dir, spec, run.result, run.stats, run.fingerprints, store)
+    paths = export_artifacts(
+        out_dir, spec, run.result, run.stats, run.fingerprints, store,
+        extras=run.extras,
+    )
     return run, paths
 
 
@@ -429,6 +484,145 @@ def run_table1(out_dir: Path) -> Dict[str, Tuple[float, str]]:
     return ratios
 
 
+# ----------------------------------------------------------- simulator suite
+
+#: The pinned simulator benchmark instance: 8 coflows x 48 flows each on a
+#: 32-host leaf-spine fabric (``--smoke`` shrinks it for CI).
+_SIMULATOR_BENCH = {
+    "topology": "leaf_spine(num_leaves=4, num_spines=4, hosts_per_leaf=8)",
+    "num_coflows": 8,
+    "coflow_width": 48,
+    "mean_flow_size": 6.0,
+    "release_rate": 1.0,
+    "seed": 123,
+}
+_SIMULATOR_BENCH_SMOKE = {
+    "topology": "leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=4)",
+    "num_coflows": 2,
+    "coflow_width": 8,
+    "mean_flow_size": 6.0,
+    "release_rate": 1.0,
+    "seed": 123,
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` (noise-resistant)."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_simulator(
+    out_dir: Path, smoke: bool = False, min_speedup: Optional[float] = None
+) -> Dict[str, float]:
+    """Benchmark the array kernel against the reference event loop.
+
+    Measures events/sec of ``FlowLevelSimulator.run`` (array kernel) vs
+    ``run_reference`` (the original dict loop) on the pinned leaf-spine
+    instance, in two regimes — every flow backlogged from time zero, and
+    coflows arriving over time — plus the online re-planning engine on the
+    arrivals regime.  Asserts the kernel and reference produce *identical*
+    completion times, and (when ``min_speedup`` is given) that the kernel's
+    event loop beats the reference by at least that factor on both regimes.
+
+    Returns ``{regime: speedup}`` plus online accounting.
+    """
+    from ..analysis.artifacts import strict_config_from_dict
+    from ..baselines import OnlineScheme, SEBFScheme
+    from ..sim import FlowLevelSimulator
+    from ..workloads import CoflowGenerator
+
+    base = dict(_SIMULATOR_BENCH_SMOKE if smoke else _SIMULATOR_BENCH)
+    repeats = (3, 1) if smoke else (7, 3)  # (kernel, reference) timing runs
+    regimes = [
+        ("backlogged", base),
+        ("arrivals", {**base, "coflow_arrival_rate": 0.1}),
+    ]
+    headers = [
+        "regime",
+        "event loop",
+        "events",
+        "best ms",
+        "events/sec",
+        "speedup vs reference",
+    ]
+    rows: List[List[Any]] = []
+    speedups: Dict[str, float] = {}
+    for label, payload in regimes:
+        config = strict_config_from_dict(payload, f"simulator bench {label!r}")
+        network = config.build_network()
+        instance = CoflowGenerator(network, config).instance()
+        plan = SEBFScheme().plan(instance, network)
+        simulator = FlowLevelSimulator(network)
+
+        kernel_result = simulator.run(instance, plan)
+        reference_result = simulator.run_reference(instance, plan)
+        mismatched = [
+            fid
+            for fid, completion in reference_result.flow_completion.items()
+            if kernel_result.flow_completion[fid] != completion
+        ]
+        assert not mismatched, (
+            f"kernel diverged from run_reference() on {label}: {mismatched[:5]}"
+        )
+        assert kernel_result.events == reference_result.events
+
+        kernel_time = _best_of(lambda: simulator.run(instance, plan), repeats[0])
+        reference_time = _best_of(
+            lambda: simulator.run_reference(instance, plan), repeats[1]
+        )
+        speedup = reference_time / kernel_time
+        speedups[label] = speedup
+        events = kernel_result.events
+        rows.append(
+            [label, "reference", events, reference_time * 1e3,
+             events / reference_time, 1.0]
+        )
+        rows.append(
+            [label, "kernel", events, kernel_time * 1e3,
+             events / kernel_time, speedup]
+        )
+        if label == "arrivals":
+            online_scheme = OnlineScheme(SEBFScheme())
+            online_result = online_scheme.simulate(instance, network)
+            online_time = _best_of(
+                lambda: online_scheme.simulate(instance, network), repeats[0]
+            )
+            speedups["online_events_per_sec"] = online_result.events / online_time
+            rows.append(
+                [label, "online (kernel epochs)", online_result.events,
+                 online_time * 1e3, online_result.events / online_time,
+                 float("nan")]
+            )
+
+    name = "simulator-smoke" if smoke else "simulator"
+    title = (
+        "Simulator event-loop benchmark — array kernel vs reference "
+        f"({'smoke' if smoke else 'pinned'} instance: "
+        f"{base['num_coflows']} coflows x {base['coflow_width']} flows, leaf-spine)"
+    )
+    _write_static_report(
+        Path(out_dir) / name,
+        headers,
+        rows,
+        title,
+        {"suite": name, "instance": base, "speedups": speedups},
+    )
+    if min_speedup is not None:
+        for label in ("backlogged", "arrivals"):
+            assert speedups[label] >= min_speedup, (
+                f"kernel speedup {speedups[label]:.2f}x on the {label} regime "
+                f"is below the required {min_speedup:.2f}x"
+            )
+    return speedups
+
+
 # ------------------------------------------------------------- smoke passes
 
 def smoke_scenario_matrix(workers: int = 2) -> None:
@@ -497,6 +691,24 @@ def run_suite(
         print(stats_summary(width_run.stats), " [width pool]")
         print(stats_summary(count_run.stats), " [count pool]")
         return 0
+    if suite == "simulator":
+        # A wall-clock microbenchmark: no engine, no sweep.  The hard >= 5x
+        # gate only applies to the full pinned instance — CI smoke runs are
+        # on shared, noisy machines and only require the kernel to win.
+        _warn_ignored(
+            suite,
+            {"--workers": workers != 0, "--paper-scale": paper_scale},
+        )
+        speedups = run_simulator(
+            out_dir, smoke=smoke, min_speedup=1.0 if smoke else 5.0
+        )
+        name = "simulator-smoke" if smoke else "simulator"
+        print((Path(out_dir) / name / "report.txt").read_text())
+        print(
+            f"kernel speedup: {speedups['backlogged']:.2f}x backlogged, "
+            f"{speedups['arrivals']:.2f}x with arrivals"
+        )
+        return 0
     if suite == "scenario-matrix" and smoke:
         _warn_ignored(suite, {"--paper-scale": paper_scale})
         smoke_scenario_matrix(workers=max(workers, 2))
@@ -506,16 +718,25 @@ def run_suite(
         "fig3": lambda: fig3_spec(paper_scale, tries),
         "fig4": lambda: fig4_spec(paper_scale, tries),
         "scenario-matrix": lambda: scenario_matrix_spec(tries=tries),
+        "online": lambda: online_spec(tries=tries),
     }
-    if suite == "scenario-matrix":
-        # The matrix's four scenarios have one fixed size; the paper-scale
-        # switch only applies to the figure sweeps.
+    if suite in ("scenario-matrix", "online"):
+        # These suites have one fixed size; the paper-scale switch only
+        # applies to the figure sweeps.
         _warn_ignored(suite, {"--paper-scale": paper_scale})
     spec = builders[suite]()
     if smoke:
         spec = spec.smoke()
     run, paths = run_sweep_suite(spec, out_dir, workers)
-    print(render_report(run.result, spec.display_title(), spec.reference, fmt="text"))
+    print(
+        render_report(
+            run.result,
+            spec.display_title(),
+            spec.reference,
+            fmt="text",
+            extras=run.extras,
+        )
+    )
     if "LP-Based" in spec.schemes:
         references = [s for s in spec.schemes if s != "LP-Based"]
         print()
@@ -531,7 +752,10 @@ def configure(subparsers: argparse._SubParsersAction) -> None:
     """Register the ``bench`` subparser."""
     parser = subparsers.add_parser(
         "bench",
-        help="run a paper-figure suite (fig3, fig4, table1, headline, scenario-matrix)",
+        help=(
+            "run a benchmark suite (fig3, fig4, table1, headline, "
+            "scenario-matrix, online, simulator)"
+        ),
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )

@@ -21,7 +21,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from ..analysis.artifacts import export_artifacts, result_from_store
+from ..analysis.artifacts import export_artifacts, results_from_store
 from ..analysis.engine import EngineRunStats
 from ..analysis.report import REPORT_FORMATS, render_report
 from ..analysis.runstore import RunStore
@@ -85,7 +85,10 @@ def execute(args: argparse.Namespace) -> int:
         print("run `repro sweep` first, or pass --store", file=sys.stderr)
         return 1
 
-    result, missing, fingerprints = result_from_store(spec, store)
+    metrics = [spec.metric, *spec.extra_metrics]
+    results, missing_counts, fingerprints = results_from_store(spec, store, metrics)
+    result = results[spec.metric]
+    missing = missing_counts[spec.metric]
     if missing:
         total = spec.total_tasks()
         print(
@@ -93,8 +96,13 @@ def execute(args: argparse.Namespace) -> int:
             "(sweep incomplete; missing cells render as nan)",
             file=sys.stderr,
         )
+    extras = {metric: results[metric] for metric in spec.extra_metrics}
 
-    print(render_report(result, spec.display_title(), spec.reference, fmt=args.fmt))
+    print(
+        render_report(
+            result, spec.display_title(), spec.reference, fmt=args.fmt, extras=extras
+        )
+    )
     if args.export:
         paths = export_artifacts(
             args.out,
@@ -103,6 +111,7 @@ def execute(args: argparse.Namespace) -> int:
             stats=_recorded_stats(args, spec),
             fingerprints=fingerprints,
             store=store,
+            extras=extras,
         )
         for kind in ("run", "text", "markdown", "csv"):
             print(f"  {kind:<8} -> {paths[kind]}", file=sys.stderr)

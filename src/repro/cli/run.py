@@ -23,7 +23,6 @@ from ..analysis.artifacts import (
     provenance,
     strict_config_from_dict,
 )
-from ..sim import FlowLevelSimulator
 from ..workloads.generator import (
     ENDPOINT_DISTRIBUTIONS,
     FLOW_SIZE_DISTRIBUTIONS,
@@ -38,6 +37,7 @@ _CONFIG_FLAGS = (
     "coflow_width",
     "mean_flow_size",
     "release_rate",
+    "coflow_arrival_rate",
     "mean_weight",
     "seed",
     "flow_size_distribution",
@@ -78,6 +78,12 @@ def configure(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--mean-flow-size", type=float, help="mean flow size")
     parser.add_argument(
         "--release-rate", type=float, help="Poisson release rate (omit for default)"
+    )
+    parser.add_argument(
+        "--coflow-arrival-rate",
+        type=float,
+        help="Poisson rate of coflow arrivals over time (the online regime; "
+        "omit for the paper's all-at-once default)",
     )
     parser.add_argument("--mean-weight", type=float, help="mean coflow weight")
     parser.add_argument("--seed", type=int, help="instance RNG seed")
@@ -127,8 +133,9 @@ def execute(args: argparse.Namespace) -> int:
     network = config.build_network()
     scheme = build_schemes([args.scheme])[0]
     instance = CoflowGenerator(network, config).instance()
-    plan = scheme.plan(instance, network)
-    result = FlowLevelSimulator(network).run(instance, plan)
+    # Dispatch through Scheme.simulate — exactly what one engine task does —
+    # so online (re-planning) schemes run their arrival loop here too.
+    result = scheme.simulate(instance, network)
     document = {
         "provenance": provenance(),
         "topology": {"spec": config.topology, "fingerprint": network.fingerprint()},

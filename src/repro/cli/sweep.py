@@ -107,10 +107,19 @@ def execute(args: argparse.Namespace) -> int:
 
     run = run_spec(spec, store, workers=args.workers)
     paths = export_artifacts(
-        args.out, spec, run.result, run.stats, run.fingerprints, store
+        args.out, spec, run.result, run.stats, run.fingerprints, store,
+        extras=run.extras,
     )
 
-    print(render_report(run.result, spec.display_title(), spec.reference, fmt="text"))
+    print(
+        render_report(
+            run.result,
+            spec.display_title(),
+            spec.reference,
+            fmt="text",
+            extras=run.extras,
+        )
+    )
     print()
     print(stats_summary(run.stats))
     for kind in ("run", "text", "markdown", "csv"):

@@ -102,6 +102,37 @@ class CircuitSchedule:
         seg = BandwidthSegment(start=start, end=end, rate=rate)
         insort(self._segments[fid], seg, key=lambda s: (s.start, s.end))
 
+    def extend_segments(
+        self, fid: FlowId, segments: Iterable[Tuple[float, float, float]]
+    ) -> None:
+        """Bulk-append time-ordered ``(start, end, rate)`` segments for ``fid``.
+
+        The array-based simulator kernel records one flow's whole bandwidth
+        function at once; this append skips the per-segment ``insort`` of
+        :meth:`add_segment` but therefore *requires* the segments to be
+        sorted by start time and to start no earlier than the last segment
+        already recorded for the flow (:class:`ScheduleError` otherwise).
+        Zero-rate segments are ignored, as in :meth:`add_segment`.
+        """
+        if fid not in self._paths:
+            raise ScheduleError(
+                f"set_path must be called before extend_segments for {fid}"
+            )
+        existing = self._segments[fid]
+        last_start = existing[-1].start if existing else -math.inf
+        appended: List[BandwidthSegment] = []
+        for start, end, rate in segments:
+            if rate <= 0:
+                continue
+            if start < last_start:
+                raise ScheduleError(
+                    f"bulk segments for flow {fid} are out of order: "
+                    f"start {start} precedes previous start {last_start}"
+                )
+            last_start = start
+            appended.append(BandwidthSegment(start=start, end=end, rate=rate))
+        existing.extend(appended)
+
     # -------------------------------------------------------------- accessors
     def flow_ids(self) -> List[FlowId]:
         return sorted(self._paths.keys())

@@ -1,6 +1,27 @@
-"""Flow-level datacenter simulator (Section 4 methodology)."""
+"""Flow-level datacenter simulator (Section 4 methodology).
 
-from .metrics import SchemeComparison, improvement_percent
+Three layers (see ``docs/simulator.md``):
+
+* :mod:`repro.sim.kernel` — the array-based event core;
+* :mod:`repro.sim.allocators` — pluggable per-event rate policies;
+* :mod:`repro.sim.online` — arrival-driven online re-planning on top of
+  the kernel.
+
+:class:`FlowLevelSimulator` is the orchestrating entry point and keeps the
+original dict-based event loop available as ``run_reference``.
+"""
+
+from .allocators import (
+    ALLOCATORS,
+    GreedyPriorityAllocator,
+    MaxMinFairAllocator,
+    RateAllocator,
+    WeightedFairAllocator,
+    resolve_allocator,
+)
+from .kernel import SimulationKernel
+from .metrics import SchemeComparison, coflow_slowdowns, improvement_percent
+from .online import OnlineFlowSimulator, ReplanContext, StaticPlanReplanner
 from .plan import SimulationPlan
 from .simulator import FlowLevelSimulator, SimulationResult
 
@@ -8,6 +29,17 @@ __all__ = [
     "SimulationPlan",
     "FlowLevelSimulator",
     "SimulationResult",
+    "SimulationKernel",
     "SchemeComparison",
     "improvement_percent",
+    "coflow_slowdowns",
+    "RateAllocator",
+    "GreedyPriorityAllocator",
+    "MaxMinFairAllocator",
+    "WeightedFairAllocator",
+    "ALLOCATORS",
+    "resolve_allocator",
+    "OnlineFlowSimulator",
+    "ReplanContext",
+    "StaticPlanReplanner",
 ]

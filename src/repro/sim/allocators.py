@@ -1,0 +1,175 @@
+"""Pluggable per-event rate allocation policies.
+
+At every event the flow-level simulator divides edge capacity among the
+released, unfinished flows.  The paper's ordering-based schemes assume the
+*greedy priority* policy (Section 4.2: flows are served strictly in plan
+order, each taking the bottleneck residual along its path), but other
+systems the paper compares against divide capacity differently — Varys-style
+fair sharing, weight-proportional sharing — so the policy is factored out
+behind :class:`RateAllocator` and selected per plan via
+:attr:`repro.sim.plan.SimulationPlan.allocator`.
+
+Every allocator computes rates from the same inputs: a *residual* capacity
+table (mapping edge -> remaining capacity; any mutable ``__getitem__`` /
+``__setitem__`` container works, so the reference simulator passes a dict
+keyed by edge tuples and the array kernel passes a list indexed by edge
+ids), and the *active flows* as ``(key, edges, weight)`` triples in plan
+priority order.  Sharing one implementation across both callers is what
+makes the kernel/reference equivalence exact: identical arithmetic, in
+identical order, on identical values.
+
+Allocators must be *work conserving*: whenever a released, unfinished flow
+receives no bandwidth, at least one edge on its path is saturated.  The
+simulator's progress argument (every event completes a flow or passes a
+release time) relies on this.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+__all__ = [
+    "RateAllocator",
+    "GreedyPriorityAllocator",
+    "MaxMinFairAllocator",
+    "WeightedFairAllocator",
+    "ALLOCATORS",
+    "resolve_allocator",
+]
+
+#: Volumes/rates below this are treated as zero (matches the simulator).
+_VOLUME_EPS = 1e-9
+
+#: One active flow as seen by an allocator: an opaque key (flow id in the
+#: reference simulator, array position in the kernel), the edge keys of its
+#: path, and its coflow weight.
+FlowEntry = Tuple[Hashable, Sequence[Hashable], float]
+
+
+class RateAllocator(abc.ABC):
+    """Strategy dividing residual edge capacity among the active flows."""
+
+    #: Registry/config name of the policy.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def allocate(self, residual, flows: Sequence[FlowEntry]) -> Dict[Hashable, float]:
+        """Return ``{flow key: rate}`` for every entry of ``flows``.
+
+        ``residual`` maps edge keys to remaining capacity and is consumed
+        in place (on return it holds the capacity left over after the
+        allocation).  ``flows`` lists the released, unfinished flows in plan
+        priority order; rates of value zero mean the flow is blocked this
+        event.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class GreedyPriorityAllocator(RateAllocator):
+    """Strict priority order: each flow takes its whole bottleneck residual.
+
+    This is the policy of the paper's Section-4.2 simulation methodology
+    (and of the original simulator implementation): flows are visited in
+    plan order and granted the minimum residual capacity along their path,
+    possibly zero when a higher-priority flow saturated an edge.
+    """
+
+    name = "greedy"
+
+    def allocate(self, residual, flows: Sequence[FlowEntry]) -> Dict[Hashable, float]:
+        """Serve flows in priority order, each taking its bottleneck residual."""
+        rates: Dict[Hashable, float] = {}
+        for key, edges, _weight in flows:
+            rate = min(residual[e] for e in edges)
+            if rate <= _VOLUME_EPS:
+                rate = 0.0
+            rates[key] = rate
+            if rate > 0.0:
+                for e in edges:
+                    residual[e] -= rate
+        return rates
+
+
+class MaxMinFairAllocator(RateAllocator):
+    """Max-min fair (progressive filling) sharing, ignoring plan priorities.
+
+    The classic water-filling allocation of fair-sharing transports and of
+    Varys' per-flow fallback: all active flows increase their rate at the
+    same speed; when an edge saturates, the flows crossing it freeze and the
+    rest keep growing.  Each round saturates at least one edge, so the loop
+    runs at most ``|E|`` rounds.
+    """
+
+    name = "max-min"
+
+    #: Whether shares grow proportionally to coflow weight (see subclass).
+    weighted = False
+
+    def allocate(self, residual, flows: Sequence[FlowEntry]) -> Dict[Hashable, float]:
+        """Progressively fill all active flows until every one is frozen."""
+        rates: Dict[Hashable, float] = {key: 0.0 for key, _e, _w in flows}
+        unfrozen: List[FlowEntry] = list(flows)
+        while unfrozen:
+            # Total unfrozen demand weight per edge.
+            demand: Dict[Hashable, float] = {}
+            for _key, edges, weight in unfrozen:
+                share = weight if self.weighted else 1.0
+                for e in edges:
+                    demand[e] = demand.get(e, 0.0) + share
+            # The uniform growth step: smallest time-to-saturation over edges.
+            step = min(residual[e] / demand[e] for e in demand)
+            if step > 0.0:
+                for key, edges, weight in unfrozen:
+                    rates[key] += (weight if self.weighted else 1.0) * step
+                for e, share in demand.items():
+                    residual[e] -= share * step
+            # Freeze flows that now cross a saturated edge.
+            still = [
+                entry
+                for entry in unfrozen
+                if all(residual[e] > _VOLUME_EPS for e in entry[1])
+            ]
+            if len(still) == len(unfrozen):  # pragma: no cover - numerical guard
+                break
+            unfrozen = still
+        # Clamp dust rates so blocked flows are reported as exactly zero.
+        for key, value in rates.items():
+            if value <= _VOLUME_EPS:
+                rates[key] = 0.0
+        return rates
+
+
+class WeightedFairAllocator(MaxMinFairAllocator):
+    """Weighted max-min fairness: shares grow proportionally to coflow weight.
+
+    A flow inherits its coflow's weight, so a weight-2 coflow's flows grow
+    twice as fast as a weight-1 coflow's until an edge saturates.  With all
+    weights equal this reduces exactly to :class:`MaxMinFairAllocator`.
+    """
+
+    name = "weighted"
+    weighted = True
+
+
+#: Allocator registry: config name -> factory (used by plans and schemes).
+ALLOCATORS = {
+    GreedyPriorityAllocator.name: GreedyPriorityAllocator,
+    MaxMinFairAllocator.name: MaxMinFairAllocator,
+    WeightedFairAllocator.name: WeightedFairAllocator,
+}
+
+
+def resolve_allocator(name: str) -> RateAllocator:
+    """Instantiate an allocator by its registry name.
+
+    Raises ``ValueError`` for unknown names, listing the known ones.
+    """
+    try:
+        factory = ALLOCATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALLOCATORS))
+        raise ValueError(f"unknown rate allocator {name!r} (known: {known})") from None
+    return factory()

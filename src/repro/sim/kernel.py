@@ -1,0 +1,545 @@
+"""Array-based simulation kernel: the fast event core of the simulator.
+
+The original event loop (preserved as
+:meth:`repro.sim.simulator.FlowLevelSimulator.run_reference`) re-derives
+every flow's state from Python dicts at every event: it copies the capacity
+dict, scans *all* flows for eligibility, scans all flows again for the next
+release, and records every bandwidth segment through a per-segment
+``insort``.  That made the simulator the last pure-Python hot path of large
+scenario sweeps.
+
+:class:`SimulationKernel` keeps the exact same event semantics but lays the
+state out in flat index-addressed arrays built once per run:
+
+* flows become contiguous indices ``0..n-1`` with ``remaining`` /
+  ``release`` / ``rate`` state vectors (exposed as NumPy snapshots);
+* the flow -> edge-index incidence is built once from the plan as a
+  CSR-style pair (``flow_edge_ptr``, ``flow_edge_idx``) over the network's
+  deterministic edge indexing; the allocation pass walks per-flow views of
+  it against the edge-residual array;
+* the *active* set (released, unfinished) is maintained incrementally in
+  priority order — releases arrive through a sorted pointer, completions
+  delete in place — so per-event work scales with the number of active
+  flows, not the instance size;
+* rate allocation is an index-ordered pass over the edge-residual array;
+  for the default greedy-priority policy the pass is incremental: a flow's
+  rate is re-derived only when it is marked *dirty* (a release, completion
+  or upstream rate change on one of its edges), which is exact because a
+  greedy rate depends only on higher-priority contributions — and when no
+  flow is dirty the previous grants are reused outright;
+* next-event selection is a running argmin over projected completion
+  times, and the next release comes from the sorted pointer instead of a
+  scan;
+* bandwidth segments are coalesced on the fly (consecutive events at the
+  same rate extend one segment) and recorded into
+  :class:`~repro.core.schedule.CircuitSchedule` through the bulk
+  :meth:`~repro.core.schedule.CircuitSchedule.extend_segments` append.
+
+The kernel is numerically *identical* to the reference loop — same
+arithmetic on the same values in the same order (covered by
+``tests/sim/test_kernel_equivalence.py``) — and supports pausing at a
+deadline (``run(until=...)``), which is what the online re-planning engine
+in :mod:`repro.sim.online` splices epochs with.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.flows import CoflowInstance, FlowId
+from ..core.network import Network, path_edges
+from ..core.schedule import CircuitSchedule
+from .allocators import GreedyPriorityAllocator, RateAllocator, resolve_allocator
+from .plan import SimulationPlan
+
+__all__ = ["SimulationKernel", "format_stuck_report"]
+
+#: Volumes below this are considered fully transferred (numerical guard).
+_VOLUME_EPS = 1e-9
+#: Minimum simulated time step (guards against event-time rounding stalls).
+_TIME_EPS = 1e-12
+
+
+def format_stuck_report(
+    reason: str,
+    unfinished: Sequence[Tuple[FlowId, float, float]],
+    saturated: Sequence[Tuple[Hashable, Hashable]],
+    limit: int = 8,
+) -> str:
+    """Render an actionable stall / event-cap error message.
+
+    ``unfinished`` lists ``(flow id, release time, remaining volume)`` of
+    the flows the simulation still owes; ``saturated`` lists the edges with
+    no residual capacity left under the current allocation.  Both are
+    truncated to ``limit`` entries so pathological instances stay readable.
+    """
+    flows_text = ", ".join(
+        f"{fid} (release={release:g}, remaining={remaining:g})"
+        for fid, release, remaining in unfinished[:limit]
+    )
+    if len(unfinished) > limit:
+        flows_text += f", ... {len(unfinished) - limit} more"
+    lines = [reason, f"unfinished flows: {flows_text or 'none'}"]
+    if saturated:
+        edges_text = ", ".join(repr(e) for e in saturated[:limit])
+        if len(saturated) > limit:
+            edges_text += f", ... {len(saturated) - limit} more"
+        lines.append(f"saturated edges on their paths: {edges_text}")
+    else:
+        lines.append("no saturated edges on their paths")
+    return "; ".join(lines)
+
+
+class SimulationKernel:
+    """One simulation run over flat array state (see the module docstring).
+
+    Parameters
+    ----------
+    network:
+        The capacitated topology.
+    instance:
+        The coflow instance being simulated.
+    plan:
+        A *normalized and validated* simulation plan (the
+        :class:`~repro.sim.simulator.FlowLevelSimulator` orchestrator takes
+        care of that before building a kernel).
+    allocator:
+        Rate policy override; defaults to the allocator named by the plan.
+    max_events:
+        Optional event cap (defaults to the same ``4 n + 16`` defensive
+        bound as the reference loop).
+    start_time:
+        Simulation clock start; the online engine launches epoch kernels at
+        the arrival time they splice in at.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        instance: CoflowInstance,
+        plan: SimulationPlan,
+        allocator: Optional[RateAllocator] = None,
+        max_events: Optional[int] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self.network = network
+        self.instance = instance
+        self.plan = plan
+        self.allocator = allocator or resolve_allocator(plan.allocator)
+        self.fids: List[FlowId] = instance.flow_ids()
+        n = len(self.fids)
+
+        flows = [instance.flow(fid) for fid in self.fids]
+        self._size: List[float] = [float(f.size) for f in flows]
+        self._remaining: List[float] = list(self._size)
+        self._release: List[float] = [float(f.release_time) for f in flows]
+        self._completion: List[float] = [math.nan] * n
+        self._start: List[float] = [math.nan] * n
+        self._started: List[bool] = [False] * n
+        coflow_weight = {
+            i: float(coflow.weight) for i, coflow in enumerate(instance.coflows)
+        }
+
+        # Edge indexing shared with the LP layer: deterministic edge -> id.
+        edge_index = network.edge_index()
+        self.edge_list: List[Tuple[Hashable, Hashable]] = [None] * len(edge_index)
+        for edge, idx in edge_index.items():
+            self.edge_list[idx] = edge
+        capacities = network.capacities()
+        self._caps: List[float] = [0.0] * len(edge_index)
+        for edge, idx in edge_index.items():
+            self._caps[idx] = capacities[edge]
+
+        # CSR-style flow -> edge-id incidence (built once from the plan);
+        # the allocation pass walks the per-flow row views.
+        ptr = [0]
+        flat: List[int] = []
+        for fid in self.fids:
+            flat.extend(edge_index[e] for e in path_edges(list(plan.paths[fid])))
+            ptr.append(len(flat))
+        self.flow_edge_ptr = np.array(ptr, dtype=np.intp)
+        self.flow_edge_idx = np.array(flat, dtype=np.intp)
+        self._edges_of: List[List[int]] = [
+            flat[ptr[k] : ptr[k + 1]] for k in range(n)
+        ]
+
+        # Allocator entries: (position, edge ids, coflow weight), prebuilt so
+        # a generic allocator pass only gathers references.
+        self._entries = [
+            (k, self._edges_of[k], coflow_weight[self.fids[k][0]])
+            for k in range(n)
+        ]
+
+        # Priority rank per position; the active list stays sorted by it.
+        rank_of = plan.priority_rank()
+        self._rank = [rank_of[fid] for fid in self.fids]
+
+        # Pre-complete zero-size flows; everything else is pending release.
+        self._segments: List[List[List[float]]] = [[] for _ in range(n)]
+        self._completed = 0
+        self._active: List[int] = []
+        self._active_ranks: List[int] = []
+        pending: List[Tuple[float, int, int]] = []
+        for k in range(n):
+            if self._size[k] <= _VOLUME_EPS:
+                self._completion[k] = self._release[k]
+                self._completed += 1
+            else:
+                pending.append((self._release[k], self._rank[k], k))
+        pending.sort()
+        self._pending = pending
+        self._pending_ptr = 0
+
+        # Incremental greedy state: previous rates, cached grants, and
+        # flow-level dirty marks.  A greedy rate depends only on
+        # higher-priority contributions on shared edges, so a change at one
+        # flow can only affect the *active* lower-priority flows on its
+        # edges; those are found through per-edge active lists kept sorted
+        # by rank.
+        self._greedy = type(self.allocator) is GreedyPriorityAllocator
+        self._rate_prev: List[float] = [0.0] * n
+        self._flow_dirty: List[bool] = [False] * n
+        self._dirty_flows: List[int] = []
+        self._force_full = True
+        self._granted_pos: List[int] = []
+        self._granted_rate: List[float] = []
+        self._edge_active: List[List[int]] = [[] for _ in edge_index]
+        self._edge_active_ranks: List[List[int]] = [[] for _ in edge_index]
+
+        self.now = float(start_time)
+        self.events = 0
+        self.max_events = max_events if max_events is not None else 4 * n + 16
+
+    # ------------------------------------------------------------- snapshots
+    @property
+    def remaining(self) -> np.ndarray:
+        """Remaining volume per flow position (snapshot vector)."""
+        return np.array(self._remaining)
+
+    @property
+    def release(self) -> np.ndarray:
+        """Release time per flow position (snapshot vector)."""
+        return np.array(self._release)
+
+    @property
+    def rate(self) -> np.ndarray:
+        """Most recently allocated rate per flow position (snapshot vector)."""
+        return np.array(self._rate_prev)
+
+    @property
+    def completion(self) -> np.ndarray:
+        """Completion time per flow position (NaN = unfinished)."""
+        return np.array(self._completion)
+
+    @property
+    def finished(self) -> bool:
+        """Whether every flow of the instance has completed."""
+        return self._completed == len(self.fids)
+
+    def raw_segments(self, fid: FlowId) -> List[Tuple[float, float, float]]:
+        """The coalesced ``(start, end, rate)`` segments recorded for ``fid``."""
+        k = self.fids.index(fid)
+        return [tuple(seg) for seg in self._segments[k]]
+
+    def iter_raw_segments(
+        self,
+    ) -> Iterator[Tuple[FlowId, List[List[float]]]]:
+        """Yield ``(flow id, [[start, end, rate], ...])`` for every flow."""
+        for k, fid in enumerate(self.fids):
+            yield fid, self._segments[k]
+
+    def remaining_map(self) -> Dict[FlowId, float]:
+        """Remaining volume per flow id."""
+        return {fid: self._remaining[k] for k, fid in enumerate(self.fids)}
+
+    def flow_completion_map(self) -> Dict[FlowId, float]:
+        """Completion time per flow id (only flows that completed)."""
+        return {
+            fid: self._completion[k]
+            for k, fid in enumerate(self.fids)
+            if not math.isnan(self._completion[k])
+        }
+
+    def flow_start_map(self) -> Dict[FlowId, float]:
+        """Start time per flow id (only flows that moved real volume)."""
+        return {
+            fid: self._start[k]
+            for k, fid in enumerate(self.fids)
+            if self._started[k]
+        }
+
+    # ------------------------------------------------------------ diagnostics
+    def _unfinished_report(self) -> List[Tuple[FlowId, float, float]]:
+        return [
+            (self.fids[k], self._release[k], self._remaining[k])
+            for k in range(len(self.fids))
+            if math.isnan(self._completion[k])
+        ]
+
+    def _current_residual(self) -> List[float]:
+        """Residual capacities under the current grants (diagnostics only)."""
+        residual = self._caps.copy()
+        for k, rate in zip(self._granted_pos, self._granted_rate):
+            for e in self._edges_of[k]:
+                residual[e] -= rate
+        return residual
+
+    def _saturated_edges(
+        self, residual: List[float]
+    ) -> List[Tuple[Hashable, Hashable]]:
+        saturated: List[int] = []
+        seen = set()
+        for k in range(len(self.fids)):
+            if math.isnan(self._completion[k]):
+                for e in self._edges_of[k]:
+                    if e not in seen and residual[e] <= _VOLUME_EPS:
+                        seen.add(e)
+                        saturated.append(e)
+        return [self.edge_list[e] for e in sorted(saturated)]
+
+    def _stuck_error(self, reason: str) -> RuntimeError:
+        return RuntimeError(
+            format_stuck_report(
+                reason,
+                self._unfinished_report(),
+                self._saturated_edges(self._current_residual()),
+            )
+        )
+
+    # ------------------------------------------------------------- allocation
+    def _mark_dirty(self, k: int, include_self: bool = False) -> None:
+        """Mark the flows a change at flow ``k`` can affect: the *active*
+        flows sharing an edge with it at lower priority (plus, on release,
+        ``k`` itself)."""
+        if not self._greedy:
+            return
+        flow_dirty = self._flow_dirty
+        dirty_flows = self._dirty_flows
+        if include_self and not flow_dirty[k]:
+            flow_dirty[k] = True
+            dirty_flows.append(k)
+        own = self._rank[k]
+        for e in self._edges_of[k]:
+            ranks = self._edge_active_ranks[e]
+            for f in self._edge_active[e][bisect_right(ranks, own) :]:
+                if not flow_dirty[f]:
+                    flow_dirty[f] = True
+                    dirty_flows.append(f)
+
+    def _enter_active(self, k: int, rank: int) -> None:
+        lo = bisect_right(self._active_ranks, rank)
+        self._active.insert(lo, k)
+        self._active_ranks.insert(lo, rank)
+        if self._greedy:
+            for e in self._edges_of[k]:
+                lo = bisect_right(self._edge_active_ranks[e], rank)
+                self._edge_active[e].insert(lo, k)
+                self._edge_active_ranks[e].insert(lo, rank)
+
+    def _leave_active(self, k: int) -> None:
+        i = self._active.index(k)
+        del self._active[i]
+        del self._active_ranks[i]
+        if self._greedy:
+            for e in self._edges_of[k]:
+                i = self._edge_active[e].index(k)
+                del self._edge_active[e][i]
+                del self._edge_active_ranks[e][i]
+
+    def _allocate(self) -> Tuple[List[int], List[float]]:
+        """One rate-allocation pass; returns the granted (positions, rates).
+
+        The greedy-priority policy runs incrementally over flow-level dirty
+        marks (exactly equivalent to a full pass — a greedy rate can only
+        change when a higher-priority contribution on one of its edges
+        changes, and every such change marks the edge's active flows).
+        When no flow is dirty the previous grants are returned unchanged.
+        Other allocators recompute from scratch through their shared
+        :meth:`~repro.sim.allocators.RateAllocator.allocate` implementation.
+        """
+        if not self._greedy:
+            residual = self._caps.copy()
+            entries = [self._entries[k] for k in self._active]
+            rates = self.allocator.allocate(residual, entries)
+            granted_pos: List[int] = []
+            granted_rate: List[float] = []
+            for k in self._active:
+                rate = rates[k]
+                self._rate_prev[k] = rate
+                if rate > 0.0:
+                    granted_pos.append(k)
+                    granted_rate.append(rate)
+            self._granted_pos = granted_pos
+            self._granted_rate = granted_rate
+            return granted_pos, granted_rate
+
+        if not self._force_full and not self._dirty_flows:
+            # Nothing on any edge changed since the previous event (the
+            # completion/release bookkeeping marks every flow a change could
+            # reach), so the previous grant lists are still exact.
+            return self._granted_pos, self._granted_rate
+
+        granted_pos = []
+        granted_rate = []
+        edges_of = self._edges_of
+        rate_prev = self._rate_prev
+        flow_dirty = self._flow_dirty
+        residual = self._caps.copy()
+        lookup = residual.__getitem__
+        force = self._force_full
+        self._force_full = False
+        for k in self._active:
+            if force or flow_dirty[k]:
+                edges = edges_of[k]
+                rate = min(map(lookup, edges))
+                if rate <= _VOLUME_EPS:
+                    rate = 0.0
+                if rate != rate_prev[k]:
+                    rate_prev[k] = rate
+                    if not force:
+                        self._mark_dirty(k)
+            else:
+                rate = rate_prev[k]
+            if rate > 0.0:
+                for e in edges_of[k]:
+                    residual[e] -= rate
+                granted_pos.append(k)
+                granted_rate.append(rate)
+        for k in self._dirty_flows:
+            flow_dirty[k] = False
+        self._dirty_flows.clear()
+        self._granted_pos = granted_pos
+        self._granted_rate = granted_rate
+        return granted_pos, granted_rate
+
+    # ------------------------------------------------------------- event loop
+    def run(self, until: Optional[float] = None) -> bool:
+        """Advance the simulation; returns ``True`` once every flow is done.
+
+        With ``until`` the loop pauses (state intact, segments recorded up
+        to the deadline) as soon as the next event would land strictly
+        beyond it — the online engine's splice point.
+        """
+        remaining = self._remaining
+        size = self._size
+        completion = self._completion
+        start = self._start
+        started = self._started
+        n = len(self.fids)
+
+        while self._completed < n:
+            # 0. Releases whose time has come join the active set (kept in
+            #    priority order; eligibility matches the reference's
+            #    ``release > now + eps -> skip`` test).
+            threshold = self.now + _TIME_EPS
+            while (
+                self._pending_ptr < len(self._pending)
+                and self._pending[self._pending_ptr][0] <= threshold
+            ):
+                _release, flow_rank, k = self._pending[self._pending_ptr]
+                self._pending_ptr += 1
+                self._enter_active(k, flow_rank)
+                self._mark_dirty(k, include_self=True)
+
+            # 1. Allocate rates (index-ordered pass over the edge residuals).
+            granted_pos, granted_rate = self._allocate()
+
+            # 2. Next event: earliest projected completion vs next release.
+            next_completion = math.inf
+            for k, rate in zip(granted_pos, granted_rate):
+                projected = self.now + remaining[k] / rate
+                if projected < next_completion:
+                    next_completion = projected
+            next_release = (
+                self._pending[self._pending_ptr][0]
+                if self._pending_ptr < len(self._pending)
+                else math.inf
+            )
+            next_time = min(next_completion, next_release)
+            if not math.isfinite(next_time):
+                raise self._stuck_error(
+                    f"simulation stalled at t={self.now:g}: no runnable "
+                    "flow and no pending release"
+                )
+            next_time = max(next_time, self.now + _TIME_EPS)
+
+            # 3. Pause at the splice deadline instead of crossing it (a pause
+            #    is not an event: nothing completes and no release passes).
+            if until is not None and next_time > until:
+                elapsed = until - self.now
+                if elapsed > 0.0:
+                    for k, rate in zip(granted_pos, granted_rate):
+                        transferred = rate * elapsed
+                        if transferred > remaining[k]:
+                            transferred = remaining[k]
+                        remaining[k] -= transferred
+                        self._record_segment(k, self.now, until, rate)
+                        if not started[k] and size[k] - remaining[k] > _VOLUME_EPS:
+                            started[k] = True
+                            start[k] = self.now
+                    self.now = until
+                return False
+
+            self.events += 1
+            if self.events > self.max_events:
+                raise self._stuck_error(
+                    f"simulation exceeded the event cap ({self.max_events}) "
+                    f"at t={self.now:g}; this indicates an internal "
+                    "inconsistency"
+                )
+
+            # 4. Advance: move volume, record segments, retire completions.
+            elapsed = next_time - self.now
+            done: List[int] = []
+            for k, rate in zip(granted_pos, granted_rate):
+                volume = remaining[k]
+                transferred = rate * elapsed
+                if transferred > volume:
+                    transferred = volume
+                after = volume - transferred
+                if after <= _VOLUME_EPS:
+                    after = 0.0
+                    done.append(k)
+                remaining[k] = after
+                if not started[k] and size[k] - after > _VOLUME_EPS:
+                    started[k] = True
+                    start[k] = self.now
+                self._record_segment(k, self.now, next_time, rate)
+            for k in done:
+                completion[k] = next_time
+                self._completed += 1
+                self._leave_active(k)
+                self._rate_prev[k] = 0.0
+                # Keep the cached grant lists exact for the no-change fast
+                # path (a completed flow always held a positive grant).
+                gi = self._granted_pos.index(k)
+                del self._granted_pos[gi]
+                del self._granted_rate[gi]
+                self._mark_dirty(k)
+            self.now = next_time
+        return True
+
+    def _record_segment(self, k: int, start: float, end: float, rate: float) -> None:
+        segs = self._segments[k]
+        if segs:
+            last = segs[-1]
+            if last[1] == start and last[2] == rate:
+                last[1] = end
+                return
+        segs.append([start, end, rate])
+
+    # ----------------------------------------------------------------- output
+    def build_schedule(self) -> CircuitSchedule:
+        """Materialise the realised :class:`CircuitSchedule` (bulk append)."""
+        schedule = CircuitSchedule()
+        for k, fid in enumerate(self.fids):
+            schedule.set_path(fid, self.plan.paths[fid])
+            if self._segments[k]:
+                schedule.extend_segments(
+                    fid, [(s, e, r) for s, e, r in self._segments[k]]
+                )
+        return schedule

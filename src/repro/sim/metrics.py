@@ -12,11 +12,59 @@ as "at least 22% on average").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Hashable, List, Mapping, Sequence
 
+from ..core.flows import CoflowInstance, FlowId
+from ..core.network import Network
 from .simulator import SimulationResult
 
-__all__ = ["SchemeComparison", "improvement_percent"]
+__all__ = ["SchemeComparison", "improvement_percent", "coflow_slowdowns"]
+
+#: Isolation times below this are treated as zero (degenerate coflows).
+_ISO_EPS = 1e-12
+
+
+def coflow_slowdowns(
+    instance: CoflowInstance,
+    network: Network,
+    paths: Mapping[FlowId, Sequence[Hashable]],
+    flow_completions: Mapping[FlowId, float],
+) -> Dict[int, float]:
+    """Per-coflow slowdown: realised duration over the isolation time.
+
+    The *isolation time* of a coflow is the time it would need with the
+    whole network to itself under its realised routing: the maximum, over
+    its flows, of ``size / bottleneck capacity of the flow's path``.  The
+    slowdown divides the realised duration (coflow completion minus coflow
+    release) by that lower bound, the normalisation used throughout the
+    coflow literature (Varys' "effective bottleneck" is the same quantity).
+
+    Coflows with a vanishing isolation time (all-zero sizes) report a
+    slowdown of exactly 1.0.  Values below 1.0 are possible when a coflow's
+    flows are released long after the coflow's first release time — the
+    denominator charges the whole volume from the first release.
+    """
+    from ..core.network import path_edges
+
+    capacities = network.capacities()
+    slowdowns: Dict[int, float] = {}
+    for i, coflow in enumerate(instance.coflows):
+        isolation = 0.0
+        completed = 0.0
+        for j, flow in enumerate(coflow.flows):
+            fid = (i, j)
+            completed = max(completed, float(flow_completions[fid]))
+            if flow.size > 0:
+                bottleneck = min(
+                    capacities[e] for e in path_edges(list(paths[fid]))
+                )
+                isolation = max(isolation, flow.size / bottleneck)
+        duration = completed - coflow.release_time
+        if isolation <= _ISO_EPS:
+            slowdowns[i] = 1.0
+        else:
+            slowdowns[i] = duration / isolation
+    return slowdowns
 
 
 def improvement_percent(reference: float, value: float) -> float:
@@ -40,14 +88,17 @@ class SchemeComparison:
     metric: str = "weighted_completion_time"
 
     def add(self, result: SimulationResult) -> None:
+        """Record one scheme's simulation result (keyed by its plan name)."""
         self.results[result.plan_name] = result
 
     def value(self, scheme: str) -> float:
+        """The comparison metric of ``scheme`` (KeyError when unrecorded)."""
         if scheme not in self.results:
             raise KeyError(f"no result recorded for scheme {scheme!r}")
         return float(getattr(self.results[scheme], self.metric))
 
     def schemes(self) -> List[str]:
+        """Recorded scheme names, sorted."""
         return sorted(self.results.keys())
 
     def ratios_to(self, reference: str) -> Dict[str, float]:

@@ -32,11 +32,17 @@ class SimulationPlan:
         missing from the list are appended in deterministic id order.
     name:
         Scheme name used in benchmark tables ("LP-Based", "Baseline", ...).
+    allocator:
+        Name of the per-event rate allocation policy the simulator applies
+        (see :data:`repro.sim.allocators.ALLOCATORS`).  ``"greedy"`` is the
+        paper's strict priority-order policy; ``"max-min"`` and
+        ``"weighted"`` select the fair-sharing variants.
     """
 
     paths: Dict[FlowId, Tuple[Hashable, ...]]
     order: List[FlowId]
     name: str = "unnamed"
+    allocator: str = "greedy"
 
     def priority_rank(self) -> Dict[FlowId, int]:
         """Map each flow id to its priority rank (0 = highest)."""
@@ -55,10 +61,19 @@ class SimulationPlan:
         order = list(self.order) + [
             fid for fid in instance.flow_ids() if fid not in seen
         ]
-        return SimulationPlan(paths=dict(self.paths), order=order, name=self.name)
+        return SimulationPlan(
+            paths=dict(self.paths),
+            order=order,
+            name=self.name,
+            allocator=self.allocator,
+        )
 
     def validate(self, instance: CoflowInstance, network: Network) -> None:
-        """Check paths exist in the network and match flow endpoints."""
+        """Check paths exist in the network, match flow endpoints, and that
+        the plan names a known rate allocator."""
+        from .allocators import resolve_allocator
+
+        resolve_allocator(self.allocator)  # raises on unknown names
         for i, j, flow in instance.iter_flows():
             fid = (i, j)
             if fid not in self.paths:

@@ -6,19 +6,26 @@ where events are flow releases and flow completions, and bandwidth reserved by
 a flow is released when it completes.
 
 This implementation reproduces that behaviour with one refinement that the
-paper's "minor tweaks" (Section 4.2) also apply: rates are re-computed greedily
-in priority order at every event, so a flow whose bottleneck frees up speeds
-up immediately and no capacity is left idle while a runnable flow exists
-(work conservation).  Concretely, at every event time:
+paper's "minor tweaks" (Section 4.2) also apply: rates are re-computed at
+every event (greedily in priority order under the default allocator), so a
+flow whose bottleneck frees up speeds up immediately and no capacity is left
+idle while a runnable flow exists (work conservation).  Concretely, at every
+event time:
 
-1. flows are considered in plan priority order (released, unfinished ones);
-2. each flow is granted the minimum residual capacity along its path
-   (possibly zero if a higher-priority flow saturated an edge);
-3. the next event is the earliest of (a) the next flow release and (b) the
+1. the released, unfinished flows are handed to the plan's rate allocator
+   (:mod:`repro.sim.allocators`; the default ``"greedy"`` policy considers
+   flows in plan priority order and grants each the minimum residual
+   capacity along its path, possibly zero if a higher-priority flow
+   saturated an edge);
+2. the next event is the earliest of (a) the next flow release and (b) the
    earliest projected completion under the granted rates.
 
 The simulator is deterministic given the plan and produces exact completion
-times (no time discretisation).
+times (no time discretisation).  :meth:`FlowLevelSimulator.run` executes on
+the array-based :class:`~repro.sim.kernel.SimulationKernel`;
+:meth:`FlowLevelSimulator.run_reference` preserves the original dict-based
+event loop, kept as the executable specification the kernel is equivalence-
+tested against (``tests/sim/test_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ from ..core.flows import CoflowInstance, FlowId
 from ..core.network import Network, path_edges
 from ..core.objective import ObjectiveBreakdown, objective_breakdown
 from ..core.schedule import CircuitSchedule
+from .allocators import RateAllocator, resolve_allocator
+from .kernel import SimulationKernel, format_stuck_report
 from .plan import SimulationPlan
 
 __all__ = ["FlowLevelSimulator", "SimulationResult"]
@@ -53,22 +62,44 @@ class SimulationResult:
     breakdown: ObjectiveBreakdown
     schedule: CircuitSchedule
     events: int
+    #: Per-coflow slowdown: realised coflow duration over its isolation time
+    #: (see :func:`repro.sim.metrics.coflow_slowdowns`).
+    coflow_slowdowns: Dict[int, float] = field(default_factory=dict)
 
     @property
     def weighted_completion_time(self) -> float:
+        """Objective (1): the weighted sum of coflow completion times."""
         return self.breakdown.weighted_completion_time
 
     @property
     def total_completion_time(self) -> float:
+        """Unweighted sum of coflow completion times."""
         return self.breakdown.total_completion_time
 
     @property
     def average_completion_time(self) -> float:
+        """Mean coflow completion time."""
         return self.breakdown.average_completion_time
 
     @property
     def makespan(self) -> float:
+        """Completion time of the last coflow."""
         return self.breakdown.makespan
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean per-coflow slowdown (1.0 when no slowdowns were computed)."""
+        if not self.coflow_slowdowns:
+            return 1.0
+        values = list(self.coflow_slowdowns.values())
+        return float(sum(values) / len(values))
+
+    @property
+    def max_slowdown(self) -> float:
+        """Worst per-coflow slowdown (1.0 when no slowdowns were computed)."""
+        if not self.coflow_slowdowns:
+            return 1.0
+        return float(max(self.coflow_slowdowns.values()))
 
     def metrics(self) -> Dict[str, float]:
         """The scalar metrics of this run as a plain (JSON-safe) dict.
@@ -81,7 +112,33 @@ class SimulationResult:
             "total_completion_time": float(self.total_completion_time),
             "average_completion_time": float(self.average_completion_time),
             "makespan": float(self.makespan),
+            "mean_slowdown": float(self.mean_slowdown),
+            "max_slowdown": float(self.max_slowdown),
         }
+
+
+def _build_result(
+    instance: CoflowInstance,
+    network: Network,
+    plan: SimulationPlan,
+    completion: Dict[FlowId, float],
+    start: Dict[FlowId, float],
+    schedule: CircuitSchedule,
+    events: int,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` (shared by both event loops)."""
+    from .metrics import coflow_slowdowns
+
+    breakdown = objective_breakdown(instance, completion)
+    return SimulationResult(
+        plan_name=plan.name,
+        flow_completion=completion,
+        flow_start=start,
+        breakdown=breakdown,
+        schedule=schedule,
+        events=events,
+        coflow_slowdowns=coflow_slowdowns(instance, network, plan.paths, completion),
+    )
 
 
 class FlowLevelSimulator:
@@ -91,10 +148,6 @@ class FlowLevelSimulator:
     ----------
     network:
         The capacitated topology.
-    rate_granularity:
-        Optional cap on how many distinct priority levels share an edge
-        simultaneously; ``None`` (default) means pure priority order, which is
-        what the paper's ordering-based schemes assume.
     """
 
     def __init__(self, network: Network) -> None:
@@ -106,10 +159,52 @@ class FlowLevelSimulator:
         instance: CoflowInstance,
         plan: SimulationPlan,
         max_events: Optional[int] = None,
+        allocator: Optional[RateAllocator] = None,
     ) -> SimulationResult:
-        """Simulate the plan and return completion times and the realised schedule."""
+        """Simulate the plan on the array kernel; return the realised result.
+
+        ``allocator`` overrides the rate policy named by the plan (mainly
+        for tests; schemes select allocators through their plans).
+        """
         plan = plan.normalized(instance)
         plan.validate(instance, self.network)
+        kernel = SimulationKernel(
+            self.network,
+            instance,
+            plan,
+            allocator=allocator,
+            max_events=max_events,
+        )
+        kernel.run()
+        return _build_result(
+            instance,
+            self.network,
+            plan,
+            kernel.flow_completion_map(),
+            kernel.flow_start_map(),
+            kernel.build_schedule(),
+            kernel.events,
+        )
+
+    # -------------------------------------------------------------- reference
+    def run_reference(
+        self,
+        instance: CoflowInstance,
+        plan: SimulationPlan,
+        max_events: Optional[int] = None,
+        allocator: Optional[RateAllocator] = None,
+    ) -> SimulationResult:
+        """The original dict-based event loop, kept as the executable spec.
+
+        Slow but transparent: every event rebuilds the residual-capacity
+        dict and re-derives every flow's rate from scratch.  The array
+        kernel behind :meth:`run` is property-tested to produce numerically
+        identical completion times and schedule volumes; use this path when
+        debugging the kernel or validating a new allocator.
+        """
+        plan = plan.normalized(instance)
+        plan.validate(instance, self.network)
+        policy = allocator or resolve_allocator(plan.allocator)
 
         flows = {fid: instance.flow(fid) for fid in instance.flow_ids()}
         remaining: Dict[FlowId, float] = {
@@ -123,6 +218,12 @@ class FlowLevelSimulator:
         capacities = self.network.capacities()
         edges_of: Dict[FlowId, List[Edge]] = {
             fid: path_edges(list(plan.paths[fid])) for fid in flows
+        }
+        weight_of = {
+            fid: instance[fid[0]].weight for fid in flows
+        }
+        entry_of = {
+            fid: (fid, edges_of[fid], weight_of[fid]) for fid in flows
         }
 
         completion: Dict[FlowId, float] = {}
@@ -138,29 +239,46 @@ class FlowLevelSimulator:
         # cap exists purely as a defensive guard for pathological inputs.
         cap = max_events if max_events is not None else 4 * len(flows) + 16
 
+        def stuck_details(residual: Mapping[Edge, float]):
+            unfinished = [
+                (fid, release[fid], remaining[fid])
+                for fid in priority_order
+                if fid not in completion
+            ]
+            saturated = sorted(
+                {
+                    e
+                    for fid, _r, _v in unfinished
+                    for e in edges_of[fid]
+                    if residual[e] <= _VOLUME_EPS
+                },
+                key=repr,
+            )
+            return unfinished, saturated
+
         now = 0.0
         events = 0
+        residual: Dict[Edge, float] = dict(capacities)
         while len(completion) < len(flows):
             events += 1
             if events > cap:
+                unfinished, saturated = stuck_details(residual)
                 raise RuntimeError(
-                    f"simulation exceeded the event cap ({cap}); "
-                    "this indicates an internal inconsistency"
+                    format_stuck_report(
+                        f"simulation exceeded the event cap ({cap}) at "
+                        f"t={now:g}; this indicates an internal inconsistency",
+                        unfinished,
+                        saturated,
+                    )
                 )
-            # 1. Allocate rates greedily in priority order.
+            # 1. Allocate rates among the released, unfinished flows.
             residual = dict(capacities)
-            rates: Dict[FlowId, float] = {}
-            for fid in priority_order:
-                if fid in completion or release[fid] > now + _TIME_EPS:
-                    continue
-                rate = min(residual[e] for e in edges_of[fid])
-                if rate <= _VOLUME_EPS:
-                    rate = 0.0
-                rates[fid] = rate
-                if rate > 0.0:
-                    for e in edges_of[fid]:
-                        residual[e] -= rate
-                    start.setdefault(fid, now)
+            eligible = [
+                entry_of[fid]
+                for fid in priority_order
+                if fid not in completion and release[fid] <= now + _TIME_EPS
+            ]
+            rates = policy.allocate(residual, eligible)
 
             # 2. Find the next event time.
             next_completion = math.inf
@@ -173,9 +291,14 @@ class FlowLevelSimulator:
             )
             next_time = min(next_completion, next_release)
             if not math.isfinite(next_time):
+                unfinished, saturated = stuck_details(residual)
                 raise RuntimeError(
-                    "simulation stalled: no runnable flow and no pending release; "
-                    "check that every flow's path has positive capacity"
+                    format_stuck_report(
+                        f"simulation stalled at t={now:g}: no runnable flow "
+                        "and no pending release",
+                        unfinished,
+                        saturated,
+                    )
                 )
             next_time = max(next_time, now + _TIME_EPS)
 
@@ -190,14 +313,12 @@ class FlowLevelSimulator:
                 if remaining[fid] <= _VOLUME_EPS:
                     remaining[fid] = 0.0
                     completion[fid] = next_time
+                # A flow *starts* once real volume has moved — a vanishing
+                # transfer inside a forced epsilon step does not count.
+                if fid not in start and flows[fid].size - remaining[fid] > _VOLUME_EPS:
+                    start[fid] = now
             now = next_time
 
-        breakdown = objective_breakdown(instance, completion)
-        return SimulationResult(
-            plan_name=plan.name,
-            flow_completion=completion,
-            flow_start=start,
-            breakdown=breakdown,
-            schedule=schedule,
-            events=events,
+        return _build_result(
+            instance, self.network, plan, completion, start, schedule, events
         )

@@ -75,6 +75,12 @@ class WorkloadConfig:
         times are cumulative exponential gaps with this rate per coflow, so a
         larger rate packs flows closer together.  ``None`` releases every flow
         at time zero.
+    coflow_arrival_rate:
+        Rate of the Poisson arrival process *between coflows*: each coflow's
+        releases are offset by a cumulative exponential gap with this rate,
+        so coflows arrive over time instead of all being present up front —
+        the operating regime of the online (re-planning) schemes.  ``None``
+        (default, the paper's setting) applies no offset.
     mean_weight:
         Mean of the Poisson distribution of coflow weights
         (weights are ``1 + Poisson(mean - 1)``).
@@ -113,6 +119,7 @@ class WorkloadConfig:
     coflow_width: int = 16
     mean_flow_size: float = 4.0
     release_rate: Optional[float] = 1.0
+    coflow_arrival_rate: Optional[float] = None
     mean_weight: float = 2.0
     unit_sizes: bool = False
     seed: int = 0
@@ -133,6 +140,8 @@ class WorkloadConfig:
             raise ValueError("mean weight must be at least 1")
         if self.release_rate is not None and self.release_rate <= 0:
             raise ValueError("release rate must be positive")
+        if self.coflow_arrival_rate is not None and self.coflow_arrival_rate <= 0:
+            raise ValueError("coflow arrival rate must be positive")
         if self.flow_size_distribution not in FLOW_SIZE_DISTRIBUTIONS:
             raise ValueError(
                 f"unknown flow size distribution {self.flow_size_distribution!r} "
@@ -253,12 +262,15 @@ class CoflowGenerator:
         rng = np.random.default_rng(cfg.seed + seed_offset)
         probabilities = self._host_probabilities(rng)
         coflows: List[Coflow] = []
+        arrival = 0.0
         for c in range(cfg.num_coflows):
             weight = self._poisson_at_least_one(rng, cfg.mean_weight)
             destination: Optional[str] = None
             if cfg.endpoint_distribution == "incast":
                 destination = self.hosts[int(rng.integers(len(self.hosts)))]
-            release = 0.0
+            if cfg.coflow_arrival_rate is not None:
+                arrival += float(rng.exponential(1.0 / cfg.coflow_arrival_rate))
+            release = arrival
             flows: List[Flow] = []
             for _ in range(cfg.coflow_width):
                 src, dst = self._endpoints(rng, probabilities, destination)

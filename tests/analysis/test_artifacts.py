@@ -245,6 +245,56 @@ class TestRunSpec:
         assert missing == spec.total_tasks() - len(partial)
 
 
+class TestExtraMetrics:
+    def test_spec_round_trip_preserves_extra_metrics(self):
+        spec = spec_from_dict(
+            tiny_spec_dict(extra_metrics=["mean_slowdown", "max_slowdown"])
+        )
+        assert spec.extra_metrics == ("mean_slowdown", "max_slowdown")
+        assert spec_from_dict(spec.to_dict()) == spec
+        # Specs without the key keep an empty tuple (and omit it on export).
+        plain = spec_from_dict(tiny_spec_dict())
+        assert plain.extra_metrics == ()
+        assert "extra_metrics" not in plain.to_dict()
+
+    def test_run_spec_aggregates_extras_over_the_same_grid(self):
+        spec = spec_from_dict(
+            tiny_spec_dict(extra_metrics=["mean_slowdown", "max_slowdown"])
+        )
+        store = RunStore()
+        run = run_spec(spec, store, workers=0)
+        assert set(run.extras) == {"mean_slowdown", "max_slowdown"}
+        for extra in run.extras.values():
+            assert [p.label for p in extra.points] == [p.label for p in spec.points]
+            for point in extra.points:
+                assert set(point.values) == {"Baseline", "Route-only"}
+                for values in point.values.values():
+                    assert all(v >= 0.0 for v in values)
+
+    def test_records_missing_the_metric_count_as_missing(self):
+        spec = spec_from_dict(tiny_spec_dict())
+        store = RunStore()
+        run_spec(spec, store, workers=0)
+        _, missing, _ = result_from_store(spec, store, metric="no_such_metric")
+        assert missing == spec.total_tasks()
+
+    def test_extras_render_as_report_blocks_and_csv_columns(self):
+        from repro.analysis.report import csv_report, render_report
+
+        spec = spec_from_dict(tiny_spec_dict(extra_metrics=["mean_slowdown"]))
+        store = RunStore()
+        run = run_spec(spec, store, workers=0)
+        text = render_report(
+            run.result, "Tiny", reference="Baseline", extras=run.extras
+        )
+        assert "Tiny — avg mean_slowdown" in text
+        csv_text = csv_report(run.result, "Baseline", run.extras)
+        header = csv_text.splitlines()[0].split(",")
+        assert header[-1] == "mean_mean_slowdown"
+        # One numeric slowdown cell per (point, scheme) row.
+        assert len(csv_text.splitlines()) == 1 + 2 * 2
+
+
 class TestProvenance:
     def test_provenance_document(self):
         info = provenance()

@@ -13,7 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import build_parser, main
-from repro.cli.bench import fig3_spec, fig4_spec, scenario_matrix_spec
+from repro.cli.bench import fig3_spec, fig4_spec, online_spec, scenario_matrix_spec
 from repro.analysis.artifacts import load_spec
 
 ROOT = Path(__file__).resolve().parents[2]
@@ -90,6 +90,33 @@ class TestRun:
         assert document["topology"]["spec"] == "fat_tree(k=4)"
         assert document["metrics"]["weighted_completion_time"] > 0
         assert document["provenance"]["version"]
+
+    def test_online_scheme_runs_its_replanning_loop(self, capsys):
+        # Regression: `repro run` must dispatch through Scheme.simulate(),
+        # not plan()+run() — otherwise Online-* schemes silently simulate
+        # their static inner plan under the online label.
+        args = [
+            "run",
+            "--scheme", "Online-SEBF",
+            "--topology", "leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=4)",
+            "--num-coflows", "3",
+            "--coflow-width", "3",
+            "--coflow-arrival-rate", "0.5",
+            "--seed", "3",
+        ]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scheme"]["name"] == "Online-SEBF"
+        assert document["config"]["coflow_arrival_rate"] == 0.5
+
+        from repro.analysis.artifacts import build_schemes, strict_config_from_dict
+        from repro.workloads import CoflowGenerator
+
+        config = strict_config_from_dict(document["config"])
+        network = config.build_network()
+        instance = CoflowGenerator(network, config).instance()
+        expected = build_schemes(["Online-SEBF"])[0].simulate(instance, network)
+        assert document["metrics"] == pytest.approx(expected.metrics())
 
     def test_output_file(self, tmp_path, capsys):
         target = tmp_path / "result.json"
@@ -230,6 +257,7 @@ class TestScenarioMatrixAcceptance:
         assert load_spec(SPECS_DIR / "scenario-matrix.yaml") == scenario_matrix_spec()
         assert load_spec(SPECS_DIR / "fig3.yaml") == fig3_spec()
         assert load_spec(SPECS_DIR / "fig4.yaml") == fig4_spec()
+        assert load_spec(SPECS_DIR / "online.yaml") == online_spec()
 
     def test_smoke_sweep_two_workers_resume_and_report(self, tmp_path, capsys):
         spec = str(SPECS_DIR / "scenario-matrix.yaml")
@@ -264,6 +292,32 @@ class TestScenarioMatrixAcceptance:
             )
             stdout = capsys.readouterr().out
             artifact = (out / "scenario-matrix-smoke" / filename).read_text()
+            assert stdout.rstrip("\n") == artifact.rstrip("\n"), fmt
+
+
+@needs_yaml
+class TestOnlineAcceptance:
+    """Online-vs-static end-to-end, with per-coflow slowdown columns."""
+
+    def test_smoke_sweep_renders_slowdown_columns(self, tmp_path, capsys):
+        spec = str(SPECS_DIR / "online.yaml")
+        out = tmp_path / "artifacts"
+        assert main(["sweep", spec, "--smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        # The rendered report carries the slowdown tables next to the
+        # completion-time panels, for static and online schemes alike.
+        assert "avg mean_slowdown" in stdout
+        assert "avg max_slowdown" in stdout
+        assert "Online-SEBF" in stdout and "SEBF" in stdout
+        csv_text = (out / "online-smoke" / "report.csv").read_text()
+        assert "mean_mean_slowdown" in csv_text.splitlines()[0]
+        assert "mean_max_slowdown" in csv_text.splitlines()[0]
+
+        # `repro report` re-renders the identical artifacts from the store.
+        for fmt, filename in (("markdown", "report.md"), ("csv", "report.csv")):
+            assert main(["report", spec, "--smoke", "--out", str(out), "--format", fmt]) == 0
+            stdout = capsys.readouterr().out
+            artifact = (out / "online-smoke" / filename).read_text()
             assert stdout.rstrip("\n") == artifact.rstrip("\n"), fmt
 
 

@@ -71,6 +71,35 @@ class TestCircuitSchedule:
         with pytest.raises(ScheduleError):
             sched.set_path((0, 0), ["x"])
 
+    def test_extend_segments_bulk_append(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.extend_segments((0, 0), [(0.0, 1.0, 1.0), (1.0, 2.0, 0.0), (2.0, 3.0, 0.5)])
+        segs = sched.segments((0, 0))
+        assert [(s.start, s.end, s.rate) for s in segs] == [(0.0, 1.0, 1.0), (2.0, 3.0, 0.5)]
+        assert sched.delivered_volume((0, 0)) == pytest.approx(1.5)
+
+    def test_extend_segments_appends_after_existing(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        sched.add_segment((0, 0), 0.0, 1.0, 1.0)
+        sched.extend_segments((0, 0), [(1.0, 2.0, 0.25)])
+        assert [s.rate for s in sched.segments((0, 0))] == [1.0, 0.25]
+
+    def test_extend_segments_rejects_out_of_order_input(self):
+        sched = CircuitSchedule()
+        sched.set_path((0, 0), ["x", "y"])
+        with pytest.raises(ScheduleError, match="out of order"):
+            sched.extend_segments((0, 0), [(2.0, 3.0, 1.0), (0.0, 1.0, 1.0)])
+        sched.add_segment((0, 0), 5.0, 6.0, 1.0)
+        with pytest.raises(ScheduleError, match="out of order"):
+            sched.extend_segments((0, 0), [(0.0, 1.0, 1.0)])
+
+    def test_extend_segments_requires_path(self):
+        sched = CircuitSchedule()
+        with pytest.raises(ScheduleError, match="set_path"):
+            sched.extend_segments((0, 0), [(0.0, 1.0, 1.0)])
+
     def test_delivered_volume(self):
         sched = CircuitSchedule()
         sched.set_path((0, 0), ["x", "y"])

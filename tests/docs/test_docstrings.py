@@ -19,12 +19,19 @@ MODULES = [
     "repro.analysis.report",
     "repro.analysis.runstore",
     "repro.analysis.sweep",
+    "repro.baselines.online",
     "repro.cli",
     "repro.cli.main",
     "repro.cli.run",
     "repro.cli.sweep",
     "repro.cli.report",
     "repro.cli.bench",
+    "repro.sim.allocators",
+    "repro.sim.kernel",
+    "repro.sim.metrics",
+    "repro.sim.online",
+    "repro.sim.plan",
+    "repro.sim.simulator",
     "repro.workloads.generator",
     "repro.workloads.serialization",
 ]

@@ -1,0 +1,147 @@
+"""The array kernel is numerically identical to the reference event loop.
+
+``FlowLevelSimulator.run`` (the array kernel) and ``run_reference`` (the
+original dict-based loop, kept as the executable specification) must agree
+*exactly* — same arithmetic on the same values in the same order — across
+random topologies x workload families x every rate allocator.  These
+property tests replay seeded scenarios through both paths and compare
+completion times bit-for-bit, plus the realised schedule volumes (where
+segment coalescing legitimately reorders float additions, so a tight
+tolerance applies).
+
+The online engine's anchor property rides along: online simulation under a
+scheduler that never changes the plan (``StaticPlanReplanner``) reproduces
+the static simulation up to splice-point rounding.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.baselines import BaselineScheme, RouteOnlyScheme, ScheduleOnlyScheme, SEBFScheme
+from repro.core import topologies
+from repro.sim import (
+    ALLOCATORS,
+    FlowLevelSimulator,
+    OnlineFlowSimulator,
+    StaticPlanReplanner,
+)
+from repro.workloads import CoflowGenerator, WorkloadConfig
+
+#: (topology seed, size family, endpoint family, scheme) grid: every case is
+#: deterministic, so a failure reproduces from its parameter id alone.
+CASES = [
+    pytest.param(seed, fdist, edist, scheme, id=f"seed{seed}-{fdist}-{edist}-{key}")
+    for seed, (fdist, edist, scheme, key) in enumerate(
+        [
+            ("poisson", "uniform", BaselineScheme(seed=0), "baseline"),
+            ("poisson", "incast", ScheduleOnlyScheme(seed=1), "schedule-only"),
+            ("pareto", "uniform", RouteOnlyScheme(), "route-only"),
+            ("pareto", "skewed", SEBFScheme(), "sebf"),
+            ("facebook", "uniform", BaselineScheme(seed=2), "baseline"),
+            ("facebook", "incast", SEBFScheme(), "sebf"),
+        ]
+    )
+]
+
+
+def build_case(seed, flow_sizes, endpoints, scheme):
+    network = topologies.random_graph(
+        6, edge_probability=0.35, capacity_range=(1.0, 3.0), seed=seed
+    )
+    config = WorkloadConfig(
+        num_coflows=3,
+        coflow_width=4,
+        mean_flow_size=3.0,
+        release_rate=2.0,
+        coflow_arrival_rate=0.5 if seed % 2 else None,
+        seed=700 + seed,
+        flow_size_distribution=flow_sizes,
+        endpoint_distribution=endpoints,
+    )
+    instance = CoflowGenerator(network, config).instance()
+    plan = scheme.plan(instance, network)
+    return network, instance, plan
+
+
+def assert_identical(kernel, reference):
+    """Kernel and reference results agree exactly (volumes: tight approx)."""
+    assert kernel.events == reference.events
+    assert set(kernel.flow_completion) == set(reference.flow_completion)
+    for fid, completion in reference.flow_completion.items():
+        assert kernel.flow_completion[fid] == completion, fid
+    assert set(kernel.flow_start) == set(reference.flow_start)
+    for fid, start in reference.flow_start.items():
+        assert kernel.flow_start[fid] == start, fid
+    for fid in reference.flow_completion:
+        assert kernel.schedule.delivered_volume(fid) == pytest.approx(
+            reference.schedule.delivered_volume(fid), rel=1e-9, abs=1e-9
+        ), fid
+    assert kernel.coflow_slowdowns == pytest.approx(reference.coflow_slowdowns)
+
+
+@pytest.mark.parametrize("seed,flow_sizes,endpoints,scheme", CASES)
+@pytest.mark.parametrize("allocator", sorted(ALLOCATORS))
+def test_kernel_matches_reference(seed, flow_sizes, endpoints, scheme, allocator):
+    network, instance, plan = build_case(seed, flow_sizes, endpoints, scheme)
+    plan = dataclasses.replace(plan, allocator=allocator)
+    simulator = FlowLevelSimulator(network)
+    kernel = simulator.run(instance, plan)
+    reference = simulator.run_reference(instance, plan)
+    assert_identical(kernel, reference)
+    kernel.schedule.validate(instance, network)
+
+
+@pytest.mark.parametrize("seed,flow_sizes,endpoints,scheme", CASES)
+def test_online_with_frozen_plan_equals_static(seed, flow_sizes, endpoints, scheme):
+    network, instance, plan = build_case(seed, flow_sizes, endpoints, scheme)
+    static = FlowLevelSimulator(network).run(instance, plan)
+    online = OnlineFlowSimulator(network, StaticPlanReplanner(plan)).run(instance)
+    assert set(online.flow_completion) == set(static.flow_completion)
+    for fid, completion in static.flow_completion.items():
+        assert online.flow_completion[fid] == pytest.approx(
+            completion, rel=1e-9, abs=1e-9
+        ), fid
+    online.schedule.validate(instance, network)
+    assert online.weighted_completion_time == pytest.approx(
+        static.weighted_completion_time, rel=1e-9
+    )
+
+
+def test_kernel_on_leaf_spine_benchmark_shape():
+    """Exact agreement on the benchmark-style instance (staggered arrivals)."""
+    network = topologies.leaf_spine(num_leaves=3, num_spines=2, hosts_per_leaf=4)
+    config = WorkloadConfig(
+        num_coflows=5,
+        coflow_width=8,
+        mean_flow_size=5.0,
+        release_rate=1.0,
+        coflow_arrival_rate=0.2,
+        seed=31,
+    )
+    instance = CoflowGenerator(network, config).instance()
+    plan = SEBFScheme().plan(instance, network)
+    simulator = FlowLevelSimulator(network)
+    assert_identical(simulator.run(instance, plan), simulator.run_reference(instance, plan))
+
+
+def test_pause_and_resume_matches_uninterrupted_run():
+    """run(until=...) splicing reproduces an uninterrupted run of the kernel."""
+    from repro.sim.kernel import SimulationKernel
+
+    network = topologies.leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+    config = WorkloadConfig(
+        num_coflows=3, coflow_width=3, mean_flow_size=2.0, release_rate=1.0, seed=5
+    )
+    instance = CoflowGenerator(network, config).instance()
+    plan = BaselineScheme(seed=0).plan(instance, network).normalized(instance)
+
+    whole = SimulationKernel(network, instance, plan)
+    whole.run()
+    paused = SimulationKernel(network, instance, plan)
+    for deadline in (0.5, 1.0, 1.7, 2.5):
+        paused.run(until=deadline)
+    paused.run()
+    assert paused.flow_completion_map() == pytest.approx(whole.flow_completion_map())
+    assert whole.finished and paused.finished

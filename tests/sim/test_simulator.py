@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Coflow, CoflowInstance, Flow, topologies
-from repro.sim import FlowLevelSimulator, SimulationPlan
+from repro.sim import FlowLevelSimulator, RateAllocator, SimulationPlan
 
 
 @pytest.fixture
@@ -170,3 +170,110 @@ class TestPlanValidation:
         )
         plan = plan_for(instance, triangle, order=[(1, 0), (0, 0)])
         assert plan.priority_rank() == {(1, 0): 0, (0, 0): 1}
+
+
+RUN_PATHS = ["run", "run_reference"]
+
+
+class _StarvingAllocator(RateAllocator):
+    """Deliberately broken policy: grants nothing, ever (stall trigger)."""
+
+    name = "starving"
+
+    def allocate(self, residual, flows):
+        return {key: 0.0 for key, _edges, _weight in flows}
+
+
+class TestActionableErrors:
+    """Satellite bugfix: stall / event-cap errors name the stuck flows."""
+
+    @pytest.mark.parametrize("path", RUN_PATHS)
+    def test_event_cap_error_names_flows_and_saturated_edges(self, triangle, path):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle)
+        simulate = getattr(FlowLevelSimulator(triangle), path)
+        with pytest.raises(RuntimeError) as excinfo:
+            simulate(instance, plan, max_events=1)
+        message = str(excinfo.value)
+        assert "event cap (1)" in message
+        assert "(1, 0)" in message  # the flow still unfinished
+        assert "release=0" in message
+        assert "remaining=1" in message
+        assert "saturated edges" in message and "'x', 'y'" in message
+
+    @pytest.mark.parametrize("path", RUN_PATHS)
+    def test_stall_error_names_the_unfinished_flows(self, triangle, path):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=2.0),))]
+        )
+        plan = plan_for(instance, triangle)
+        simulate = getattr(FlowLevelSimulator(triangle), path)
+        with pytest.raises(RuntimeError) as excinfo:
+            simulate(instance, plan, allocator=_StarvingAllocator())
+        message = str(excinfo.value)
+        assert "stalled" in message
+        assert "(0, 0)" in message
+        assert "release=0" in message and "remaining=2" in message
+
+
+class TestStartRequiresRealVolume:
+    """Satellite bugfix: a vanishing transfer inside an epsilon-sized step
+    must not count as the flow's start."""
+
+    @pytest.mark.parametrize("path", RUN_PATHS)
+    def test_epsilon_step_does_not_record_a_start(self, triangle, path):
+        # L is released at t=1.0; the higher-priority H follows 1.5e-12
+        # later, forcing an epsilon-sized step in which L moves ~1.5e-12
+        # volume before being preempted until t~2.  L's recorded start must
+        # be its real start (~2.0), not the vanishing dribble at 1.0.
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0, release_time=1.0 + 1.5e-12),)),
+                Coflow(flows=(Flow("x", "y", size=1.0, release_time=1.0),)),
+            ]
+        )
+        plan = plan_for(instance, triangle, order=[(0, 0), (1, 0)])
+        result = getattr(FlowLevelSimulator(triangle), path)(instance, plan)
+        assert result.flow_start[(0, 0)] == pytest.approx(1.0, abs=1e-6)
+        # Regression: this used to report ~1.0 (the dribble step).
+        assert result.flow_start[(1, 0)] == pytest.approx(2.0, abs=1e-6)
+        assert result.flow_completion[(1, 0)] == pytest.approx(3.0, abs=1e-6)
+
+    @pytest.mark.parametrize("path", RUN_PATHS)
+    def test_normal_start_times_are_unchanged(self, triangle, path):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=2.0, release_time=1.0),))]
+        )
+        plan = plan_for(instance, triangle)
+        result = getattr(FlowLevelSimulator(triangle), path)(instance, plan)
+        assert result.flow_start[(0, 0)] == pytest.approx(1.0)
+
+
+class TestSlowdownMetrics:
+    def test_slowdowns_on_an_uncontended_instance_are_one(self, triangle):
+        instance = CoflowInstance(
+            coflows=[Coflow(flows=(Flow("x", "y", size=3.0),))]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.coflow_slowdowns == {0: pytest.approx(1.0)}
+        assert result.mean_slowdown == pytest.approx(1.0)
+        assert result.max_slowdown == pytest.approx(1.0)
+        assert result.metrics()["mean_slowdown"] == pytest.approx(1.0)
+
+    def test_contention_doubles_the_trailing_coflow_slowdown(self, triangle):
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0),)),
+            ]
+        )
+        result = FlowLevelSimulator(triangle).run(instance, plan_for(instance, triangle))
+        assert result.coflow_slowdowns[0] == pytest.approx(1.0)
+        assert result.coflow_slowdowns[1] == pytest.approx(2.0)
+        assert result.max_slowdown == pytest.approx(2.0)
+        assert result.metrics()["max_slowdown"] == pytest.approx(2.0)

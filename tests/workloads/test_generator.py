@@ -30,6 +30,8 @@ class TestConfig:
             WorkloadConfig(mean_weight=0.0)
         with pytest.raises(ValueError):
             WorkloadConfig(release_rate=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(coflow_arrival_rate=0.0)
 
     def test_with_helpers(self):
         config = WorkloadConfig(num_coflows=10, coflow_width=16, seed=3)
@@ -99,6 +101,33 @@ class TestGenerator:
             releases = [f.release_time for f in coflow.flows]
             assert releases == sorted(releases)
             assert all(r > 0 for r in releases)
+
+    def test_coflow_arrivals_are_cumulative_and_deterministic(self, fat_tree):
+        config = WorkloadConfig(
+            num_coflows=4, coflow_width=3, release_rate=None,
+            coflow_arrival_rate=0.5, seed=11,
+        )
+        instance = CoflowGenerator(fat_tree, config).instance()
+        arrivals = [coflow.release_time for coflow in instance.coflows]
+        # Strictly increasing arrival offsets (cumulative exponential gaps),
+        # and with release_rate=None every flow of a coflow shares them.
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0.0
+        assert len(set(arrivals)) == len(arrivals)
+        for coflow in instance.coflows:
+            assert len({f.release_time for f in coflow.flows}) == 1
+        again = CoflowGenerator(fat_tree, config).instance()
+        assert [c.release_time for c in again.coflows] == arrivals
+
+    def test_no_arrival_rate_leaves_instances_unchanged(self, fat_tree):
+        base = WorkloadConfig(num_coflows=2, coflow_width=3, release_rate=2.0, seed=9)
+        instance = CoflowGenerator(fat_tree, base).instance()
+        # The new field defaults to None and must not consume RNG draws.
+        assert base.coflow_arrival_rate is None
+        assert min(f.release_time for _, _, f in instance.iter_flows()) < 10.0
+        assert instance.coflows[0].release_time == pytest.approx(
+            min(f.release_time for f in instance.coflows[0].flows)
+        )
 
     def test_no_release_rate_means_time_zero(self, fat_tree):
         instance = CoflowGenerator(
