@@ -1,0 +1,70 @@
+"""Scheme-pipeline stage benchmark: route vs order vs LP-solve plan time.
+
+Every scheme is now a Router x Orderer x Allocator composition
+(:mod:`repro.baselines.pipeline`), so plan time decomposes per stage.  This
+benchmark is a thin wrapper over the CLI suite (``repro bench pipeline``):
+on a pinned instance — 6 coflows x 8 flows each on a 24-host leaf-spine
+fabric — it times each stage of four representative compositions:
+
+* ``pipeline(router=random, order=mct)``   — pure heuristics, no LP;
+* ``pipeline(router=balanced, order=sebf)`` — the Varys-style composition;
+* ``pipeline(router=balanced, order=lp)``   — the ordering LP solved in the
+  order stage (a composition the legacy class hierarchy could not express);
+* ``pipeline(router=lp, order=lp)``         — the paper's LP-Based scheme,
+  where one solve serves both stages (the order stage consumes the
+  router's completion-time hint; asserted on every run).
+
+``--smoke`` shrinks the instance for CI.  Artifacts land under
+``benchmarks/results/pipeline[-smoke]/`` (report.txt/md/csv plus run.json
+with the raw stage timings).
+"""
+
+import argparse
+import sys
+
+from repro.cli.bench import run_pipeline_bench
+
+from common import RESULTS_DIR
+
+
+def main(argv=None):
+    """Run the stage benchmark and print its report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized instance"
+    )
+    args = parser.parse_args(argv)
+    run_pipeline_bench(RESULTS_DIR, smoke=args.smoke)
+    name = "pipeline-smoke" if args.smoke else "pipeline"
+    print((RESULTS_DIR / name / "report.txt").read_text())
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone mode
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="pipeline")
+    def test_pipeline_stage_breakdown(benchmark):
+        """Stage timings exist for every composition; lp+lp hints its order."""
+        timings = benchmark.pedantic(
+            lambda: run_pipeline_bench(RESULTS_DIR, smoke=False),
+            rounds=1,
+            iterations=1,
+        )
+        assert set(timings) == {
+            "pipeline(router=random, order=mct)",
+            "pipeline(router=balanced, order=sebf)",
+            "pipeline(router=balanced, order=lp)",
+            "pipeline(router=lp, order=lp)",
+        }
+        for breakdown in timings.values():
+            assert breakdown["plan_ms"] > 0.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,11 @@ A spec has two interchangeable shapes:
         - label: incast/leaf-spine
           config: {topology: "leaf_spine(num_leaves=4)", endpoint_distribution: incast, seed: 7200}
 
+Entries of ``schemes`` are scheme *specs* — legacy alias names or composed
+``"pipeline(router=..., order=..., alloc=..., online=...)"`` expressions
+(see :mod:`repro.baselines.spec` and ``specs/pipeline-matrix.yaml``), so a
+spec document can enumerate stage cross-products declaratively.
+
 Every point resolves to a full :class:`~repro.workloads.generator.
 WorkloadConfig` (the ``base`` mapping is merged under each point's
 ``config``), and every config must carry a ``topology`` spec string so the
@@ -50,15 +55,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import __version__
-from ..baselines import (
-    BaselineScheme,
-    LPBasedScheme,
-    OnlineScheme,
-    RouteOnlyScheme,
-    SEBFScheme,
-    ScheduleOnlyScheme,
-)
 from ..baselines.base import Scheme
+from ..baselines.spec import SCHEME_ALIASES, known_scheme_names, scheme_from_spec
 from ..core.topologies import from_spec
 from ..workloads.generator import WorkloadConfig
 from .engine import EngineRunStats, ExperimentEngine, PointSpec
@@ -73,8 +71,11 @@ except ImportError:  # pragma: no cover - exercised only on yaml-less installs
 
 __all__ = [
     "SCHEME_REGISTRY",
+    "SCHEME_ALIASES",
     "DEFAULT_SCHEMES",
     "build_schemes",
+    "known_scheme_names",
+    "scheme_from_spec",
     "SpecPoint",
     "SweepSpec",
     "SpecRunResult",
@@ -92,33 +93,20 @@ __all__ = [
     "ARTIFACT_FORMATS",
 ]
 
-def _named(scheme: Scheme, name: str) -> Scheme:
-    """Give a scheme variant its registry display name (and table label)."""
-    scheme.name = name
-    return scheme
+def _registry_factory(name: str) -> Callable[[], Scheme]:
+    """A zero-argument factory resolving one alias through the spec grammar."""
+    return lambda: scheme_from_spec(name)
 
 
-#: Scheme display name -> zero-argument factory.  Factories fix all
-#: parameters (seeds included) so a name alone identifies a scheme and its
-#: run-store signature, which is what makes spec files reproducible.
-#: ``Online-*`` names wrap the static scheme of the same name in the
-#: arrival-driven re-planning engine; ``*-MaxMin`` / ``*-WFair`` select the
-#: fair-sharing rate allocators instead of strict priority service (their
-#: display names are overridden so they never collide with the strict
-#: variant in one report).
+#: Scheme display name -> zero-argument factory (compatibility view).
+#: Every entry is a :data:`~repro.baselines.spec.SCHEME_ALIASES` alias
+#: resolved through the spec grammar — a name alone fixes all stage
+#: parameters (seeds included), which is what makes spec files
+#: reproducible.  New code should call :func:`build_schemes` /
+#: :func:`~repro.baselines.spec.scheme_from_spec` directly, which also
+#: accept raw ``pipeline(router=..., order=..., ...)`` expressions.
 SCHEME_REGISTRY: Dict[str, Callable[[], Scheme]] = {
-    "LP-Based": lambda: LPBasedScheme(seed=0),
-    "Route-only": RouteOnlyScheme,
-    "Schedule-only": lambda: ScheduleOnlyScheme(seed=0),
-    "Baseline": lambda: BaselineScheme(seed=0),
-    "SEBF": SEBFScheme,
-    "SEBF-MaxMin": lambda: _named(SEBFScheme(allocator="max-min"), "SEBF-MaxMin"),
-    "SEBF-WFair": lambda: _named(SEBFScheme(allocator="weighted"), "SEBF-WFair"),
-    "Online-LP-Based": lambda: OnlineScheme(LPBasedScheme(seed=0)),
-    "Online-Route-only": lambda: OnlineScheme(RouteOnlyScheme()),
-    "Online-Schedule-only": lambda: OnlineScheme(ScheduleOnlyScheme(seed=0)),
-    "Online-Baseline": lambda: OnlineScheme(BaselineScheme(seed=0)),
-    "Online-SEBF": lambda: OnlineScheme(SEBFScheme()),
+    name: _registry_factory(name) for name in SCHEME_ALIASES
 }
 
 #: The four schemes of Section 4.3, in the paper's table order.
@@ -134,18 +122,21 @@ ARTIFACT_FORMATS: Dict[str, str] = {"text": "txt", "markdown": "md", "csv": "csv
 
 
 def build_schemes(names: Sequence[str]) -> List[Scheme]:
-    """Instantiate registry schemes by display name.
+    """Instantiate schemes from spec strings (alias names or pipelines).
+
+    Each entry is resolved through the spec grammar of
+    :mod:`repro.baselines.spec`: a legacy alias name (``"Baseline"``,
+    ``"Online-SEBF"``) or a raw composition such as
+    ``"pipeline(router=lp, order=sebf, alloc=max-min)"``.  The first
+    unresolvable entry raises ``ValueError`` naming the bad stage or
+    scheme and listing the valid choices.
 
     Example::
 
         >>> [s.name for s in build_schemes(["Baseline", "LP-Based"])]
         ['Baseline', 'LP-Based']
     """
-    unknown = [n for n in names if n not in SCHEME_REGISTRY]
-    if unknown:
-        known = ", ".join(sorted(SCHEME_REGISTRY))
-        raise ValueError(f"unknown scheme(s) {unknown!r} (known: {known})")
-    return [SCHEME_REGISTRY[name]() for name in names]
+    return [scheme_from_spec(name) for name in names]
 
 
 # -------------------------------------------------------------------- specs
@@ -184,7 +175,9 @@ class SweepSpec:
 
     ``points`` carry complete workload configs (topology spec included);
     ``tries`` random instances are drawn per point by offsetting each
-    config's seed, exactly like :meth:`ExperimentEngine.run`.
+    config's seed, exactly like :meth:`ExperimentEngine.run`.  ``schemes``
+    entries are scheme specs — alias names or ``pipeline(...)``
+    compositions — validated eagerly at construction.
     """
 
     name: str

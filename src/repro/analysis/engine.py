@@ -9,7 +9,10 @@ in-process or fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
 LP solve included — and simulate it).
 
 Results stream into a :class:`~repro.analysis.runstore.RunStore` keyed by
-``(topology fingerprint, workload config incl. seed, scheme signature)``:
+``(topology fingerprint, workload config incl. seed, scheme signature)``,
+where the scheme signature is the canonical stage-spec serialization of
+:meth:`~repro.baselines.pipeline.PipelineScheme.signature` — stable across
+processes and shared by every spelling of the same composition:
 
 * an interrupted sweep resumes — already-persisted tasks are never re-run;
 * repeated benchmark invocations with a warm store skip all LP/simulation

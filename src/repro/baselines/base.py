@@ -21,15 +21,38 @@ from __future__ import annotations
 
 import abc
 import random
+import re
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.flows import CoflowInstance, Flow, FlowId
 from ..core.network import Network, path_edges
 from ..sim.plan import SimulationPlan
 
-__all__ = ["Scheme", "random_route", "load_balanced_route", "respect_given_paths"]
+__all__ = [
+    "Scheme",
+    "stable_repr",
+    "random_route",
+    "load_balanced_route",
+    "respect_given_paths",
+]
 
 Edge = Tuple[Hashable, Hashable]
+
+#: The default ``object.__repr__`` shape: ``<pkg.Cls object at 0x7f...>``
+#: (the qualname may itself contain ``<locals>`` for nested classes).
+_DEFAULT_OBJECT_REPR = re.compile(r"<(.+?) object at 0x[0-9a-fA-F]+>")
+
+
+def stable_repr(value: object) -> str:
+    """``repr`` with memory addresses stripped from default object reprs.
+
+    Classes without a custom ``__repr__`` render as ``<Cls object at
+    0x7f...>`` — different in every process, which used to make scheme
+    signatures (and therefore run-store keys) unstable across runs.  The
+    address is dropped (``<Cls object>``), keeping everything else of the
+    repr intact, so such parameters hash identically everywhere.
+    """
+    return _DEFAULT_OBJECT_REPR.sub(r"<\1 object>", repr(value))
 
 
 class Scheme(abc.ABC):
@@ -47,10 +70,12 @@ class Scheme(abc.ABC):
 
         This is the entry point the experiment engine drives: one call is
         one (instance, scheme) evaluation.  Static schemes plan once and
-        simulate; online schemes (:mod:`repro.baselines.online`) override
-        this to re-plan at every coflow arrival instead.  ``simulator`` is
-        an optional pre-built :class:`~repro.sim.simulator.FlowLevelSimulator`
-        for ``network`` (the engine reuses one across tasks).
+        simulate; online pipelines
+        (:class:`~repro.baselines.pipeline.PipelineScheme` with
+        ``online=True``) override this to re-plan at every coflow arrival
+        instead.  ``simulator`` is an optional pre-built
+        :class:`~repro.sim.simulator.FlowLevelSimulator` for ``network``
+        (the engine reuses one across tasks).
         """
         from ..sim.simulator import FlowLevelSimulator
 
@@ -58,21 +83,26 @@ class Scheme(abc.ABC):
         return simulator.run(instance, self.plan(instance, network))
 
     def signature(self) -> str:
-        """Stable identity string: scheme name plus its parameters.
+        """Stable identity string keying the experiment engine's run store.
 
         Two scheme objects with the same signature produce the same plan on
-        the same instance, so the experiment engine's run store keys cached
-        results on it.  Mutable result attributes (``last_*`` diagnostics)
-        are excluded; every other attribute is included via ``repr`` —
-        parameters whose repr is unstable across processes (default object
-        repr) merely cause cache misses, never cache corruption.
+        the same instance.  :class:`~repro.baselines.pipeline.PipelineScheme`
+        — every built-in scheme — overrides this with its canonical
+        stage-spec serialization, which is byte-identical across processes
+        for any parameters.  This base implementation is the compatibility
+        shim for custom :class:`Scheme` subclasses: mutable result
+        attributes (``last_*`` diagnostics) are excluded, every other
+        attribute is rendered via :func:`stable_repr` (default object reprs
+        lose their memory address, so parameter objects without a custom
+        ``__repr__`` no longer cause spurious cache misses across
+        processes).
         """
         params = {
             key: value
             for key, value in sorted(vars(self).items())
             if not key.startswith("last")
         }
-        rendered = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        rendered = ", ".join(f"{k}={stable_repr(v)}" for k, v in params.items())
         return f"{self.name}({rendered})"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -7,25 +7,32 @@ The paper compares its LP-Based algorithm against (quoting Section 4.3):
   completion time which is computed as the ratio of flow size to path
   bandwidth";
 * **Route-only** — "flows are routed for achieving good load balance and edge
-  utilization; ordering is arbitrary".
+  utilization; ordering is arbitrary";
 
-As an extension (useful as a stronger reference point and for the switch
-special case) this module also implements **SEBF**, the
-Smallest-Effective-Bottleneck-First coflow ordering of Varys: coflows are
-ordered by the time they would need if they had the network to themselves
-(their bottleneck completion time), and all flows of a higher-priority coflow
-precede those of lower-priority ones.
+plus, as an extension, **SEBF** — the Smallest-Effective-Bottleneck-First
+coflow ordering of Varys over load-balanced routes.
+
+Each heuristic is a *composition* of registry stages, so this module is now
+a set of thin factories onto :class:`~repro.baselines.pipeline.
+PipelineScheme` (the stage implementations live in
+:mod:`repro.baselines.stages`); the factories keep the original constructor
+signatures and produce bit-identical plans to the former hand-written
+classes (``tests/baselines/test_scheme_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Optional
 
-from ..core.flows import CoflowInstance, FlowId
-from ..core.network import Network, path_edges
-from ..sim.plan import SimulationPlan
-from .base import Scheme, load_balanced_route, random_route
+from .pipeline import PipelineScheme
+from .stages import (
+    ArrivalOrderer,
+    BalancedRouter,
+    MCTOrderer,
+    RandomOrderer,
+    RandomRouter,
+    SEBFOrderer,
+)
 
 __all__ = [
     "BaselineScheme",
@@ -35,115 +42,45 @@ __all__ = [
 ]
 
 
-class BaselineScheme(Scheme):
-    """Random routing, random flow order."""
-
-    name = "Baseline"
-
-    def __init__(
-        self,
-        seed: Optional[int] = 0,
-        max_paths: int = 16,
-        allocator: str = "greedy",
-    ) -> None:
-        self.seed = seed
-        self.max_paths = max_paths
-        self.allocator = allocator
-
-    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
-        rng = random.Random(self.seed)
-        paths = random_route(instance, network, rng, max_paths=self.max_paths)
-        order = list(instance.flow_ids())
-        rng.shuffle(order)
-        return SimulationPlan(
-            paths=paths, order=order, name=self.name, allocator=self.allocator
-        )
+def BaselineScheme(
+    seed: Optional[int] = 0, max_paths: int = 16, allocator: str = "greedy"
+) -> PipelineScheme:
+    """Random routing, random flow order (``pipeline(router=random, order=random)``)."""
+    return PipelineScheme(
+        router=RandomRouter(seed=seed, max_paths=max_paths),
+        orderer=RandomOrderer(seed=seed),
+        alloc=allocator,
+        name="Baseline",
+    )
 
 
-class ScheduleOnlyScheme(Scheme):
-    """Random routing; order by minimum completion time (size / path bandwidth)."""
-
-    name = "Schedule-only"
-
-    def __init__(
-        self,
-        seed: Optional[int] = 0,
-        max_paths: int = 16,
-        allocator: str = "greedy",
-    ) -> None:
-        self.seed = seed
-        self.max_paths = max_paths
-        self.allocator = allocator
-
-    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
-        rng = random.Random(self.seed)
-        paths = random_route(instance, network, rng, max_paths=self.max_paths)
-
-        def min_completion(fid: FlowId) -> float:
-            flow = instance.flow(fid)
-            bandwidth = network.bottleneck_capacity(list(paths[fid]))
-            return flow.release_time + flow.size / bandwidth
-
-        order = sorted(instance.flow_ids(), key=lambda fid: (min_completion(fid), fid))
-        return SimulationPlan(
-            paths=paths, order=order, name=self.name, allocator=self.allocator
-        )
+def ScheduleOnlyScheme(
+    seed: Optional[int] = 0, max_paths: int = 16, allocator: str = "greedy"
+) -> PipelineScheme:
+    """Random routing; minimum-completion-time order (``router=random, order=mct``)."""
+    return PipelineScheme(
+        router=RandomRouter(seed=seed, max_paths=max_paths),
+        orderer=MCTOrderer(),
+        alloc=allocator,
+        name="Schedule-only",
+    )
 
 
-class RouteOnlyScheme(Scheme):
-    """Load-balanced routing; arbitrary (instance) order."""
-
-    name = "Route-only"
-
-    def __init__(self, max_paths: int = 16, allocator: str = "greedy") -> None:
-        self.max_paths = max_paths
-        self.allocator = allocator
-
-    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
-        paths = load_balanced_route(instance, network, max_paths=self.max_paths)
-        order = list(instance.flow_ids())
-        return SimulationPlan(
-            paths=paths, order=order, name=self.name, allocator=self.allocator
-        )
+def RouteOnlyScheme(max_paths: int = 16, allocator: str = "greedy") -> PipelineScheme:
+    """Load-balanced routing; arbitrary order (``router=balanced, order=arrival``)."""
+    return PipelineScheme(
+        router=BalancedRouter(max_paths=max_paths),
+        orderer=ArrivalOrderer(),
+        alloc=allocator,
+        name="Route-only",
+    )
 
 
-class SEBFScheme(Scheme):
-    """Smallest-Effective-Bottleneck-First coflow ordering (Varys-style).
-
-    Routing uses the same load-balanced rule as Route-only; the ordering is at
-    coflow granularity: coflows are sorted by the makespan they would need in
-    isolation (the maximum, over edges, of the volume the coflow sends through
-    the edge divided by the edge capacity, shifted by the coflow release
-    time), and within a coflow flows are sorted by decreasing size.
-    """
-
-    name = "SEBF"
-
-    def __init__(self, max_paths: int = 16, allocator: str = "greedy") -> None:
-        self.max_paths = max_paths
-        self.allocator = allocator
-
-    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
-        paths = load_balanced_route(instance, network, max_paths=self.max_paths)
-
-        def coflow_bottleneck(index: int) -> float:
-            loads: Dict[Tuple[Hashable, Hashable], float] = {}
-            for j, flow in enumerate(instance[index].flows):
-                for e in path_edges(list(paths[(index, j)])):
-                    loads[e] = loads.get(e, 0.0) + flow.size / network.capacity(*e)
-            bottleneck = max(loads.values()) if loads else 0.0
-            return instance[index].release_time + bottleneck
-
-        coflow_order = sorted(
-            range(len(instance.coflows)), key=lambda i: (coflow_bottleneck(i), i)
-        )
-        order: List[FlowId] = []
-        for i in coflow_order:
-            flow_ids = sorted(
-                ((i, j) for j in range(len(instance[i].flows))),
-                key=lambda fid: (-instance.flow(fid).size, fid),
-            )
-            order.extend(flow_ids)
-        return SimulationPlan(
-            paths=paths, order=order, name=self.name, allocator=self.allocator
-        )
+def SEBFScheme(max_paths: int = 16, allocator: str = "greedy") -> PipelineScheme:
+    """Load-balanced routing; SEBF coflow order (``router=balanced, order=sebf``)."""
+    return PipelineScheme(
+        router=BalancedRouter(max_paths=max_paths),
+        orderer=SEBFOrderer(),
+        alloc=allocator,
+        name="SEBF",
+    )

@@ -7,94 +7,69 @@ order of their LP completion times, starting as soon as possible (the
 Section-4.2 implementation tweak).  A given-paths variant exists for
 topologies with unique paths (trees, non-blocking switches), where only the
 Section-2.1 LP is needed.
+
+Both are pipeline compositions now — ``pipeline(router=lp, order=lp)`` and
+``pipeline(router=given, order=lp)`` — so this module is a pair of thin
+factories onto :class:`~repro.baselines.pipeline.PipelineScheme` keeping
+the original constructor signatures; the LP stage implementations live in
+:mod:`repro.baselines.stages`.  After :meth:`~repro.baselines.pipeline.
+PipelineScheme.plan`, the LP router's routing plan (lower bound included)
+is available as ``scheme.last_plan`` and the given-paths relaxation as
+``scheme.last_relaxation``, exactly like the former classes exposed.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..circuit.algorithm import PathsNotGivenScheduler
-from ..circuit.given_paths import DEFAULT_EPSILON, GivenPathsLP
+from ..circuit.given_paths import DEFAULT_EPSILON
 from ..circuit.routing import DEFAULT_ROUTING_EPSILON
-from ..core.flows import CoflowInstance
-from ..core.network import Network
-from ..sim.plan import SimulationPlan
-from .base import Scheme, respect_given_paths
+from .pipeline import PipelineScheme
+from .stages import GivenPathsRouter, LPOrderer, LPRouter
 
 __all__ = ["LPBasedScheme", "LPGivenPathsScheme"]
 
 
-class LPBasedScheme(Scheme):
-    """LP routing + LP ordering (Algorithm 1), the paper's evaluated scheme."""
+def LPBasedScheme(
+    epsilon: float = DEFAULT_ROUTING_EPSILON,
+    formulation: str = "path",
+    max_candidate_paths: int = 16,
+    seed: Optional[int] = 0,
+    path_selection: str = "thickest",
+    allocator: str = "greedy",
+) -> PipelineScheme:
+    """LP routing + LP ordering (Algorithm 1), the paper's evaluated scheme.
 
-    name = "LP-Based"
-
-    def __init__(
-        self,
-        epsilon: float = DEFAULT_ROUTING_EPSILON,
-        formulation: str = "path",
-        max_candidate_paths: int = 16,
-        seed: Optional[int] = 0,
-        path_selection: str = "thickest",
-        allocator: str = "greedy",
-    ) -> None:
-        self.allocator = allocator
-        self.epsilon = epsilon
-        self.formulation = formulation
-        self.max_candidate_paths = max_candidate_paths
-        self.seed = seed
-        #: the evaluated implementation picks the thickest decomposition path
-        #: (Section 4.2); "random" switches to the analysed randomized rounding
-        self.path_selection = path_selection
-        #: last routing plan computed (exposed for benchmarks that also want
-        #: the LP lower bound / congestion diagnostics)
-        self.last_plan = None
-
-    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
-        scheduler = PathsNotGivenScheduler(
-            instance.without_paths(),
-            network,
-            epsilon=self.epsilon,
-            formulation=self.formulation,
-            max_candidate_paths=self.max_candidate_paths,
-            seed=self.seed,
-            path_selection=self.path_selection,
-        )
-        routing_plan = scheduler.route()
-        self.last_plan = routing_plan
-        return SimulationPlan(
-            paths=dict(routing_plan.paths),
-            order=list(routing_plan.flow_order),
-            name=self.name,
-            allocator=self.allocator,
-        )
+    ``path_selection="thickest"`` is the evaluated implementation's choice
+    (Section 4.2); ``"random"`` switches to the analysed randomized
+    rounding.  One LP solve serves both stages: the router publishes its
+    completion-time order and the LP orderer consumes it as a hint.
+    """
+    return PipelineScheme(
+        router=LPRouter(
+            epsilon=epsilon,
+            formulation=formulation,
+            max_candidate_paths=max_candidate_paths,
+            seed=seed,
+            path_selection=path_selection,
+        ),
+        orderer=LPOrderer(),
+        alloc=allocator,
+        name="LP-Based",
+    )
 
 
-class LPGivenPathsScheme(Scheme):
-    """LP ordering on an instance whose paths are already fixed (Section 2.1)."""
+def LPGivenPathsScheme(
+    epsilon: float = DEFAULT_EPSILON, allocator: str = "greedy"
+) -> PipelineScheme:
+    """LP ordering on an instance whose paths are already fixed (Section 2.1).
 
-    name = "LP-Based (given paths)"
-
-    def __init__(
-        self, epsilon: float = DEFAULT_EPSILON, allocator: str = "greedy"
-    ) -> None:
-        self.epsilon = epsilon
-        self.allocator = allocator
-        self.last_relaxation = None
-
-    def plan(self, instance: CoflowInstance, network: Network) -> SimulationPlan:
-        if not instance.all_paths_given:
-            raise ValueError(
-                "LPGivenPathsScheme requires fixed paths; use LPBasedScheme otherwise"
-            )
-        # Only the LP ordering is needed here, so the relaxation is built
-        # directly (with this scheme's epsilon, which the scheduler wrapper
-        # used to silently ignore) rather than through GivenPathsScheduler.
-        relaxation = GivenPathsLP(instance, network, epsilon=self.epsilon).relax()
-        self.last_relaxation = relaxation
-        return SimulationPlan(
-            paths=respect_given_paths(instance),
-            order=relaxation.flow_order(),
-            name=self.name,
-            allocator=self.allocator,
-        )
+    The ``given`` router raises ``ValueError`` when any flow lacks a path;
+    use :func:`LPBasedScheme` to route unrouted instances.
+    """
+    return PipelineScheme(
+        router=GivenPathsRouter(),
+        orderer=LPOrderer(epsilon=epsilon),
+        alloc=allocator,
+        name="LP-Based (given paths)",
+    )

@@ -1,0 +1,273 @@
+"""The scheme spec grammar: parameterized pipeline specs and legacy aliases.
+
+A *scheme spec* is a short string addressing one point of the scheme
+cross-product.  It is either a **legacy alias** (``LP-Based``, ``Baseline``,
+``Online-SEBF``, ...) or a **pipeline expression**::
+
+    pipeline(router=<router>, order=<orderer>[, alloc=<allocator>][, online=<bool>])
+
+where ``<router>`` / ``<orderer>`` name registry stages
+(:data:`~repro.baselines.stages.ROUTERS` /
+:data:`~repro.baselines.stages.ORDERERS`), optionally with per-stage
+parameters in the same ``name(key=value, ...)`` form::
+
+    pipeline(router=lp(epsilon=0.5, seed=1), order=sebf, alloc=max-min, online=true)
+
+Literals are ``true``/``false``, ``none``, integers, floats, and bare
+identifier-like strings (``max-min``, ``thickest``).  ``repro run
+--scheme``, sweep-spec ``schemes:`` lists and ``repro bench`` all parse
+scheme names through :func:`scheme_from_spec`, so the whole evaluation
+cross-product is expressible from YAML/CLI strings without Python code.
+
+Every legacy scheme name is an entry of :data:`SCHEME_ALIASES` — a thin
+name onto a pipeline spec, proven bit-identical to the pre-refactor
+hand-written classes by ``tests/baselines/test_scheme_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..sim.allocators import ALLOCATORS
+from .pipeline import PipelineScheme
+from .stages import ORDERERS, ROUTERS, Orderer, Router, build_stage
+
+__all__ = [
+    "SCHEME_ALIASES",
+    "scheme_from_spec",
+    "parse_pipeline_spec",
+    "known_scheme_names",
+]
+
+#: Legacy scheme display name -> equivalent pipeline spec.  A name alone
+#: fixes every stage parameter (seeds included), which is what keeps spec
+#: files reproducible; the alias becomes the scheme's display name while its
+#: run-store signature is the canonical pipeline serialization (so an alias
+#: and its spelled-out spec share cached results).
+SCHEME_ALIASES: Dict[str, str] = {
+    "LP-Based": "pipeline(router=lp, order=lp)",
+    "LP-Based (given paths)": "pipeline(router=given, order=lp)",
+    "Route-only": "pipeline(router=balanced, order=arrival)",
+    "Schedule-only": "pipeline(router=random, order=mct)",
+    "Baseline": "pipeline(router=random, order=random)",
+    "SEBF": "pipeline(router=balanced, order=sebf)",
+    "SEBF-MaxMin": "pipeline(router=balanced, order=sebf, alloc=max-min)",
+    "SEBF-WFair": "pipeline(router=balanced, order=sebf, alloc=weighted)",
+    "Online-LP-Based": "pipeline(router=lp, order=lp, online=true)",
+    "Online-Route-only": "pipeline(router=balanced, order=arrival, online=true)",
+    "Online-Schedule-only": "pipeline(router=random, order=mct, online=true)",
+    "Online-Baseline": "pipeline(router=random, order=random, online=true)",
+    "Online-SEBF": "pipeline(router=balanced, order=sebf, online=true)",
+}
+
+#: Keys a pipeline expression accepts.
+_PIPELINE_KEYS = ("router", "order", "alloc", "online")
+
+_TOKEN = re.compile(r"[A-Za-z0-9_.+-]+|[(),=]")
+_SKIP = re.compile(r"\s+")
+
+#: A parsed value: a literal, or a (stage name, stage kwargs) call.
+_Value = Union[bool, int, float, str, None, Tuple[str, Dict[str, Any]]]
+
+
+def known_scheme_names() -> List[str]:
+    """The sorted legacy alias names (the enumerable part of the grammar)."""
+    return sorted(SCHEME_ALIASES)
+
+
+def _literal(token: str) -> Any:
+    """Coerce a bare token to bool / None / int / float, else keep the text."""
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+class _Parser:
+    """Recursive-descent parser over the spec token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, int]] = []
+        position = 0
+        while position < len(text):
+            skip = _SKIP.match(text, position)
+            if skip:
+                position = skip.end()
+                continue
+            match = _TOKEN.match(text, position)
+            if not match:
+                raise ValueError(
+                    f"malformed scheme spec {text!r}: unexpected character "
+                    f"{text[position]!r} at position {position}"
+                )
+            self.tokens.append((match.group(), position))
+            position = match.end()
+        self.index = 0
+
+    def _fail(self, expected: str) -> ValueError:
+        if self.index < len(self.tokens):
+            token, position = self.tokens[self.index]
+            got = f"{token!r} at position {position}"
+        else:
+            got = "end of spec"
+        return ValueError(
+            f"malformed scheme spec {self.text!r}: expected {expected}, got {got}"
+        )
+
+    def peek(self) -> Optional[str]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][0]
+        return None
+
+    def take(self, expected: Optional[str] = None, what: str = "") -> str:
+        if self.index >= len(self.tokens) or (
+            expected is not None and self.tokens[self.index][0] != expected
+        ):
+            raise self._fail(what or repr(expected))
+        token = self.tokens[self.index][0]
+        self.index += 1
+        return token
+
+    def name(self, what: str) -> str:
+        token = self.peek()
+        if token is None or token in "(),=":
+            raise self._fail(what)
+        return self.take()
+
+    def kwargs(self) -> Dict[str, _Value]:
+        """Parse ``(key=value, ...)`` including the parentheses."""
+        self.take("(", "'('")
+        parsed: Dict[str, _Value] = {}
+        if self.peek() == ")":
+            self.take(")")
+            return parsed
+        while True:
+            key = self.name("a parameter name")
+            if key in parsed:
+                raise ValueError(
+                    f"malformed scheme spec {self.text!r}: duplicate "
+                    f"parameter {key!r}"
+                )
+            self.take("=", "'=' after parameter name")
+            value_token = self.name(f"a value for {key!r}")
+            if self.peek() == "(":  # a stage call: name(params)
+                parsed[key] = (value_token, self.kwargs())
+            else:
+                parsed[key] = _literal(value_token)
+            if self.peek() == ",":
+                self.take(",")
+                continue
+            self.take(")", "',' or ')'")
+            return parsed
+
+    def done(self) -> None:
+        if self.index != len(self.tokens):
+            raise self._fail("end of spec")
+
+
+def parse_pipeline_spec(text: str) -> Dict[str, _Value]:
+    """Parse a ``pipeline(...)`` expression into its raw key/value mapping.
+
+    Values are literals or ``(stage name, stage kwargs)`` pairs; stage and
+    allocator names are *not* resolved here (use :func:`scheme_from_spec`
+    for a validated scheme object).  Raises ``ValueError`` naming the
+    malformed piece and its position.
+    """
+    parser = _Parser(text)
+    head = parser.name("'pipeline'")
+    if head != "pipeline":
+        raise ValueError(
+            f"malformed scheme spec {text!r}: expected 'pipeline(...)', "
+            f"got {head!r}"
+        )
+    parsed = parser.kwargs()
+    parser.done()
+    unknown = sorted(set(parsed) - set(_PIPELINE_KEYS))
+    if unknown:
+        raise ValueError(
+            f"pipeline spec {text!r} has unknown key(s) {unknown} "
+            f"(valid keys: {', '.join(_PIPELINE_KEYS)})"
+        )
+    for required in ("router", "order"):
+        if required not in parsed:
+            raise ValueError(
+                f"pipeline spec {text!r} is missing the required "
+                f"{required}= stage"
+            )
+    return parsed
+
+
+def _stage_from_value(kind: str, registry, value: _Value) -> Any:
+    """Resolve a parsed ``router=``/``order=`` value to a stage object."""
+    if isinstance(value, tuple):
+        name, kwargs = value
+        return build_stage(kind, registry, name, kwargs)
+    if not isinstance(value, str):
+        raise ValueError(
+            f"{kind} must name a registry stage, got {value!r} "
+            f"(valid {kind}s: {', '.join(sorted(registry))})"
+        )
+    return build_stage(kind, registry, value, {})
+
+
+def _pipeline_from_parsed(text: str, parsed: Dict[str, _Value]) -> PipelineScheme:
+    """Build the scheme object from a parsed pipeline mapping."""
+    router: Router = _stage_from_value("router", ROUTERS, parsed["router"])
+    orderer: Orderer = _stage_from_value("orderer", ORDERERS, parsed["order"])
+    alloc = parsed.get("alloc", "greedy")
+    if isinstance(alloc, tuple):
+        raise ValueError(
+            f"allocator {alloc[0]!r} takes no parameters "
+            f"(valid allocators: {', '.join(sorted(ALLOCATORS))})"
+        )
+    if alloc not in ALLOCATORS:
+        raise ValueError(
+            f"unknown allocator {alloc!r} "
+            f"(valid allocators: {', '.join(sorted(ALLOCATORS))})"
+        )
+    online = parsed.get("online", False)
+    if not isinstance(online, bool):
+        raise ValueError(
+            f"online must be true or false, got {online!r} in {text!r}"
+        )
+    return PipelineScheme(router=router, orderer=orderer, alloc=alloc, online=online)
+
+
+def scheme_from_spec(spec: str) -> PipelineScheme:
+    """Resolve a scheme spec string — alias name or pipeline expression.
+
+    Alias names keep their legacy display name (``Baseline``, ``SEBF``,
+    ...); raw pipeline expressions are displayed as their compact canonical
+    form.  Unknown names raise ``ValueError`` listing the known aliases and
+    the grammar; malformed expressions raise naming the bad stage, key or
+    token.
+    """
+    text = spec.strip()
+    alias = SCHEME_ALIASES.get(text)
+    if alias is not None:
+        scheme = _pipeline_from_parsed(alias, parse_pipeline_spec(alias))
+        scheme.name = text
+        return scheme
+    if not text.startswith("pipeline"):
+        known = ", ".join(known_scheme_names())
+        raise ValueError(
+            f"unknown scheme {text!r} (known scheme names: {known}; or "
+            "compose one as "
+            '"pipeline(router=..., order=..., alloc=..., online=...)" — '
+            f"routers: {', '.join(sorted(ROUTERS))}; "
+            f"orderers: {', '.join(sorted(ORDERERS))}; "
+            f"allocators: {', '.join(sorted(ALLOCATORS))})"
+        )
+    return _pipeline_from_parsed(text, parse_pipeline_spec(text))

@@ -13,7 +13,13 @@ spec/engine/artifact pipeline as ``repro sweep``:
 * ``online``          — static vs arrival-driven re-planning schemes with
   per-coflow slowdown columns (the checked-in ``specs/online.yaml``);
 * ``simulator``       — events/sec of the array kernel vs the reference
-  event loop, static vs online, on a pinned leaf-spine instance.
+  event loop, static vs online, on a pinned leaf-spine instance;
+* ``pipeline-matrix`` — a router x orderer x allocator cross-product swept
+  as composed ``pipeline(...)`` specs (the checked-in
+  ``specs/pipeline-matrix.yaml``), one report column per composition;
+* ``pipeline``        — per-stage plan-time breakdown (route vs order vs
+  LP solve) of representative compositions on a pinned leaf-spine
+  instance.
 
 The suites default to a scaled-down configuration that preserves each
 comparison's shape and runs in minutes; ``--paper-scale`` switches to the
@@ -50,7 +56,17 @@ from ..analysis.report import (
 )
 from ..analysis.runstore import RunStore
 
-SUITES = ("fig3", "fig4", "headline", "table1", "scenario-matrix", "online", "simulator")
+SUITES = (
+    "fig3",
+    "fig4",
+    "headline",
+    "table1",
+    "scenario-matrix",
+    "online",
+    "simulator",
+    "pipeline-matrix",
+    "pipeline",
+)
 
 #: Shared workload shape of the figure sweeps (Section 4.1's Poisson regime).
 _FIGURE_BASE = {"mean_flow_size": 8.0, "release_rate": 4.0}
@@ -268,6 +284,52 @@ def online_spec(tries: int = 2) -> SweepSpec:
                 {
                     "label": "incast-arrivals",
                     "config": {"endpoint_distribution": "incast", "seed": 9200},
+                },
+            ],
+        }
+    )
+
+
+def pipeline_matrix_spec(tries: int = 2) -> SweepSpec:
+    """A router x orderer x allocator cross-product as composed specs.
+
+    The point of the pipeline API: the grid below — three routing rules
+    crossed with two orderings, plus a fair-sharing allocator variant and an
+    arrival-driven online variant — is nine schemes expressed purely as
+    spec strings, no Python classes.  ``Baseline`` (itself the alias of
+    ``pipeline(router=random, order=random)``) anchors the ratios.  The
+    checked-in ``specs/pipeline-matrix.yaml`` is pinned to this function by
+    ``tests/cli/test_cli.py``.
+    """
+    composed = [
+        f"pipeline(router={router}, order={order})"
+        for router in ("random", "balanced", "lp")
+        for order in ("mct", "sebf")
+    ] + [
+        "pipeline(router=balanced, order=sebf, alloc=max-min)",
+        "pipeline(router=balanced, order=sebf, online=true)",
+    ]
+    return spec_from_dict(
+        {
+            "name": "pipeline-matrix",
+            "title": "Pipeline matrix — router x orderer x allocator cross-product",
+            "schemes": ["Baseline"] + composed,
+            "tries": tries,
+            "reference": "Baseline",
+            "base": {
+                "topology": "leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=4)",
+                "num_coflows": 4,
+                "coflow_width": 4,
+                "mean_flow_size": 6.0,
+                "release_rate": 2.0,
+                "coflow_arrival_rate": 0.25,
+                "seed": 11000,
+            },
+            "points": [
+                {"label": "staggered/leaf-spine", "config": {}},
+                {
+                    "label": "incast/leaf-spine",
+                    "config": {"endpoint_distribution": "incast", "seed": 11100},
                 },
             ],
         }
@@ -623,6 +685,115 @@ def run_simulator(
     return speedups
 
 
+# ----------------------------------------------------------- pipeline suite
+
+#: The pinned pipeline-stage benchmark instance: 6 coflows x 8 flows each on
+#: a 24-host leaf-spine fabric (``--smoke`` shrinks it for CI).
+_PIPELINE_BENCH = {
+    "topology": "leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=4)",
+    "num_coflows": 6,
+    "coflow_width": 8,
+    "mean_flow_size": 6.0,
+    "release_rate": 1.0,
+    "seed": 321,
+}
+_PIPELINE_BENCH_SMOKE = {
+    "topology": "leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=4)",
+    "num_coflows": 2,
+    "coflow_width": 4,
+    "mean_flow_size": 6.0,
+    "release_rate": 1.0,
+    "seed": 321,
+}
+
+#: Compositions timed by the pipeline suite, chosen so the table separates
+#: the cost centres: pure-heuristic stages, the LP solve inside the order
+#: stage, the LP solve inside the route stage, and the hinted lp+lp case
+#: where one solve serves both stages.
+_PIPELINE_BENCH_SPECS = (
+    "pipeline(router=random, order=mct)",
+    "pipeline(router=balanced, order=sebf)",
+    "pipeline(router=balanced, order=lp)",
+    "pipeline(router=lp, order=lp)",
+)
+
+
+def run_pipeline_bench(out_dir: Path, smoke: bool = False) -> Dict[str, Dict[str, float]]:
+    """Benchmark per-stage plan time (route vs order vs LP solve).
+
+    For each composition of :data:`_PIPELINE_BENCH_SPECS`, times the router
+    and orderer stages separately on the pinned leaf-spine instance
+    (best-of-``repeats`` wall time), plus the end-to-end
+    :meth:`~repro.baselines.pipeline.PipelineScheme.plan` call.  The ``lp``
+    stages' time *is* the LP solve time, so the rows read as a breakdown:
+    ``router=balanced, order=lp`` isolates the ordering LP, ``router=lp,
+    order=lp`` shows one solve serving both stages (the order stage
+    consumes the router's completion-time hint — asserted, not just
+    timed).
+
+    Returns ``{composition: {"route_ms", "order_ms", "plan_ms"}}`` and
+    writes the usual report artifacts under ``out_dir/pipeline[-smoke]/``.
+    """
+    from ..analysis.artifacts import scheme_from_spec, strict_config_from_dict
+    from ..baselines.stages import PlanContext
+    from ..workloads import CoflowGenerator
+
+    base = dict(_PIPELINE_BENCH_SMOKE if smoke else _PIPELINE_BENCH)
+    repeats = 2 if smoke else 5
+    config = strict_config_from_dict(base, "pipeline bench")
+    network = config.build_network()
+    instance = CoflowGenerator(network, config).instance()
+
+    headers = ["composition", "route ms", "order ms", "plan ms", "lp solve in"]
+    rows: List[List[Any]] = []
+    timings: Dict[str, Dict[str, float]] = {}
+    for spec_text in _PIPELINE_BENCH_SPECS:
+        scheme = scheme_from_spec(spec_text)
+
+        route_time = _best_of(
+            lambda: scheme.router.route(PlanContext(instance, network)), repeats
+        )
+        # One routed context is prepared outside the timer so the order
+        # stage is measured alone (LPOrderer re-solves on every call when
+        # it has no hint, which is exactly the cost being isolated).
+        context = PlanContext(instance, network)
+        context.paths = scheme.router.route(context)
+        order_time = _best_of(lambda: scheme.orderer.order(context), repeats)
+        plan_time = _best_of(lambda: scheme.plan(instance, network), repeats)
+
+        hinted = context.order_hint is not None
+        if scheme.router.key == "lp":
+            assert hinted, "lp router must publish its order hint"
+            lp_in = "route (hinted order)"
+        elif scheme.orderer.key == "lp":
+            lp_in = "order"
+        else:
+            lp_in = "-"
+        timings[spec_text] = {
+            "route_ms": route_time * 1e3,
+            "order_ms": order_time * 1e3,
+            "plan_ms": plan_time * 1e3,
+        }
+        rows.append(
+            [scheme.name, route_time * 1e3, order_time * 1e3, plan_time * 1e3, lp_in]
+        )
+
+    name = "pipeline-smoke" if smoke else "pipeline"
+    title = (
+        "Pipeline stage benchmark — per-stage plan time "
+        f"({'smoke' if smoke else 'pinned'} instance: {base['num_coflows']} "
+        f"coflows x {base['coflow_width']} flows, leaf-spine)"
+    )
+    _write_static_report(
+        Path(out_dir) / name,
+        headers,
+        rows,
+        title,
+        {"suite": name, "instance": base, "timings": timings},
+    )
+    return timings
+
+
 # ------------------------------------------------------------- smoke passes
 
 def smoke_scenario_matrix(workers: int = 2) -> None:
@@ -709,6 +880,16 @@ def run_suite(
             f"{speedups['arrivals']:.2f}x with arrivals"
         )
         return 0
+    if suite == "pipeline":
+        # A wall-clock stage microbenchmark: no engine, no sweep.
+        _warn_ignored(
+            suite,
+            {"--workers": workers != 0, "--paper-scale": paper_scale},
+        )
+        run_pipeline_bench(out_dir, smoke=smoke)
+        name = "pipeline-smoke" if smoke else "pipeline"
+        print((out_dir / name / "report.txt").read_text())
+        return 0
     if suite == "scenario-matrix" and smoke:
         _warn_ignored(suite, {"--paper-scale": paper_scale})
         smoke_scenario_matrix(workers=max(workers, 2))
@@ -719,8 +900,9 @@ def run_suite(
         "fig4": lambda: fig4_spec(paper_scale, tries),
         "scenario-matrix": lambda: scenario_matrix_spec(tries=tries),
         "online": lambda: online_spec(tries=tries),
+        "pipeline-matrix": lambda: pipeline_matrix_spec(tries=tries),
     }
-    if suite in ("scenario-matrix", "online"):
+    if suite in ("scenario-matrix", "online", "pipeline-matrix"):
         # These suites have one fixed size; the paper-scale switch only
         # applies to the figure sweeps.
         _warn_ignored(suite, {"--paper-scale": paper_scale})
@@ -754,7 +936,7 @@ def configure(subparsers: argparse._SubParsersAction) -> None:
         "bench",
         help=(
             "run a benchmark suite (fig3, fig4, table1, headline, "
-            "scenario-matrix, online, simulator)"
+            "scenario-matrix, online, simulator, pipeline-matrix, pipeline)"
         ),
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,

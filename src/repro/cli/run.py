@@ -1,8 +1,10 @@
 """``repro run`` — one workload instance x one scheme, JSON result.
 
 Generates a random coflow instance from a workload config (built from flags
-or loaded from a YAML/JSON file), plans it with one registry scheme, runs
-the flow-level simulator, and prints a self-describing JSON document:
+or loaded from a YAML/JSON file), plans it with one scheme — a registry
+name like ``LP-Based`` or a composed ``pipeline(router=..., order=...)``
+spec — runs the flow-level simulator, and prints a self-describing JSON
+document:
 provenance, topology fingerprint, the exact config (seed included), the
 scheme signature, and every scalar metric.  The document carries everything
 the experiment engine would persist for the same task, so a ``repro run``
@@ -17,8 +19,8 @@ from pathlib import Path
 from typing import Any, Dict
 
 from ..analysis.artifacts import (
-    SCHEME_REGISTRY,
     build_schemes,
+    known_scheme_names,
     load_document,
     provenance,
     strict_config_from_dict,
@@ -59,8 +61,11 @@ def configure(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument(
         "--scheme",
         default="LP-Based",
-        choices=sorted(SCHEME_REGISTRY),
-        help="registry scheme to plan with (default: LP-Based)",
+        metavar="SPEC",
+        help="scheme to plan with: a registry name "
+        f"({', '.join(known_scheme_names())}) or a pipeline composition "
+        'such as "pipeline(router=lp, order=sebf, alloc=max-min, '
+        'online=true)" (default: LP-Based)',
     )
     parser.add_argument(
         "--config",
@@ -131,11 +136,21 @@ def execute(args: argparse.Namespace) -> int:
     """Run the instance and emit the JSON document."""
     config = build_config(args)
     network = config.build_network()
-    scheme = build_schemes([args.scheme])[0]
+    try:
+        scheme = build_schemes([args.scheme])[0]
+    except ValueError as error:
+        # Malformed/unknown scheme specs exit cleanly, naming the bad stage
+        # or scheme and listing the valid choices (no traceback).
+        raise SystemExit(f"repro run: {error}")
     instance = CoflowGenerator(network, config).instance()
     # Dispatch through Scheme.simulate — exactly what one engine task does —
     # so online (re-planning) schemes run their arrival loop here too.
-    result = scheme.simulate(instance, network)
+    try:
+        result = scheme.simulate(instance, network)
+    except ValueError as error:
+        # Plan-time contract violations (e.g. router 'given' on an
+        # unrouted instance) exit cleanly instead of a traceback.
+        raise SystemExit(f"repro run: scheme {args.scheme!r}: {error}")
     document = {
         "provenance": provenance(),
         "topology": {"spec": config.topology, "fingerprint": network.fingerprint()},

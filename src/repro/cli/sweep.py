@@ -55,8 +55,16 @@ def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def resolve_spec(args: argparse.Namespace) -> SweepSpec:
-    """Load the spec and apply the shared ``--smoke`` / ``--tries`` transforms."""
-    spec = load_spec(args.spec)
+    """Load the spec and apply the shared ``--smoke`` / ``--tries`` transforms.
+
+    Invalid spec documents — unknown keys, malformed scheme specs, bad
+    configs — exit cleanly with the validation message (which names the bad
+    stage/scheme and lists the valid choices) instead of a traceback.
+    """
+    try:
+        spec = load_spec(args.spec)
+    except ValueError as error:
+        raise SystemExit(f"repro: invalid sweep spec {args.spec}: {error}")
     if args.smoke:
         spec = spec.smoke()
     if args.tries is not None:

@@ -23,8 +23,9 @@ on top of the array kernel:
 The result is a single :class:`~repro.sim.simulator.SimulationResult` whose
 completion times, realised schedule and per-coflow slowdowns span the whole
 horizon, directly comparable with a static run of the same scheme — which is
-exactly what the ``Online-*`` scheme wrappers in
-:mod:`repro.baselines.online` expose to sweeps.  With a replanner that
+exactly what ``online=true`` pipeline schemes (the registry's ``Online-*``
+names, :mod:`repro.baselines.pipeline`) expose to sweeps.  With a replanner
+that
 always returns the restriction of one fixed plan
 (:class:`StaticPlanReplanner`), online simulation reproduces the static
 simulation of that plan (property-tested up to splice-point rounding).

@@ -37,12 +37,17 @@ class SimulationPlan:
         (see :data:`repro.sim.allocators.ALLOCATORS`).  ``"greedy"`` is the
         paper's strict priority-order policy; ``"max-min"`` and
         ``"weighted"`` select the fair-sharing variants.
+    spec:
+        Optional canonical scheme-spec string of the pipeline that produced
+        this plan (``pipeline(router=..., order=..., ...)``) — provenance
+        for artifacts and debugging; ``None`` for hand-built plans.
     """
 
     paths: Dict[FlowId, Tuple[Hashable, ...]]
     order: List[FlowId]
     name: str = "unnamed"
     allocator: str = "greedy"
+    spec: Optional[str] = None
 
     def priority_rank(self) -> Dict[FlowId, int]:
         """Map each flow id to its priority rank (0 = highest)."""
@@ -66,6 +71,7 @@ class SimulationPlan:
             order=order,
             name=self.name,
             allocator=self.allocator,
+            spec=self.spec,
         )
 
     def validate(self, instance: CoflowInstance, network: Network) -> None:

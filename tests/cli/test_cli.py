@@ -13,7 +13,13 @@ from pathlib import Path
 import pytest
 
 from repro.cli import build_parser, main
-from repro.cli.bench import fig3_spec, fig4_spec, online_spec, scenario_matrix_spec
+from repro.cli.bench import (
+    fig3_spec,
+    fig4_spec,
+    online_spec,
+    pipeline_matrix_spec,
+    scenario_matrix_spec,
+)
 from repro.analysis.artifacts import load_spec
 
 ROOT = Path(__file__).resolve().parents[2]
@@ -139,6 +145,46 @@ class TestRun:
         capsys.readouterr()
         assert json.loads(target.read_text())["scheme"]["name"] == "Baseline"
 
+    def test_composed_pipeline_spec_as_scheme(self, capsys):
+        args = [
+            "run",
+            "--scheme", "pipeline(router=balanced, order=sebf, alloc=max-min)",
+            "--num-coflows", "2",
+            "--coflow-width", "2",
+            "--seed", "2",
+        ]
+        assert main(args) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scheme"]["name"] == (
+            "pipeline(router=balanced, order=sebf, alloc=max-min)"
+        )
+        assert "alloc=max-min" in document["scheme"]["signature"]
+        assert document["metrics"]["weighted_completion_time"] > 0
+
+    def test_unknown_scheme_name_exits_cleanly_listing_choices(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scheme", "nope", "--num-coflows", "2"])
+        message = str(excinfo.value)
+        assert message.startswith("repro run:")
+        assert "unknown scheme 'nope'" in message
+        assert "Baseline" in message and "pipeline(router=" in message
+
+    def test_malformed_pipeline_spec_names_the_bad_stage(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scheme", "pipeline(router=xlp, order=sebf)"])
+        message = str(excinfo.value)
+        assert "unknown router 'xlp'" in message
+        assert "valid routers: balanced, given, lp, random" in message
+
+    def test_plan_time_contract_violation_exits_cleanly(self):
+        # The 'given' router cannot route a freshly generated (pathless)
+        # instance; that must be a clean CLI error, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scheme", "LP-Based (given paths)", "--num-coflows", "2"])
+        message = str(excinfo.value)
+        assert message.startswith("repro run:")
+        assert "router 'given'" in message
+
     def test_config_file_with_flag_override(self, tmp_path, capsys):
         config = tmp_path / "config.json"
         config.write_text(
@@ -258,6 +304,7 @@ class TestScenarioMatrixAcceptance:
         assert load_spec(SPECS_DIR / "fig3.yaml") == fig3_spec()
         assert load_spec(SPECS_DIR / "fig4.yaml") == fig4_spec()
         assert load_spec(SPECS_DIR / "online.yaml") == online_spec()
+        assert load_spec(SPECS_DIR / "pipeline-matrix.yaml") == pipeline_matrix_spec()
 
     def test_smoke_sweep_two_workers_resume_and_report(self, tmp_path, capsys):
         spec = str(SPECS_DIR / "scenario-matrix.yaml")
@@ -321,7 +368,62 @@ class TestOnlineAcceptance:
             assert stdout.rstrip("\n") == artifact.rstrip("\n"), fmt
 
 
+@needs_yaml
+class TestPipelineMatrixAcceptance:
+    """The pipeline-API acceptance: the composed-spec cross-product sweeps
+    end-to-end and every composition gets its own report column."""
+
+    def test_smoke_sweep_renders_one_column_per_composition(self, tmp_path, capsys):
+        spec_path = str(SPECS_DIR / "pipeline-matrix.yaml")
+        out = tmp_path / "artifacts"
+        assert main(["sweep", spec_path, "--smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        spec = load_spec(SPECS_DIR / "pipeline-matrix.yaml")
+        assert len(spec.schemes) >= 9  # Baseline + >= 8 composed pipelines
+
+        import csv
+
+        rows = list(
+            csv.DictReader(
+                (out / "pipeline-matrix-smoke" / "report.csv").open()
+            )
+        )
+        assert {row["scheme"] for row in rows} == set(spec.schemes)
+        markdown = (out / "pipeline-matrix-smoke" / "report.md").read_text()
+        header = markdown.splitlines()[:6]
+        for scheme in spec.schemes:
+            assert any(scheme in line for line in header), scheme
+            assert scheme in stdout
+
+    def test_sweep_spec_with_bad_scheme_exits_cleanly(self, tmp_path):
+        bad = {
+            "name": "bad",
+            "schemes": ["Baseline", "pipeline(router=lp, order=zebra)"],
+            "base": {"num_coflows": 2, "coflow_width": 2, "topology": "fat_tree(k=4)"},
+            "sweep": {"parameter": "coflow_width", "values": [2]},
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(path), "--out", str(tmp_path / "a")])
+        message = str(excinfo.value)
+        assert "invalid sweep spec" in message
+        assert "unknown orderer 'zebra'" in message
+
+
 class TestBench:
+    def test_pipeline_stage_breakdown_smoke(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["bench", "pipeline", "--smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "per-stage plan time" in stdout
+        assert "route (hinted order)" in stdout
+        metadata = run_metadata(out, "pipeline-smoke")
+        timings = metadata["timings"]
+        assert "pipeline(router=lp, order=lp)" in timings
+        for breakdown in timings.values():
+            assert set(breakdown) == {"route_ms", "order_ms", "plan_ms"}
+
     def test_fig3_smoke_suite(self, tmp_path, capsys):
         out = tmp_path / "artifacts"
         assert main(["bench", "fig3", "--smoke", "--out", str(out)]) == 0

@@ -19,7 +19,9 @@ MODULES = [
     "repro.analysis.report",
     "repro.analysis.runstore",
     "repro.analysis.sweep",
-    "repro.baselines.online",
+    "repro.baselines.pipeline",
+    "repro.baselines.spec",
+    "repro.baselines.stages",
     "repro.cli",
     "repro.cli.main",
     "repro.cli.run",

@@ -143,13 +143,17 @@ class TestOnlineScheme:
             assert completion >= instance.flow(fid).release_time - 1e-9
         assert first.mean_slowdown >= 0.0
 
-    def test_signature_includes_the_inner_scheme(self):
+    def test_signature_includes_the_inner_stages(self):
         scheme = OnlineScheme(BaselineScheme(seed=3))
         assert scheme.name == "Online-Baseline"
-        assert "Baseline" in scheme.signature()
+        assert scheme.online is True
+        assert "router=random" in scheme.signature()
         assert "seed=3" in scheme.signature()
+        assert "online=true" in scheme.signature()
         assert scheme.signature() == OnlineScheme(BaselineScheme(seed=3)).signature()
         assert scheme.signature() != OnlineScheme(BaselineScheme(seed=4)).signature()
+        # The online flag distinguishes the signature from the static scheme.
+        assert scheme.signature() != BaselineScheme(seed=3).signature()
 
     def test_plan_returns_the_epoch_zero_decision(self):
         network = topologies.leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
@@ -157,5 +161,9 @@ class TestOnlineScheme:
         instance = CoflowGenerator(network, config).instance()
         scheme = OnlineScheme(SEBFScheme())
         plan = scheme.plan(instance, network)
-        assert plan.name == "SEBF"
+        assert plan.name == "Online-SEBF"
+        # The epoch-zero decision matches the static composition's plan.
+        static = SEBFScheme().plan(instance, network)
+        assert plan.paths == static.paths
+        assert plan.order == static.order
         plan.normalized(instance).validate(instance, network)
