@@ -25,6 +25,7 @@ from .artifacts import (
 from .engine import EngineRunStats, ExperimentEngine, ExperimentSweep, ExperimentTask
 from .report import (
     csv_report,
+    failure_rows,
     format_csv,
     format_markdown,
     format_table,
@@ -52,6 +53,7 @@ __all__ = [
     "ratio_table",
     "improvement_summary",
     "csv_report",
+    "failure_rows",
     "render_report",
     "SCHEME_REGISTRY",
     "DEFAULT_SCHEMES",

@@ -58,6 +58,7 @@ from .. import __version__
 from ..baselines.base import Scheme
 from ..baselines.spec import SCHEME_ALIASES, known_scheme_names, scheme_from_spec
 from ..core.topologies import from_spec
+from ..faults import FaultConfig
 from ..workloads.generator import WorkloadConfig
 from .engine import EngineRunStats, ExperimentEngine, PointSpec
 from .report import REPORT_FORMATS, render_report
@@ -191,6 +192,10 @@ class SweepSpec:
     extra_metrics: Tuple[str, ...] = ()
     reference: Optional[str] = "Baseline"
     title: Optional[str] = None
+    #: Optional fault-injection spec string (``"rate=0.1,seed=7"``) baked
+    #: into the document — chaos suites are declarative too.  The CLI's
+    #: ``--inject-faults`` overrides it.
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -203,6 +208,13 @@ class SweepSpec:
             raise ValueError("tries must be at least 1")
         if any(not m for m in self.extra_metrics):
             raise ValueError(f"spec {self.name!r} has an empty extra metric name")
+        if self.faults is not None:
+            try:
+                FaultConfig.from_spec(self.faults)
+            except ValueError as error:
+                raise ValueError(
+                    f"spec {self.name!r} has an invalid faults spec: {error}"
+                )
         build_schemes(self.schemes)  # fail fast on unknown names
         if self.reference is not None and self.reference not in self.schemes:
             raise ValueError(
@@ -293,6 +305,8 @@ class SweepSpec:
             data["extra_metrics"] = list(self.extra_metrics)
         if self.title is not None:
             data["title"] = self.title
+        if self.faults is not None:
+            data["faults"] = self.faults
         return data
 
 
@@ -307,6 +321,7 @@ _SPEC_KEYS = {
     "base",
     "sweep",
     "points",
+    "faults",
 }
 _SWEEP_KEYS = {"parameter", "values", "label"}
 
@@ -375,6 +390,8 @@ def spec_from_dict(data: Mapping[str, Any]) -> SweepSpec:
         kwargs["extra_metrics"] = tuple(str(m) for m in data["extra_metrics"])
     if "reference" in data:
         kwargs["reference"] = data["reference"]
+    if "faults" in data and data["faults"] is not None:
+        kwargs["faults"] = str(data["faults"])
     return SweepSpec(
         name=str(name),
         title=data.get("title"),
@@ -437,6 +454,11 @@ def run_spec(
     spec: SweepSpec,
     store: Union[RunStore, str, Path, None] = None,
     workers: Optional[int] = None,
+    faults: Union[FaultConfig, str, None] = None,
+    max_retries: int = 2,
+    task_timeout: Optional[float] = None,
+    retry_failed: bool = False,
+    lp_time_limit: Optional[float] = None,
 ) -> SpecRunResult:
     """Execute a sweep spec on the experiment engine.
 
@@ -444,9 +466,19 @@ def run_spec(
     single-network); all engines share ``store``, whose keys embed the
     topology fingerprint.  Tasks already in the store are never re-run, so
     invoking this against a warm store is pure aggregation.
+
+    The fault-tolerance knobs mirror :class:`ExperimentEngine`'s:
+    ``faults`` enables deterministic injection (``None`` falls back to the
+    spec's own ``faults`` entry), ``max_retries``/``task_timeout`` bound
+    transient retries and per-task wall-clock, ``retry_failed`` re-runs
+    stored failure records, ``lp_time_limit`` budgets every HiGHS solve.
     """
     if not isinstance(store, RunStore):
         store = RunStore(store)
+    if faults is None and spec.faults is not None:
+        faults = spec.faults
+    if isinstance(faults, str):
+        faults = FaultConfig.from_spec(faults)
     point_specs = spec.point_specs()
     merged = SweepResult(metric=spec.metric)
     merged.points = [SweepPoint(label=label) for label, _ in point_specs]
@@ -460,6 +492,11 @@ def run_spec(
             metric=spec.metric,
             workers=workers,
             store=store,
+            faults=faults,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            retry_failed=retry_failed,
+            lp_time_limit=lp_time_limit,
         )
         fingerprints[topology] = engine.topology_fingerprint
         group_result = engine.run_points([point_specs[i] for i in indices])
@@ -469,6 +506,9 @@ def run_spec(
         stats.cached += engine.last_run_stats.cached
         stats.executed += engine.last_run_stats.executed
         stats.seconds += engine.last_run_stats.seconds
+        stats.failed += engine.last_run_stats.failed
+        stats.retried += engine.last_run_stats.retried
+        stats.pool_restarts += engine.last_run_stats.pool_restarts
     extras = (
         results_from_store(spec, store, spec.extra_metrics)[0]
         if spec.extra_metrics
@@ -492,6 +532,11 @@ def results_from_store(
     (a record lacking a metric — e.g. written by an older version — counts
     as missing for that metric only), plus topology spec -> network
     fingerprint.
+
+    Failure records (``{"failed": true, ...}``, written by the engine for
+    permanently failed tasks) are routed to each result's failure ledger
+    instead of counting as missing — a failed cell is *known* bad, not
+    absent, and reports render it as NaN with a failures block.
     """
     schemes = build_schemes(spec.schemes)
     signatures = [scheme.signature() for scheme in schemes]
@@ -508,7 +553,14 @@ def results_from_store(
         for config in configs:
             for scheme, signature in zip(schemes, signatures):
                 record = store.peek(run_key(fingerprint, config, signature))
-                values = record["metrics"] if record is not None else {}
+                if record is not None and record.get("failed"):
+                    error = str(record.get("error", "UnknownError"))
+                    for metric in metrics:
+                        results[metric].points[index].add_failure(
+                            scheme.name, error
+                        )
+                    continue
+                values = record.get("metrics", {}) if record is not None else {}
                 for metric in metrics:
                     if metric not in values:
                         missing[metric] += 1
@@ -536,12 +588,26 @@ def result_from_store(
 
 
 def stats_summary(stats: EngineRunStats) -> str:
-    """One-line cache/parallelism report for a finished spec run."""
-    return (
+    """One-line cache/parallelism report for a finished spec run.
+
+    Failure accounting (failed / retried tasks, pool restarts) is appended
+    only when non-zero, so clean runs keep the historical line format.
+    """
+    line = (
         f"engine: {stats.total_tasks} tasks, {stats.cached} cached, "
         f"{stats.executed} executed, {stats.workers} worker(s), "
         f"{stats.seconds:.2f}s"
     )
+    trouble = []
+    if stats.failed:
+        trouble.append(f"{stats.failed} failed")
+    if stats.retried:
+        trouble.append(f"{stats.retried} retried")
+    if stats.pool_restarts:
+        trouble.append(f"{stats.pool_restarts} pool restart(s)")
+    if trouble:
+        line += " [" + ", ".join(trouble) + "]"
+    return line
 
 
 # --------------------------------------------------------------- provenance
@@ -637,6 +703,10 @@ def export_artifacts(
             "executed": stats.executed,
             "workers": stats.workers,
             "seconds": round(stats.seconds, 3),
+            "failed": stats.failed,
+            "retried": stats.retried,
+            "pool_restarts": stats.pool_restarts,
+            "coverage": round(stats.coverage, 6),
         }
     paths["run"] = target / "run.json"
     paths["run"].write_text(json.dumps(metadata, indent=2, sort_keys=True) + "\n")

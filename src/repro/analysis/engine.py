@@ -1,4 +1,4 @@
-"""Parallel, resumable experiment engine.
+"""Parallel, resumable, fault-tolerant experiment engine.
 
 The paper's evaluation (Section 4, Figures 3-4) is a sweep: several random
 instances per parameter value, every scheme on every instance through the
@@ -21,6 +21,28 @@ processes and shared by every spelling of the same composition:
   task derives its randomness from the config seed alone (covered by
   ``tests/analysis/test_engine.py``).
 
+Per-task failure is data, not a process-fatal event:
+
+* **transient** failures (timeouts — real wall-clock overruns via
+  :func:`repro.faults.deadline` or injected — and anything flagged
+  ``transient``) are retried up to ``max_retries`` times with capped
+  exponential backoff and deterministic per-task jitter;
+* a dead worker (``BrokenProcessPool``) respawns the pool — or degrades to
+  serial execution after ``max_pool_restarts`` — and resubmits only the
+  unfinished tasks;
+* **permanent** failures (infeasible LPs, contract violations, exhausted
+  retries) are persisted as structured *failure records* under the task's
+  store key (``{"failed": true, "error", "message", "attempts",
+  "elapsed", ...}``), so resume skips known failures and ``retry_failed``
+  re-runs them;
+* failed cells aggregate as failures on the :class:`SweepResult` (NaN in
+  the tables) instead of aborting the sweep.
+
+Chaos testing threads through the same machinery: pass a
+:class:`~repro.faults.FaultConfig` (CLI: ``--inject-faults``) and the
+seeded injector fires deterministic faults inside the LP solve, the
+simulator kernel and the store appends.
+
 :class:`ExperimentSweep` remains as the serial-default alias so existing
 callers keep working.
 """
@@ -28,13 +50,18 @@ callers keep working.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import faults
+from .. import faults as _faults_module  # the engine's ``faults=`` parameter
+                                         # shadows the module name in __init__
 from ..baselines.base import Scheme
 from ..core.flows import CoflowInstance
 from ..core.network import Network
+from ..lp import solver as lp_solver
 from ..sim import FlowLevelSimulator, SchemeComparison
 from ..workloads.generator import CoflowGenerator, WorkloadConfig
 from ..workloads.serialization import config_to_dict
@@ -70,11 +97,25 @@ class EngineRunStats:
     executed: int = 0
     workers: int = 1
     seconds: float = 0.0
+    #: tasks whose *final* stored record is a failure record (counted over
+    #: the whole grid at aggregation, cached failures included).
+    failed: int = 0
+    #: transient-failure retries performed during this run.
+    retried: int = 0
+    #: worker pools respawned after a ``BrokenProcessPool``.
+    pool_restarts: int = 0
 
     @property
     def all_cached(self) -> bool:
         """True when a warm run store satisfied every task (no simulation)."""
         return self.total_tasks > 0 and self.executed == 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of grid tasks with a successful record (1.0 when empty)."""
+        if self.total_tasks <= 0:
+            return 1.0
+        return (self.total_tasks - self.failed) / self.total_tasks
 
 
 # ----------------------------------------------------------------- task body
@@ -105,33 +146,89 @@ def _execute_task(
     }
 
 
+def _failure_record(
+    task: ExperimentTask,
+    error: BaseException,
+    attempts: int,
+    elapsed: float,
+    topology_fingerprint: str,
+    signature: str,
+) -> Dict[str, Any]:
+    """The structured record persisted for a permanently failed task.
+
+    Stored under the same key as a success record would be, carrying the
+    full task identity so the failure is diagnosable from the store alone
+    and resume can skip it (or ``retry_failed`` can re-run it).
+    """
+    record: Dict[str, Any] = {
+        "failed": True,
+        "error": type(error).__name__,
+        "message": str(error),
+        "attempts": attempts,
+        "elapsed": round(elapsed, 6),
+        "scheme": task.scheme_name,
+        "signature": signature,
+        "topology": topology_fingerprint,
+        "config": config_to_dict(task.config),
+        "label": task.label,
+        "trial": task.trial,
+    }
+    detail = getattr(error, "detail", None)
+    if callable(detail):
+        solver_detail = detail()
+        if solver_detail:
+            record["detail"] = solver_detail
+    return record
+
+
 #: Per-worker state installed by the pool initializer (network and schemes
 #: are pickled once per worker instead of once per task).
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _worker_init(network: Network, schemes: Sequence[Scheme], fingerprint: str) -> None:
+def _worker_init(
+    network: Network,
+    schemes: Sequence[Scheme],
+    fingerprint: str,
+    fault_config: Optional[faults.FaultConfig] = None,
+    task_timeout: Optional[float] = None,
+    retry_backoff: float = 0.0,
+    lp_time_limit: Optional[float] = None,
+) -> None:
     _WORKER_STATE["network"] = network
     _WORKER_STATE["schemes"] = list(schemes)
     _WORKER_STATE["simulator"] = FlowLevelSimulator(network)
     _WORKER_STATE["fingerprint"] = fingerprint
-
-
-def _worker_run(task: ExperimentTask) -> Tuple[str, Dict[str, Any]]:
-    record = _execute_task(
-        _WORKER_STATE["network"],
-        _WORKER_STATE["simulator"],
-        _WORKER_STATE["schemes"][task.scheme_index],
-        task,
-        _WORKER_STATE["fingerprint"],
+    _WORKER_STATE["task_timeout"] = task_timeout
+    _WORKER_STATE["retry_backoff"] = retry_backoff
+    faults.mark_worker_process()
+    faults.install(
+        faults.FaultInjector(fault_config) if fault_config is not None else None
     )
+    lp_solver.DEFAULT_TIME_LIMIT = lp_time_limit
+
+
+def _worker_run(task: ExperimentTask, attempt: int = 0) -> Tuple[str, Dict[str, Any]]:
+    delay = faults.backoff_delay(task.key, attempt, _WORKER_STATE["retry_backoff"])
+    if delay:
+        time.sleep(delay)
+    with faults.task_scope(task.key, attempt):
+        with faults.deadline(_WORKER_STATE["task_timeout"]):
+            record = _execute_task(
+                _WORKER_STATE["network"],
+                _WORKER_STATE["simulator"],
+                _WORKER_STATE["schemes"][task.scheme_index],
+                task,
+                _WORKER_STATE["fingerprint"],
+            )
     return task.key, record
 
 
 # -------------------------------------------------------------------- engine
 
 class ExperimentEngine:
-    """Run schemes over workload sweeps, in parallel and resumably.
+    """Run schemes over workload sweeps, in parallel, resumably and
+    fault-tolerantly.
 
     Parameters
     ----------
@@ -152,6 +249,29 @@ class ExperimentEngine:
     store:
         A :class:`~repro.analysis.runstore.RunStore`, a path to a JSONL store
         file, or ``None`` for a process-local in-memory store.
+    max_retries:
+        Transient failures are retried up to this many times per task
+        before a failure record is written (default 2).
+    task_timeout:
+        Per-task wall-clock budget in seconds (``None`` = unlimited);
+        overruns raise :class:`~repro.faults.TaskTimeoutError` and count as
+        transient failures.
+    retry_backoff:
+        Base of the capped exponential backoff slept before each retry
+        (deterministic per-task jitter; 0 disables sleeping).
+    faults:
+        A :class:`~repro.faults.FaultConfig` (or spec string, e.g.
+        ``"rate=0.1,seed=7"``) enabling deterministic fault injection in
+        this engine's tasks; ``None`` (default) injects nothing.
+    retry_failed:
+        Re-execute tasks whose stored record is a failure record instead of
+        skipping them on resume.
+    max_pool_restarts:
+        Worker-pool respawns tolerated after ``BrokenProcessPool`` before
+        degrading to serial execution for the remaining tasks.
+    lp_time_limit:
+        Optional wall-clock budget (seconds) handed to HiGHS for every LP
+        solved by this engine's tasks (serial and worker processes alike).
     """
 
     def __init__(
@@ -162,6 +282,13 @@ class ExperimentEngine:
         metric: str = "weighted_completion_time",
         workers: Optional[int] = None,
         store: Union[RunStore, str, None] = None,
+        max_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.05,
+        faults: "Union[faults.FaultConfig, str, None]" = None,
+        retry_failed: bool = False,
+        max_pool_restarts: int = 3,
+        lp_time_limit: Optional[float] = None,
     ) -> None:
         if not schemes:
             raise ValueError("need at least one scheme")
@@ -169,6 +296,8 @@ class ExperimentEngine:
             raise ValueError("need at least one try per point")
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.network = network
         self.schemes = list(schemes)
         self.tries = tries
@@ -177,6 +306,15 @@ class ExperimentEngine:
         self.simulator = FlowLevelSimulator(network)
         self.store = store if isinstance(store, RunStore) else RunStore(store)
         self.topology_fingerprint = network.fingerprint()
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
+        self.retry_failed = retry_failed
+        self.max_pool_restarts = max_pool_restarts
+        self.lp_time_limit = lp_time_limit
+        if isinstance(faults, str):
+            faults = _faults_module.FaultConfig.from_spec(faults)
+        self.fault_config: Optional[_faults_module.FaultConfig] = faults
         self.last_run_stats = EngineRunStats()
 
     @classmethod
@@ -219,55 +357,207 @@ class ExperimentEngine:
     def run_points(self, points: Sequence[PointSpec]) -> SweepResult:
         """Execute all tasks for ``points`` and aggregate a sweep result.
 
-        Tasks whose key is already in the run store are served from it; the
-        rest run serially or in the worker pool and stream into the store as
-        they complete (so interruption loses at most the in-flight tasks).
+        Tasks whose key is already in the run store are served from it
+        (failure records included, unless ``retry_failed``); the rest run
+        serially or in the worker pool and stream into the store as they
+        complete (so interruption loses at most the in-flight tasks).
+        Failures never abort the sweep: transient ones are retried,
+        permanent ones become failure records and NaN cells.
         """
         started = time.perf_counter()
         tasks = self.tasks_for(points)
-        pending = [task for task in tasks if self.store.get(task.key) is None]
-        cached = len(tasks) - len(pending)
-
-        workers = self.workers or 1
-        if pending:
-            if workers >= 2:
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_worker_init,
-                    initargs=(self.network, self.schemes, self.topology_fingerprint),
-                ) as pool:
-                    futures = [pool.submit(_worker_run, task) for task in pending]
-                    for future in as_completed(futures):
-                        key, record = future.result()
-                        self.store.put(key, record)
-            else:
-                for task in pending:
-                    record = _execute_task(
-                        self.network,
-                        self.simulator,
-                        self.schemes[task.scheme_index],
-                        task,
-                        self.topology_fingerprint,
-                    )
-                    self.store.put(task.key, record)
-
-        result = SweepResult(metric=self.metric)
-        result.points = [SweepPoint(label=label) for label, _ in points]
+        pending: List[ExperimentTask] = []
         for task in tasks:
-            record = self.store.peek(task.key)
-            assert record is not None, f"run store lost task {task.key}"
-            result.points[task.point_index].add(
-                task.scheme_name, float(record["metrics"][self.metric])
-            )
+            record = self.store.get(task.key)
+            if record is None or (self.retry_failed and record.get("failed")):
+                pending.append(task)
+        cached = len(tasks) - len(pending)
 
         self.last_run_stats = EngineRunStats(
             total_tasks=len(tasks),
             cached=cached,
             executed=len(pending),
-            workers=workers,
-            seconds=time.perf_counter() - started,
+            workers=self.workers or 1,
         )
+        if pending:
+            injector = (
+                _faults_module.FaultInjector(self.fault_config)
+                if self.fault_config is not None
+                else None
+            )
+            previous_injector = _faults_module.active_injector()
+            _faults_module.install(injector)
+            previous_limit = lp_solver.DEFAULT_TIME_LIMIT
+            if self.lp_time_limit is not None:
+                lp_solver.DEFAULT_TIME_LIMIT = self.lp_time_limit
+            try:
+                if (self.workers or 1) >= 2:
+                    self._run_pool(pending, self.workers)
+                else:
+                    self._run_serial(pending)
+            finally:
+                _faults_module.install(previous_injector)
+                lp_solver.DEFAULT_TIME_LIMIT = previous_limit
+
+        result = SweepResult(metric=self.metric)
+        result.points = [SweepPoint(label=label) for label, _ in points]
+        for task in tasks:
+            record = self.store.peek(task.key)
+            if record is None:
+                raise RuntimeError(
+                    f"run store lost task: point {task.label!r}, trial "
+                    f"{task.trial}, scheme {task.scheme_name!r} (key {task.key})"
+                )
+            if record.get("failed"):
+                self.last_run_stats.failed += 1
+                result.points[task.point_index].add_failure(
+                    task.scheme_name, str(record.get("error", "unknown"))
+                )
+            else:
+                result.points[task.point_index].add(
+                    task.scheme_name, float(record["metrics"][self.metric])
+                )
+
+        self.last_run_stats.seconds = time.perf_counter() - started
         return result
+
+    # ----------------------------------------------------------- execution
+    def _store_put(self, task: ExperimentTask, record: Dict[str, Any]) -> None:
+        """Persist a record, retrying transient (injected) append failures."""
+        for attempt in range(self.max_retries + 1):
+            try:
+                with _faults_module.task_scope(task.key, attempt):
+                    self.store.put(task.key, record)
+                return
+            except Exception as error:
+                if _faults_module.is_transient(error) and attempt < self.max_retries:
+                    self.last_run_stats.retried += 1
+                    continue
+                raise
+
+    def _attempt_serial(self, task: ExperimentTask, attempt: int) -> Dict[str, Any]:
+        delay = _faults_module.backoff_delay(task.key, attempt, self.retry_backoff)
+        if delay:
+            time.sleep(delay)
+        with _faults_module.task_scope(task.key, attempt):
+            with _faults_module.deadline(self.task_timeout):
+                return _execute_task(
+                    self.network,
+                    self.simulator,
+                    self.schemes[task.scheme_index],
+                    task,
+                    self.topology_fingerprint,
+                )
+
+    def _run_serial(
+        self,
+        pending: Sequence[ExperimentTask],
+        attempts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """In-process execution with per-task retry (also the degraded path
+        the pool falls back to, inheriting the tasks' attempt counters)."""
+        attempts = attempts if attempts is not None else {}
+        for task in pending:
+            attempt = attempts.get(task.key, 0)
+            task_started = time.perf_counter()
+            while True:
+                try:
+                    record = self._attempt_serial(task, attempt)
+                    break
+                except Exception as error:
+                    if (
+                        _faults_module.is_transient(error)
+                        and attempt < self.max_retries
+                    ):
+                        attempt += 1
+                        self.last_run_stats.retried += 1
+                        continue
+                    record = _failure_record(
+                        task,
+                        error,
+                        attempt + 1,
+                        time.perf_counter() - task_started,
+                        self.topology_fingerprint,
+                        self.schemes[task.scheme_index].signature(),
+                    )
+                    break
+            self._store_put(task, record)
+
+    def _run_pool(self, pending: Sequence[ExperimentTask], workers: int) -> None:
+        """Pool execution with retry-by-resubmission and broken-pool recovery.
+
+        A dead worker breaks the whole :class:`ProcessPoolExecutor`; the
+        engine respawns it (``max_pool_restarts`` times) and resubmits only
+        the tasks without a stored record, bumping their attempt counters so
+        first-attempt-only injected faults cannot wedge the sweep.  Past the
+        restart budget it degrades to serial execution for the remainder.
+        """
+        attempts: Dict[str, int] = {task.key: 0 for task in pending}
+        first_submit: Dict[str, float] = {}
+        unfinished: Dict[str, ExperimentTask] = {task.key: task for task in pending}
+        restarts = 0
+        while unfinished:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(
+                        self.network,
+                        self.schemes,
+                        self.topology_fingerprint,
+                        self.fault_config,
+                        self.task_timeout,
+                        self.retry_backoff,
+                        self.lp_time_limit,
+                    ),
+                ) as pool:
+                    futures = {}
+                    for task in list(unfinished.values()):
+                        first_submit.setdefault(task.key, time.perf_counter())
+                        futures[pool.submit(_worker_run, task, attempts[task.key])] = task
+                    while futures:
+                        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                        for future in done:
+                            task = futures.pop(future)
+                            try:
+                                _, record = future.result()
+                            except BrokenProcessPool:
+                                raise
+                            except Exception as error:
+                                if (
+                                    _faults_module.is_transient(error)
+                                    and attempts[task.key] < self.max_retries
+                                ):
+                                    attempts[task.key] += 1
+                                    self.last_run_stats.retried += 1
+                                    futures[
+                                        pool.submit(
+                                            _worker_run, task, attempts[task.key]
+                                        )
+                                    ] = task
+                                    continue
+                                record = _failure_record(
+                                    task,
+                                    error,
+                                    attempts[task.key] + 1,
+                                    time.perf_counter() - first_submit[task.key],
+                                    self.topology_fingerprint,
+                                    self.schemes[task.scheme_index].signature(),
+                                )
+                            self._store_put(task, record)
+                            del unfinished[task.key]
+                return
+            except BrokenProcessPool:
+                restarts += 1
+                self.last_run_stats.pool_restarts += 1
+                # In-flight tasks died with the pool: that was an attempt.
+                # Bumping every unfinished task keeps attempt-0-only faults
+                # (injected kills) from breaking the next pool identically.
+                for key in unfinished:
+                    attempts[key] += 1
+                if restarts > self.max_pool_restarts:
+                    self._run_serial(list(unfinished.values()), attempts)
+                    return
 
     def run(
         self,

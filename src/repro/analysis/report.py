@@ -35,6 +35,7 @@ __all__ = [
     "format_csv",
     "sweep_rows",
     "ratio_rows",
+    "failure_rows",
     "sweep_table",
     "ratio_table",
     "improvement_summary",
@@ -163,6 +164,29 @@ def ratio_rows(
     return headers, rows
 
 
+def failure_rows(result: SweepResult) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) of the failures summary: one row per failed cell.
+
+    Each row names the point, the scheme, how many tries failed out of how
+    many were attempted at that cell, and the error types with counts
+    (``LPInfeasibleError x2``) — enough to triage from the report alone.
+    """
+    headers = ["point", "scheme", "failed", "tries", "errors"]
+    rows: List[List[object]] = []
+    for point in result.points:
+        for scheme, errors in point.failures.items():
+            counts: dict = {}
+            for error in errors:
+                counts[error] = counts.get(error, 0) + 1
+            summary = ", ".join(
+                f"{error} x{n}" if n > 1 else error
+                for error, n in sorted(counts.items())
+            )
+            attempted = len(errors) + len(point.values.get(scheme, []))
+            rows.append([point.label, scheme, len(errors), attempted, summary])
+    return headers, rows
+
+
 # ------------------------------------------------------------ whole reports
 
 def sweep_table(
@@ -203,12 +227,18 @@ def csv_report(
     ratio column is omitted when ``reference`` is ``None``), plus one
     ``mean_<metric>`` column per entry of ``extras`` (extra metric
     aggregates over the same grid, e.g. the per-coflow slowdown summaries).
+    A sweep that recorded failures gains a trailing ``failures`` column
+    (failed tries per cell); fully successful sweeps keep the historical
+    column set, so stored reports stay byte-identical.
     """
     extras = extras or {}
+    with_failures = result.has_failures()
     headers = ["point", "scheme", "tries", "mean", "std"]
     if reference is not None:
         headers.append(f"ratio_to_{reference}")
     headers.extend(f"mean_{metric}" for metric in extras)
+    if with_failures:
+        headers.append("failures")
     rows: List[List[object]] = []
     for index, point in enumerate(result.points):
         for scheme in result.schemes():
@@ -224,6 +254,8 @@ def csv_report(
                 row.append(_ratio(point, scheme, reference))
             for extra in extras.values():
                 row.append(_mean(extra.points[index], scheme))
+            if with_failures:
+                row.append(point.failure_count(scheme))
             rows.append(row)
     return format_csv(headers, rows)
 
@@ -273,6 +305,19 @@ def render_report(
                 extra_rows,
                 title=f"{title} — avg {metric}",
                 float_format="{:.3f}",
+            )
+        )
+    if result.has_failures():
+        failure_headers, failed = failure_rows(result)
+        blocks.append(
+            table(
+                failure_headers,
+                failed,
+                title=(
+                    f"{title} — failures "
+                    f"({result.total_failures()} failed task(s); "
+                    "failed cells render as nan)"
+                ),
             )
         )
     return "\n\n".join(blocks)

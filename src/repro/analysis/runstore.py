@@ -11,16 +11,26 @@ Layout: one JSON object per line, ``{"key": <digest>, "record": {...}}``.
 The record carries the full key fields (topology fingerprint, config dict,
 scheme signature) alongside the metrics, so a store file is self-describing
 and can be post-processed without the engine.
+
+Crash tolerance: a process killed mid-append (``kill -9``, OOM) leaves a
+truncated trailing line.  Loading such a file skips the torn tail with a
+warning on stderr instead of crashing, and remembers the byte offset of the
+last intact record so the *next* append first truncates the file back to
+that offset — the torn bytes can never corrupt a later record.  ``put``
+writes the record and its newline in one flushed ``write`` call, so a crash
+can only ever tear the final line, never interleave two records.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from .. import __version__
+from ..faults import maybe_inject
 from ..workloads.generator import WorkloadConfig
 from ..workloads.serialization import config_to_dict
 
@@ -59,7 +69,9 @@ class RunStore:
         JSONL file backing the store.  ``None`` keeps the store in memory
         only (still useful for intra-process caching).  Existing files are
         loaded eagerly; later records for the same key win, so appending is
-        always safe.
+        always safe.  A truncated or corrupt trailing line (a crashed
+        writer) is skipped with a warning, and the next append truncates
+        the file back to the last intact record before writing.
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
@@ -69,14 +81,62 @@ class RunStore:
         #: and benchmark reports read these).
         self.hits = 0
         self.misses = 0
+        #: byte offset the next append must truncate the file to, set when
+        #: loading found torn/corrupt bytes after the last intact record.
+        self._resync_offset: Optional[int] = None
+        #: corrupt lines skipped while loading (diagnostic for tests/tools).
+        self.skipped_lines = 0
         if self.path is not None and self.path.exists():
-            with self.path.open() as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    entry = json.loads(line)
-                    self._records[entry["key"]] = entry["record"]
+            self._load(self.path)
+
+    def _load(self, path: Path) -> None:
+        """Parse the JSONL file, tolerating a torn tail and corrupt lines."""
+        data = path.read_bytes()
+        clean_end = 0  # byte offset after the last intact, parseable line
+        offset = 0
+        for raw in data.splitlines(keepends=True):
+            line_end = offset + len(raw)
+            terminated = raw.endswith(b"\n")
+            stripped = raw.strip()
+            if not stripped:
+                if terminated:
+                    clean_end = line_end
+                offset = line_end
+                continue
+            entry: Optional[Dict[str, Any]] = None
+            try:
+                parsed = json.loads(stripped)
+                if isinstance(parsed, dict) and "key" in parsed and "record" in parsed:
+                    entry = parsed
+            except json.JSONDecodeError:
+                entry = None
+            if entry is not None and terminated:
+                self._records[entry["key"]] = entry["record"]
+                clean_end = line_end
+            else:
+                # Torn tail (unterminated) or corrupt bytes: skip, and leave
+                # clean_end pointing at the last record worth keeping.
+                self.skipped_lines += 1
+            offset = line_end
+        if clean_end < len(data):
+            # Torn/corrupt bytes at the very end: arm the truncate-on-append
+            # resync so they can never prefix-corrupt a later record.
+            self._resync_offset = clean_end
+            print(
+                f"run store {path}: skipped {self.skipped_lines} "
+                f"corrupt/truncated line(s) ({len(data) - clean_end} trailing "
+                "bytes); the next append truncates back to the last intact "
+                "record",
+                file=sys.stderr,
+            )
+        elif self.skipped_lines:
+            # Corrupt lines in the middle of the file (each newline-terminated,
+            # so later appends are safe): warn, keep the intact records.
+            print(
+                f"run store {path}: skipped {self.skipped_lines} "
+                "corrupt line(s); intact records were kept",
+                file=sys.stderr,
+            )
 
     # ------------------------------------------------------------------ query
     def __len__(self) -> int:
@@ -100,13 +160,24 @@ class RunStore:
 
     # ----------------------------------------------------------------- update
     def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Insert a record and (when file-backed) append it to disk."""
+        """Insert a record and (when file-backed) append it to disk.
+
+        The line (record + newline) goes out in a single flushed ``write``,
+        so a crash mid-``put`` can only tear the final line — which the
+        next load skips and the next append truncates away.
+        """
+        maybe_inject("store")
         self._records[key] = record
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            line = json.dumps({"key": key, "record": record}, default=repr) + "\n"
+            if self._resync_offset is not None:
+                with self.path.open("r+") as handle:
+                    handle.truncate(self._resync_offset)
+                self._resync_offset = None
             with self.path.open("a") as handle:
-                handle.write(json.dumps({"key": key, "record": record}, default=repr))
-                handle.write("\n")
+                handle.write(line)
+                handle.flush()
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters (between engine passes in tests)."""

@@ -27,10 +27,22 @@ class SweepPoint:
     label: str
     #: scheme name -> list of objective values (one per random try)
     values: Dict[str, List[float]] = field(default_factory=dict)
+    #: scheme name -> list of error type names, one per *failed* try.  A
+    #: failed try contributes no value (means are over the successful tries;
+    #: a scheme whose tries all failed renders as NaN).
+    failures: Dict[str, List[str]] = field(default_factory=dict)
 
     def add(self, scheme: str, value: float) -> None:
         """Record one random try's objective value for ``scheme``."""
         self.values.setdefault(scheme, []).append(value)
+
+    def add_failure(self, scheme: str, error: str) -> None:
+        """Record one failed try for ``scheme`` (``error`` = exception type)."""
+        self.failures.setdefault(scheme, []).append(error)
+
+    def failure_count(self, scheme: str) -> int:
+        """Number of failed tries recorded for ``scheme`` at this point."""
+        return len(self.failures.get(scheme, []))
 
     def mean(self, scheme: str) -> float:
         """Mean objective of ``scheme`` over the point's random tries."""
@@ -85,3 +97,16 @@ class SweepResult:
         """Improvement of ``scheme`` over ``reference`` averaged over all points."""
         values = [point.improvement_percent(scheme, reference) for point in self.points]
         return float(np.mean(values)) if values else float("nan")
+
+    # --------------------------------------------------------------- failures
+    def has_failures(self) -> bool:
+        """Whether any (point, scheme) cell recorded a failed try."""
+        return any(point.failures for point in self.points)
+
+    def total_failures(self) -> int:
+        """Total failed tries across every point and scheme."""
+        return sum(
+            len(errors)
+            for point in self.points
+            for errors in point.failures.values()
+        )

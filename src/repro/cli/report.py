@@ -96,6 +96,13 @@ def execute(args: argparse.Namespace) -> int:
             "(sweep incomplete; missing cells render as nan)",
             file=sys.stderr,
         )
+    if result.has_failures():
+        print(
+            f"repro report: {result.total_failures()} task(s) recorded as "
+            "permanent failures (failed cells render as nan; re-run the "
+            "sweep with --retry-failed to try them again)",
+            file=sys.stderr,
+        )
     extras = {metric: results[metric] for metric in spec.extra_metrics}
 
     print(

@@ -25,6 +25,7 @@ from ..analysis.artifacts import (
     provenance,
     strict_config_from_dict,
 )
+from ..lp.solver import LPInfeasibleError
 from ..workloads.generator import (
     ENDPOINT_DISTRIBUTIONS,
     FLOW_SIZE_DISTRIBUTIONS,
@@ -150,6 +151,11 @@ def execute(args: argparse.Namespace) -> int:
     except ValueError as error:
         # Plan-time contract violations (e.g. router 'given' on an
         # unrouted instance) exit cleanly instead of a traceback.
+        raise SystemExit(f"repro run: scheme {args.scheme!r}: {error}")
+    except LPInfeasibleError as error:
+        # Solver failures exit cleanly with the enriched diagnostic (the
+        # message carries solver status, HiGHS message and LP shape)
+        # instead of a traceback.
         raise SystemExit(f"repro run: scheme {args.scheme!r}: {error}")
     document = {
         "provenance": provenance(),

@@ -10,11 +10,22 @@ Resume is the default: the run store is loaded if it exists and tasks
 already recorded are never re-executed, so an interrupted sweep continues
 where it stopped and a completed sweep re-invoked is pure aggregation.
 ``--fresh`` deletes the store first for a guaranteed cold run.
+
+The sweep is fault-tolerant: transient task errors (timeouts, killed
+workers) are retried with backoff up to ``--max-retries`` times, and
+permanent errors (e.g. an infeasible LP) become structured *failure
+records* in the run store — the sweep completes, the failed cells render
+as ``nan`` plus a failures block, and the exit status reflects coverage:
+0 when at least ``--min-coverage`` of the grid succeeded (default 1.0,
+i.e. any failure is nonzero), 3 otherwise.  ``--retry-failed`` re-runs
+recorded failures on resume; ``--inject-faults`` enables the
+deterministic chaos harness (see docs/robustness.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import replace
 from pathlib import Path
 
@@ -27,6 +38,11 @@ from ..analysis.artifacts import (
 )
 from ..analysis.report import render_report
 from ..analysis.runstore import RunStore
+from ..faults import FaultConfig
+
+#: Exit status when the sweep completed but coverage fell below
+#: ``--min-coverage`` (distinct from argparse's 2 and generic failure's 1).
+EXIT_COVERAGE = 3
 
 
 def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -99,12 +115,65 @@ def configure(subparsers: argparse._SubParsersAction) -> None:
         action="store_true",
         help="delete the run store first (a cold run instead of a resume)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per task for transient errors (default: 2)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-task wall-clock limit; an expired task is retried as "
+        "transient, then recorded as a failure (default: none)",
+    )
+    parser.add_argument(
+        "--lp-time-limit",
+        type=float,
+        metavar="SECONDS",
+        help="time budget handed to the HiGHS solver for every LP solve "
+        "(default: none)",
+    )
+    parser.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-run tasks recorded as permanent failures in the store "
+        "(default: resume skips them)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="minimum fraction of tasks that must succeed for exit status 0 "
+        f"(default: 1.0 — any failure exits {EXIT_COVERAGE})",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help='deterministic fault injection, e.g. "rate=0.1,seed=7" or '
+        '"rate=1.0,kinds=lp+timeout,seed=3,delay=0.2" (overrides the '
+        "spec's own `faults` entry; see docs/robustness.md)",
+    )
     parser.set_defaults(func=execute)
 
 
 def execute(args: argparse.Namespace) -> int:
-    """Run the sweep and write artifacts."""
+    """Run the sweep, write artifacts, and exit by coverage."""
     spec = resolve_spec(args)
+    if not 0.0 <= args.min_coverage <= 1.0:
+        raise SystemExit(
+            f"repro sweep: --min-coverage must be in [0, 1], "
+            f"got {args.min_coverage}"
+        )
+    faults = None
+    if args.inject_faults is not None:
+        try:
+            faults = FaultConfig.from_spec(args.inject_faults)
+        except ValueError as error:
+            raise SystemExit(f"repro sweep: invalid --inject-faults: {error}")
     store_path = resolve_store_path(args, spec)
     if args.fresh and store_path.exists():
         store_path.unlink()
@@ -113,7 +182,16 @@ def execute(args: argparse.Namespace) -> int:
     if resumed:
         print(f"resuming from {store_path} ({resumed} recorded task(s))")
 
-    run = run_spec(spec, store, workers=args.workers)
+    run = run_spec(
+        spec,
+        store,
+        workers=args.workers,
+        faults=faults,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        retry_failed=args.retry_failed,
+        lp_time_limit=args.lp_time_limit,
+    )
     paths = export_artifacts(
         args.out, spec, run.result, run.stats, run.fingerprints, store,
         extras=run.extras,
@@ -133,4 +211,20 @@ def execute(args: argparse.Namespace) -> int:
     for kind in ("run", "text", "markdown", "csv"):
         print(f"  {kind:<8} -> {paths[kind]}")
     print(f"  store    -> {store_path}")
+
+    coverage = run.stats.coverage
+    if run.stats.failed:
+        print(
+            f"repro sweep: {run.stats.failed} task(s) failed permanently "
+            f"(coverage {coverage:.1%}); failed cells render as nan — "
+            "re-run with --retry-failed to try them again",
+            file=sys.stderr,
+        )
+    if coverage < args.min_coverage:
+        print(
+            f"repro sweep: coverage {coverage:.1%} is below "
+            f"--min-coverage {args.min_coverage:.1%}",
+            file=sys.stderr,
+        )
+        return EXIT_COVERAGE
     return 0

@@ -14,18 +14,63 @@ instead of hashing one tuple key per variable.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 from scipy.optimize import linprog
 
+from ..faults import maybe_inject
 from .model import LinearProgram, LPError
 
-__all__ = ["LPSolution", "LPInfeasibleError", "solve"]
+__all__ = ["LPSolution", "LPInfeasibleError", "solve", "DEFAULT_TIME_LIMIT"]
+
+#: Process-wide default wall-clock budget (seconds) handed to HiGHS when
+#: :func:`solve` is called without an explicit ``time_limit``.  ``None``
+#: means unlimited.  The experiment engine sets this in worker processes
+#: (``--lp-time-limit``) so every LP a scheme solves inherits the budget
+#: without threading a parameter through every scheme constructor.
+DEFAULT_TIME_LIMIT: Optional[float] = None
 
 
 class LPInfeasibleError(RuntimeError):
-    """Raised when the LP is infeasible, unbounded or the solver fails."""
+    """Raised when the LP is infeasible, unbounded or the solver fails.
+
+    Beyond the message, the error carries the solver's diagnosis so a
+    failure record written by the experiment engine is diagnosable from the
+    report alone: ``status`` (HiGHS status code, ``-1`` for injected
+    faults), ``solver_message`` (the solver's own words), and the LP
+    dimensions ``rows`` x ``cols`` with ``nnz`` constraint nonzeros.
+    Every field defaults to ``None`` so ``LPInfeasibleError("msg")`` keeps
+    working for callers that have no solver context.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        solver_message: Optional[str] = None,
+        rows: Optional[int] = None,
+        cols: Optional[int] = None,
+        nnz: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.solver_message = solver_message
+        self.rows = rows
+        self.cols = cols
+        self.nnz = nnz
+
+    def detail(self) -> Dict[str, Any]:
+        """The non-``None`` diagnostic fields as a JSON-safe dict."""
+        fields = {
+            "status": self.status,
+            "solver_message": self.solver_message,
+            "rows": self.rows,
+            "cols": self.cols,
+            "nnz": self.nnz,
+        }
+        return {key: value for key, value in fields.items() if value is not None}
 
 
 class LPSolution:
@@ -216,6 +261,7 @@ def solve(
     method: str = "highs",
     presolve: bool = True,
     clip_negative: bool = True,
+    time_limit: Optional[float] = None,
 ) -> LPSolution:
     """Solve ``lp`` to optimality and return an :class:`LPSolution`.
 
@@ -231,17 +277,30 @@ def solve(
     clip_negative:
         Clamp tiny negative values (solver noise on >=0 variables) to zero so
         downstream rounding code can treat values as exact fractions.
+    time_limit:
+        Wall-clock budget in seconds handed to HiGHS; exceeding it raises
+        :class:`LPInfeasibleError` with the solver's time-limit status.
+        ``None`` falls back to the process default
+        :data:`DEFAULT_TIME_LIMIT` (unlimited out of the box).
 
     Raises
     ------
     LPInfeasibleError
-        If the solver reports anything other than an optimal solution.
+        If the solver reports anything other than an optimal solution —
+        including running out of its time budget.  The error carries the
+        status code, the solver message and the LP dimensions.
     """
+    maybe_inject("lp")
     if lp.num_variables == 0:
         return LPSolution(objective=0.0, status=0, message="empty LP")
 
     a_ub, b_ub, a_eq, b_eq = lp.matrices()
     lower, upper = lp.bounds_arrays()
+    options: Dict[str, Any] = {"presolve": presolve}
+    if time_limit is None:
+        time_limit = DEFAULT_TIME_LIMIT
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
     result = linprog(
         c=lp.objective_vector(),
         A_ub=a_ub,
@@ -250,12 +309,20 @@ def solve(
         b_eq=b_eq,
         bounds=np.column_stack((lower, upper)),
         method=method,
-        options={"presolve": presolve},
+        options=options,
     )
     if not result.success:
+        rows = sum(m.shape[0] for m in (a_ub, a_eq) if m is not None)
+        nnz = sum(int(m.nnz) for m in (a_ub, a_eq) if m is not None)
         raise LPInfeasibleError(
             f"LP {lp.name!r} could not be solved to optimality: "
-            f"status={result.status}, message={result.message!r}"
+            f"status={result.status}, message={result.message!r}, "
+            f"shape={rows}x{lp.num_variables}, nnz={nnz}",
+            status=int(result.status),
+            solver_message=str(result.message),
+            rows=rows,
+            cols=int(lp.num_variables),
+            nnz=nnz,
         )
     x = np.asarray(result.x, dtype=float)
     if clip_negative:

@@ -53,6 +53,7 @@ import numpy as np
 from ..core.flows import CoflowInstance, FlowId
 from ..core.network import Network, path_edges
 from ..core.schedule import CircuitSchedule
+from ..faults import maybe_inject
 from .allocators import GreedyPriorityAllocator, RateAllocator, resolve_allocator
 from .plan import SimulationPlan
 
@@ -424,6 +425,7 @@ class SimulationKernel:
         to the deadline) as soon as the next event would land strictly
         beyond it — the online engine's splice point.
         """
+        maybe_inject("sim")
         remaining = self._remaining
         size = self._size
         completion = self._completion

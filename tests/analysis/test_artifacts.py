@@ -335,3 +335,95 @@ class TestExportArtifacts:
             run.result, spec.display_title(), spec.reference, fmt="markdown"
         )
         assert paths["markdown"].read_text().rstrip("\n") == rendered.rstrip("\n")
+
+
+class TestFaultsInSpecs:
+    def test_faults_entry_round_trips(self):
+        spec = spec_from_dict(tiny_spec_dict(faults="rate=0.1,seed=7"))
+        assert spec.faults == "rate=0.1,seed=7"
+        assert spec.to_dict()["faults"] == "rate=0.1,seed=7"
+        assert spec_from_dict(spec.to_dict()) == spec
+        plain = spec_from_dict(tiny_spec_dict())
+        assert plain.faults is None
+        assert "faults" not in plain.to_dict()
+
+    def test_invalid_faults_entry_rejected_naming_the_spec(self):
+        with pytest.raises(ValueError, match="'tiny'.*invalid faults spec"):
+            spec_from_dict(tiny_spec_dict(faults="rate=9000"))
+
+    def test_run_spec_argument_overrides_spec_faults(self):
+        # The spec declares chaos; passing rate=0 from the CLI disables it.
+        spec = spec_from_dict(
+            tiny_spec_dict(faults="rate=1.0,kinds=timeout")
+        )
+        run = run_spec(spec, RunStore(), workers=0, faults="rate=0.0")
+        assert run.stats.retried == 0
+        assert run.stats.failed == 0
+
+    def test_spec_declared_faults_apply(self):
+        spec = spec_from_dict(tiny_spec_dict(faults="rate=1.0,kinds=timeout"))
+        run = run_spec(spec, RunStore(), workers=0)
+        assert run.stats.retried == spec.total_tasks()
+        assert run.stats.failed == 0
+
+
+class TestFailureAggregation:
+    def chaos_spec(self):
+        # An LP-solving scheme so "lp" faults land somewhere real.
+        return spec_from_dict(
+            tiny_spec_dict(schemes=["Baseline", "LP-Based"])
+        )
+
+    def test_failed_records_surface_in_result_and_stats(self):
+        spec = self.chaos_spec()
+        store = RunStore()
+        run = run_spec(spec, store, workers=0, faults="rate=1.0,kinds=lp")
+        # Every LP-Based task fails; every Baseline task succeeds.
+        assert run.stats.failed == len(spec.points)
+        assert run.stats.coverage == pytest.approx(0.5)
+        for point in run.result.points:
+            assert point.failures == {"LP-Based": ["LPInfeasibleError"]}
+            assert set(point.values) == {"Baseline"}
+
+    def test_result_from_store_routes_failures_not_missing(self):
+        spec = self.chaos_spec()
+        store = RunStore()
+        run_spec(spec, store, workers=0, faults="rate=1.0,kinds=lp")
+        rebuilt, missing, _ = result_from_store(spec, store)
+        assert missing == 0  # a failed cell is known-bad, not absent
+        assert rebuilt.total_failures() == len(spec.points)
+        for point in rebuilt.points:
+            assert point.failures == {"LP-Based": ["LPInfeasibleError"]}
+
+    def test_stats_summary_mentions_failures_only_when_present(self):
+        spec = self.chaos_spec()
+        run = run_spec(spec, RunStore(), workers=0, faults="rate=1.0,kinds=lp")
+        text = stats_summary(run.stats)
+        assert f"{run.stats.failed} failed" in text
+        clean = run_spec(spec, RunStore(), workers=0)
+        assert "failed" not in stats_summary(clean.stats)
+        assert "retried" not in stats_summary(clean.stats)
+
+    def test_export_artifacts_records_failure_accounting(self, tmp_path):
+        spec = self.chaos_spec()
+        store = RunStore(tmp_path / "store.jsonl")
+        run = run_spec(spec, store, workers=0, faults="rate=1.0,kinds=lp")
+        paths = export_artifacts(
+            tmp_path / "out", spec, run.result, run.stats, run.fingerprints, store
+        )
+        metadata = json.loads(paths["run"].read_text())
+        assert metadata["engine"]["failed"] == len(spec.points)
+        assert metadata["engine"]["retried"] == 0
+        assert metadata["engine"]["pool_restarts"] == 0
+        assert metadata["engine"]["coverage"] == pytest.approx(0.5)
+        assert "failures" in paths["csv"].read_text().splitlines()[0]
+
+    def test_retry_failed_heals_through_run_spec(self):
+        spec = self.chaos_spec()
+        store = RunStore()
+        run_spec(spec, store, workers=0, faults="rate=1.0,kinds=lp")
+        healed = run_spec(spec, store, workers=0, retry_failed=True)
+        assert healed.stats.failed == 0
+        clean = run_spec(spec, RunStore(), workers=0)
+        for a, b in zip(healed.result.points, clean.result.points):
+            assert a.values == b.values

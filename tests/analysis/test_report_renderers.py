@@ -15,6 +15,7 @@ import pytest
 from repro.analysis.report import (
     REPORT_FORMATS,
     csv_report,
+    failure_rows,
     format_csv,
     format_markdown,
     format_table,
@@ -175,6 +176,56 @@ class TestFormatPrimitives:
         # The ASCII renderer is the benchmarks' historical output format.
         table = format_table(["h1", "h2"], [["x", 1.5]], title="T")
         assert table.splitlines() == ["T", "h1  h2  ", "--  ----", "x   1.50"]
+
+
+class TestFailureRendering:
+    def failed_result(self) -> SweepResult:
+        result = reference_result()
+        # One cell at the second point lost both its tries to the solver,
+        # plus a single timeout casualty on the other scheme.
+        result.points[1].values.pop("LP-Based")
+        result.points[1].add_failure("LP-Based", "LPInfeasibleError")
+        result.points[1].add_failure("LP-Based", "LPInfeasibleError")
+        result.points[1].add_failure("Baseline", "TaskTimeoutError")
+        return result
+
+    def test_failure_rows_summarise_each_cell(self):
+        headers, rows = failure_rows(self.failed_result())
+        assert headers == ["point", "scheme", "failed", "tries", "errors"]
+        assert rows == [
+            ["8 flows", "LP-Based", 2, 2, "LPInfeasibleError x2"],
+            ["8 flows", "Baseline", 1, 3, "TaskTimeoutError"],
+        ]
+
+    def test_fully_successful_sweep_keeps_historical_output(self):
+        # The failures block and CSV column appear ONLY when something
+        # failed — clean sweeps must stay byte-identical to the goldens.
+        clean = reference_result()
+        assert not clean.has_failures()
+        for fmt in REPORT_FORMATS:
+            assert "failures" not in render_report(clean, "t", fmt=fmt)
+
+    def test_failures_block_in_text_and_markdown(self):
+        result = self.failed_result()
+        for fmt in ("text", "markdown"):
+            rendered = render_report(result, "Chaos sweep", "Baseline", fmt=fmt)
+            assert "failures (3 failed task(s); failed cells render as nan)" in rendered
+            assert "LPInfeasibleError x2" in rendered
+        # The fully-failed cell renders as nan in the values panel.
+        text = render_report(result, "Chaos sweep", "Baseline", fmt="text")
+        assert "nan" in text
+
+    def test_failures_column_in_csv(self):
+        rendered = csv_report(self.failed_result(), "Baseline")
+        lines = rendered.splitlines()
+        assert lines[0].endswith(",failures")
+        cells = {
+            (row.split(",")[0], row.split(",")[1]): row.split(",")[-1]
+            for row in lines[1:]
+        }
+        assert cells[("8 flows", "LP-Based")] == "2"
+        assert cells[("8 flows", "Baseline")] == "1"
+        assert cells[("4 flows", "Baseline")] == "0"
 
 
 def regenerate() -> None:

@@ -453,3 +453,280 @@ class TestBench:
         # smoke: (2 width points + 1 count point) x 1 try x 4 schemes
         assert metadata["engine"]["executed"] == 12
         assert metadata["provenance"]["version"]
+
+
+class TestFaultTolerantSweep:
+    """``repro sweep`` under injected chaos: flags, exit codes, reports."""
+
+    def chaos_spec_path(self, tmp_path) -> Path:
+        """A tiny spec with one LP-solving scheme so ``lp`` faults can fire."""
+        spec = {
+            "name": "chaos",
+            "schemes": ["Baseline", "LP-Based"],
+            "tries": 1,
+            "reference": "Baseline",
+            "base": {
+                "num_coflows": 2,
+                "coflow_width": 2,
+                "topology": "fat_tree(k=4)",
+            },
+            "sweep": {"parameter": "coflow_width", "values": [2], "label": "{value}f"},
+        }
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_invalid_inject_faults_exits_cleanly(self, tmp_path):
+        spec = tiny_spec_path(tmp_path)
+        with pytest.raises(SystemExit, match="invalid --inject-faults"):
+            main(["sweep", str(spec), "--inject-faults", "rate=5"])
+
+    def test_invalid_min_coverage_exits_cleanly(self, tmp_path):
+        spec = tiny_spec_path(tmp_path)
+        with pytest.raises(SystemExit, match="min-coverage"):
+            main(["sweep", str(spec), "--min-coverage", "1.5"])
+
+    def test_transient_chaos_sweep_matches_fault_free_run(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        clean_out = tmp_path / "clean"
+        chaos_out = tmp_path / "chaos"
+        assert main(["sweep", str(spec), "--out", str(clean_out)]) == 0
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(spec),
+                    "--out",
+                    str(chaos_out),
+                    "--inject-faults",
+                    "rate=1.0,kinds=timeout",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Every task faulted once, was retried, and converged: the CSV is
+        # byte-identical to the fault-free run (no failures column appears).
+        clean_csv = (clean_out / "tiny" / "report.csv").read_text()
+        chaos_csv = (chaos_out / "tiny" / "report.csv").read_text()
+        assert chaos_csv == clean_csv
+        assert "failures" not in chaos_csv
+        metadata = run_metadata(chaos_out, "tiny")
+        assert metadata["engine"]["retried"] == metadata["engine"]["total_tasks"]
+        assert metadata["engine"]["failed"] == 0
+        assert metadata["engine"]["coverage"] == 1.0
+
+    def test_permanent_failures_fail_the_exit_code_by_default(
+        self, tmp_path, capsys
+    ):
+        spec = self.chaos_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        code = main(
+            [
+                "sweep",
+                str(spec),
+                "--out",
+                str(out),
+                "--inject-faults",
+                "rate=1.0,kinds=lp",
+            ]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "below" in captured.err
+        assert "failed permanently" in captured.err
+        # The sweep still completed: report carries the failures block and
+        # the failed cell renders as nan.
+        assert "failures" in captured.out
+        text = (out / "chaos" / "report.txt").read_text()
+        assert "failures (1 failed task(s)" in text
+        assert "LPInfeasibleError" in text
+        csv_text = (out / "chaos" / "report.csv").read_text()
+        assert csv_text.splitlines()[0].endswith(",failures")
+        metadata = run_metadata(out, "chaos")
+        assert metadata["engine"]["failed"] == 1
+        assert metadata["engine"]["coverage"] == 0.5
+
+    def test_min_coverage_tolerates_the_failures(self, tmp_path, capsys):
+        spec = self.chaos_spec_path(tmp_path)
+        code = main(
+            [
+                "sweep",
+                str(spec),
+                "--out",
+                str(tmp_path / "artifacts"),
+                "--inject-faults",
+                "rate=1.0,kinds=lp",
+                "--min-coverage",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "failed permanently" in captured.err
+        assert "below" not in captured.err
+
+    def test_retry_failed_heals_the_store(self, tmp_path, capsys):
+        spec = self.chaos_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(spec),
+                    "--out",
+                    str(out),
+                    "--inject-faults",
+                    "rate=1.0,kinds=lp",
+                ]
+            )
+            == 3
+        )
+        capsys.readouterr()
+        # Resume without --retry-failed: the failure is kept, nothing runs.
+        assert main(["sweep", str(spec), "--out", str(out)]) == 3
+        metadata = run_metadata(out, "chaos")
+        assert metadata["engine"]["executed"] == 0
+        assert metadata["engine"]["failed"] == 1
+        capsys.readouterr()
+        # Resume with --retry-failed and no injection: the cell heals.
+        assert main(["sweep", str(spec), "--out", str(out), "--retry-failed"]) == 0
+        metadata = run_metadata(out, "chaos")
+        assert metadata["engine"]["executed"] == 1
+        assert metadata["engine"]["failed"] == 0
+        text = (out / "chaos" / "report.txt").read_text()
+        assert "failures" not in text
+        capsys.readouterr()
+
+    def test_report_notes_failed_cells(self, tmp_path, capsys):
+        spec = self.chaos_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        main(
+            [
+                "sweep",
+                str(spec),
+                "--out",
+                str(out),
+                "--inject-faults",
+                "rate=1.0,kinds=lp",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", str(spec), "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "1 task(s) recorded as permanent failures" in captured.err
+        assert "failures (1 failed task(s)" in captured.out
+
+    def test_spec_document_can_declare_its_own_faults(self, tmp_path, capsys):
+        document = json.loads(self.chaos_spec_path(tmp_path).read_text())
+        document["faults"] = "rate=1.0,kinds=lp"
+        path = tmp_path / "declared.json"
+        path.write_text(json.dumps(document))
+        assert main(["sweep", str(path), "--out", str(tmp_path / "a")]) == 3
+        metadata = run_metadata(tmp_path / "a", "chaos")
+        assert metadata["engine"]["failed"] == 1
+        assert metadata["spec"]["faults"] == "rate=1.0,kinds=lp"
+        capsys.readouterr()
+
+
+class TestCrashResume:
+    """kill -9 mid-sweep, then resume: only unfinished work re-executes and
+    the final artifacts are bit-identical to an uninterrupted run."""
+
+    def crash_spec_path(self, tmp_path) -> Path:
+        spec = {
+            "name": "crashy",
+            "schemes": ["Baseline", "Route-only"],
+            "tries": 1,
+            "reference": "Baseline",
+            "base": {
+                "num_coflows": 2,
+                "coflow_width": 2,
+                "topology": "fat_tree(k=4)",
+            },
+            "sweep": {
+                "parameter": "coflow_width",
+                "values": [2, 3, 4],
+                "label": "{value}f",
+            },
+        }
+        path = tmp_path / "crashy.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_kill_nine_then_resume_is_bit_identical(self, tmp_path, capsys):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        spec = self.crash_spec_path(tmp_path)
+        ref_out = tmp_path / "reference"
+        out = tmp_path / "interrupted"
+
+        # Uninterrupted reference run (no faults, serial).
+        assert main(["sweep", str(spec), "--out", str(ref_out)]) == 0
+        capsys.readouterr()
+
+        # Launch a 2-worker sweep slowed by injected delays (a kill window),
+        # wait until at least one record is on disk, then kill -9 the whole
+        # process group mid-flight.
+        store_path = out / "crashy" / "runstore.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "sweep",
+                str(spec),
+                "--out",
+                str(out),
+                "--workers",
+                "2",
+                "--inject-faults",
+                "rate=1.0,kinds=slow,delay=0.4,seed=1",
+            ],
+            env=env,
+            cwd=str(ROOT),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break
+                if store_path.exists() and store_path.read_text().count("\n") >= 1:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("sweep subprocess never wrote a record")
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+
+        recorded = store_path.read_text().count("\n")
+        assert recorded >= 1
+        # The kill must have landed mid-flight for resume to have work left;
+        # the injected 0.4s-per-task delay makes finishing all 6 tasks before
+        # the first record appears effectively impossible.
+        assert recorded < 6, "subprocess finished before the kill landed"
+
+        # Resume without injection: only the missing tasks execute, and the
+        # final report is byte-identical to the uninterrupted reference.
+        assert main(["sweep", str(spec), "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.out
+        metadata = run_metadata(out, "crashy")
+        assert metadata["engine"]["cached"] >= recorded - 1  # minus a torn tail
+        assert metadata["engine"]["executed"] <= 6 - metadata["engine"]["cached"]
+        assert metadata["engine"]["failed"] == 0
+        for name in ("report.csv", "report.txt", "report.md"):
+            assert (out / "crashy" / name).read_text() == (
+                ref_out / "crashy" / name
+            ).read_text()

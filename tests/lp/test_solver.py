@@ -170,3 +170,65 @@ def test_take_descending_range():
     sol = solve(lp)
     assert np.allclose(sol.take(range(2, -1, -1)), [3.0, 2.0, 1.0])
     assert np.allclose(sol.take(range(0, 3)), [1.0, 2.0, 3.0])
+
+
+def test_infeasible_error_carries_solver_diagnosis():
+    lp = LinearProgram("diagnosable")
+    lp.add_variable("x", upper=1.0, objective=1.0)
+    lp.add_variable("y", upper=1.0, objective=1.0)
+    lp.add_constraint({"x": 1.0, "y": 1.0}, ">=", 5.0)
+    with pytest.raises(LPInfeasibleError) as excinfo:
+        solve(lp)
+    error = excinfo.value
+    # The message alone is diagnosable: status, solver words, LP shape.
+    assert "status=" in str(error)
+    assert "shape=1x2" in str(error)
+    assert "nnz=2" in str(error)
+    # And the fields are structured for failure records.
+    assert error.status is not None
+    assert error.solver_message
+    assert (error.rows, error.cols, error.nnz) == (1, 2, 2)
+    assert error.detail() == {
+        "status": error.status,
+        "solver_message": error.solver_message,
+        "rows": 1,
+        "cols": 2,
+        "nnz": 2,
+    }
+
+
+def test_infeasible_error_fields_default_to_none():
+    error = LPInfeasibleError("plain")
+    assert error.status is None
+    assert error.detail() == {}
+
+
+def test_time_limit_accepted_and_solves():
+    lp = LinearProgram("timed")
+    lp.add_variable("x", upper=3.0, objective=1.0)
+    lp.add_constraint({"x": 1.0}, ">=", 1.0)
+    sol = solve(lp, time_limit=30.0)
+    assert sol.objective == pytest.approx(1.0)
+
+
+def test_default_time_limit_is_used(monkeypatch):
+    from repro.lp import solver as solver_module
+
+    seen = {}
+    real_linprog = solver_module.linprog
+
+    def spy(*args, **kwargs):
+        seen.update(kwargs.get("options", {}))
+        return real_linprog(*args, **kwargs)
+
+    monkeypatch.setattr(solver_module, "linprog", spy)
+    monkeypatch.setattr(solver_module, "DEFAULT_TIME_LIMIT", 12.5)
+    lp = LinearProgram("defaulted")
+    lp.add_variable("x", upper=1.0, objective=1.0)
+    lp.add_constraint({"x": 1.0}, ">=", 0.5)
+    solve(lp)
+    assert seen["time_limit"] == 12.5
+    # An explicit limit wins over the process default.
+    seen.clear()
+    solve(lp, time_limit=3.0)
+    assert seen["time_limit"] == 3.0
