@@ -1,4 +1,4 @@
-"""Simulator event-loop benchmark: array kernel vs the reference loop.
+"""Simulator event-loop benchmark: kernel tiers vs the reference loop.
 
 The flow-level simulator is the inner loop of every sweep, so its
 throughput bounds how large a scenario matrix can get.  This benchmark is a
@@ -8,19 +8,26 @@ measures events/sec of
 
 * the **reference** event loop (``FlowLevelSimulator.run_reference``, the
   original dict-based implementation, kept as the executable spec),
-* the **array kernel** (``FlowLevelSimulator.run``), and
+* the **array kernel** (``FlowLevelSimulator.run``),
+* the **jit kernel** (the compiled tier, when a C toolchain is available),
+  and
 * the **online** re-planning engine (kernel epochs spliced at every coflow
   arrival),
 
 in two regimes: every flow backlogged from time zero, and coflows arriving
-over time (``coflow_arrival_rate``).  The kernel must produce *identical*
-completion times to the reference (asserted on every run) and beat it by at
-least **5x** on both regimes — the acceptance gate of the kernel refactor.
-``--smoke`` shrinks the instance for CI and only requires the kernel to
-win (shared runners are too noisy for a hard wall-clock factor).
+over time (``coflow_arrival_rate``) — plus the **100k-flow gate instance**
+(``specs/simulator-100k.yaml``), where the jit kernel must beat the array
+kernel >= 3x and the calibrated reference >= 20x.  Every kernel must
+produce *identical* completion times to the reference (asserted on every
+run) and the array kernel must beat the reference by at least **5x** on
+both classic regimes.  ``--smoke`` shrinks the instances for CI and only
+requires the kernels to win (shared runners are too noisy for hard
+wall-clock factors).
 
 Artifacts land under ``benchmarks/results/simulator/`` (report.txt/md/csv
-plus run.json with the measured speedups).
+plus run.json with the measured speedups); every run also appends its
+per-backend events/sec to ``BENCH_simulator.json`` at the repo root so the
+perf trajectory accumulates across commits.
 """
 
 import argparse
@@ -53,10 +60,17 @@ def main(argv=None):
     name = "simulator-smoke" if args.smoke else "simulator"
     print((RESULTS_DIR / name / "report.txt").read_text())
     print(
-        f"kernel speedup: {speedups['backlogged']:.2f}x backlogged, "
+        f"array kernel speedup: {speedups['backlogged']:.2f}x backlogged, "
         f"{speedups['arrivals']:.2f}x with arrivals "
         f"(required: >= {min_speedup:.2f}x)"
     )
+    if "100k_jit_vs_array" in speedups:
+        print(
+            f"jit kernel, 100k-flow gate: "
+            f"{speedups['100k_jit_vs_array']:.2f}x over array, "
+            f"{speedups['100k_jit_vs_reference']:.2f}x over the calibrated "
+            "reference"
+        )
     return 0
 
 

@@ -41,6 +41,26 @@ RESULTS_DIR = Path(__file__).parent / "results"
 RUNSTORE_DIR = RESULTS_DIR / "runstore"
 
 
+def _env_int(name: str, default: int) -> int:
+    """Integer environment knob; unset *and* empty both mean ``default``.
+
+    ``REPRO_TRIES=""`` (a cleared-but-exported variable, e.g. from a CI
+    matrix) used to raise ``ValueError: invalid literal for int()`` while
+    the boolean knobs tolerated it; every knob now treats empty/unset
+    uniformly.  A non-empty, non-integer value still raises — but naming
+    the variable instead of just the bad literal.
+    """
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={raw!r} is not an integer"
+        ) from None
+
+
 def paper_scale() -> bool:
     """Whether to run at the paper's full scale (slow)."""
     return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false", "False")
@@ -48,12 +68,12 @@ def paper_scale() -> bool:
 
 def num_tries(default: int = 2) -> int:
     """Random tries per sweep point (the paper averages 10)."""
-    return int(os.environ.get("REPRO_TRIES", default))
+    return _env_int("REPRO_TRIES", default)
 
 
 def num_workers(default: int = 0) -> int:
     """Engine worker processes (0 = serial)."""
-    return int(os.environ.get("REPRO_WORKERS", default))
+    return _env_int("REPRO_WORKERS", default)
 
 
 def run_store(name: str) -> Optional[RunStore]:

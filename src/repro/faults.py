@@ -334,6 +334,13 @@ def deadline(seconds: Optional[float]) -> Iterator[None]:
     not just sleeps.  Silently a no-op off the main thread or on platforms
     without ``SIGALRM`` (Windows); injected ``timeout`` faults keep the
     timeout *handling* path testable everywhere regardless.
+
+    Deadlines nest: the process owns a single ``ITIMER_REAL``, so entering
+    an inner deadline captures whatever time the outer one had left (the
+    ``setitimer`` return value) and the inner ``finally`` re-arms the outer
+    timer with its *remaining* budget — elapsed wall-clock deducted, and an
+    outer budget the inner body already exhausted fires (almost)
+    immediately — instead of silently cancelling it.
     """
     if (
         not seconds
@@ -348,12 +355,22 @@ def deadline(seconds: Optional[float]) -> Iterator[None]:
         raise TaskTimeoutError(f"task exceeded its {seconds}s wall-clock limit")
 
     previous = signal.signal(signal.SIGALRM, _expire)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    entered = time.monotonic()
+    outer_remaining, _outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, seconds
+    )
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining > 0.0:
+            # Re-arm the enclosing deadline with whatever budget it has
+            # left.  An already-exhausted outer budget cannot be armed with
+            # 0.0 (that would disarm it), so it fires after a vanishing
+            # grace period instead.
+            remaining = outer_remaining - (time.monotonic() - entered)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
 
 
 def backoff_delay(

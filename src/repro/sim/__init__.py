@@ -3,6 +3,8 @@
 Three layers (see ``docs/simulator.md``):
 
 * :mod:`repro.sim.kernel` — the array-based event core;
+* :mod:`repro.sim.kernel_jit` — the compiled kernel tier (bit-identical,
+  selected via ``backend="jit"`` / ``REPRO_SIM_BACKEND``);
 * :mod:`repro.sim.allocators` — pluggable per-event rate policies;
 * :mod:`repro.sim.online` — arrival-driven online re-planning on top of
   the kernel.
@@ -20,16 +22,29 @@ from .allocators import (
     resolve_allocator,
 )
 from .kernel import SimulationKernel
+from .kernel_jit import JitSimulationKernel
 from .metrics import SchemeComparison, coflow_slowdowns, improvement_percent
 from .online import OnlineFlowSimulator, ReplanContext, StaticPlanReplanner
 from .plan import SimulationPlan
-from .simulator import FlowLevelSimulator, SimulationResult
+from .simulator import (
+    BACKENDS,
+    FlowLevelSimulator,
+    SimulationResult,
+    make_kernel,
+    resolve_backend,
+    validate_backend,
+)
 
 __all__ = [
     "SimulationPlan",
     "FlowLevelSimulator",
     "SimulationResult",
     "SimulationKernel",
+    "JitSimulationKernel",
+    "BACKENDS",
+    "make_kernel",
+    "resolve_backend",
+    "validate_backend",
     "SchemeComparison",
     "improvement_percent",
     "coflow_slowdowns",

@@ -133,6 +133,9 @@ class SimulationKernel:
         self.allocator = allocator or resolve_allocator(plan.allocator)
         self.fids: List[FlowId] = instance.flow_ids()
         n = len(self.fids)
+        #: flow id -> array position, prebuilt so per-flow lookups are O(1)
+        #: (``fids.index`` would be O(n) per call — O(n^2) when iterating).
+        self._pos: Dict[FlowId, int] = {fid: k for k, fid in enumerate(self.fids)}
 
         flows = [instance.flow(fid) for fid in self.fids]
         self._size: List[float] = [float(f.size) for f in flows]
@@ -241,10 +244,23 @@ class SimulationKernel:
         """Whether every flow of the instance has completed."""
         return self._completed == len(self.fids)
 
+    def position(self, fid: FlowId) -> int:
+        """The array position of flow ``fid`` (O(1)).
+
+        Raises a ``KeyError`` naming the flow when the id is not part of
+        this kernel's instance.
+        """
+        try:
+            return self._pos[fid]
+        except KeyError:
+            raise KeyError(
+                f"unknown flow {fid!r}: not part of instance "
+                f"{self.instance.name!r}"
+            ) from None
+
     def raw_segments(self, fid: FlowId) -> List[Tuple[float, float, float]]:
         """The coalesced ``(start, end, rate)`` segments recorded for ``fid``."""
-        k = self.fids.index(fid)
-        return [tuple(seg) for seg in self._segments[k]]
+        return [tuple(seg) for seg in self._segments[self.position(fid)]]
 
     def iter_raw_segments(
         self,

@@ -1,0 +1,738 @@
+"""Compiled kernel tier: the event loop lowered to a native code core.
+
+The array kernel (:mod:`repro.sim.kernel`) removed the per-event
+re-derivation of the reference loop but still dispatches every event —
+active-set maintenance, the dirty-flag greedy allocation pass over the CSR
+flow→edge incidence, the argmin next-event selection, segment coalescing —
+through the Python interpreter.  That caps sweep instances around a few
+thousand flows.  This module lowers exactly that loop into a small C core
+operating on the same typed arrays, which is what 100k-flow instances need
+(millions of events per second instead of tens of thousands).
+
+Engine
+------
+The preferred lowering named by the roadmap is a Numba ``@njit`` of the
+loop; this build targets environments where ``numba`` (and Cython) are not
+installed, so the tier ships the equivalent *compiled C core*: ~300 lines
+of dependency-free C99 (embedded in :data:`_C_SOURCE`), built once with the
+system C toolchain (``cc -O2 -ffp-contract=off``), cached on disk keyed by
+a source digest, and loaded through :mod:`ctypes`.  ``-ffp-contract=off``
+matters: fused multiply-adds would change the rounding of
+``remaining - rate * elapsed`` and break the bit-identity contract below.
+When no C compiler is present, :func:`available` reports ``False`` and the
+dispatch layer (:func:`repro.sim.simulator.make_kernel`) falls back to the
+array kernel — selecting the ``jit`` backend is always safe.
+
+Bit-identity contract
+---------------------
+:class:`JitSimulationKernel` performs the *same IEEE-754 double arithmetic
+on the same values in the same order* as :class:`SimulationKernel` (which
+is itself property-tested against ``run_reference()``), so all three event
+loops produce identical completion/start times.  The C core only lowers the
+default greedy-priority policy — the one the paper's methodology and every
+pinned benchmark use; plans selecting ``max-min`` / ``weighted`` allocators
+transparently run on the array kernel.  ``tests/sim/test_kernel_equivalence.py``
+asserts the three-way equivalence across topology × workload × allocator
+families, online splicing included.
+
+State lives in the parent class's Python lists between calls: each
+:meth:`JitSimulationKernel.run` call lowers the current state to typed
+arrays, executes the compiled core (pausing at ``until`` exactly like the
+array kernel), and writes the state back — so pause/resume splicing, the
+online engine and every diagnostic (stuck reports, snapshots) behave
+identically across backends.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import gc
+import hashlib
+import math
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..faults import maybe_inject
+from .kernel import SimulationKernel, _TIME_EPS, _VOLUME_EPS
+
+__all__ = ["JitSimulationKernel", "available", "engine", "compiled_library_path"]
+
+#: Exit statuses of the C core's event loop.
+_FINISHED = 0
+_PAUSED = 1
+_STALLED = 2
+_EVENT_CAP = 3
+_NEED_SEGMENT_SPACE = 4
+
+#: Slots of the int64 state vector shared with the C core.
+_EVENTS, _PENDING_PTR, _ACT_LEN, _DIRTY_LEN, _G_LEN = 0, 1, 2, 3, 4
+_FORCE_FULL, _COMPLETED, _SEG_LEN, _MAX_EVENTS = 5, 6, 7, 8
+_ISTATE_SLOTS = 9
+
+_C_SOURCE = r"""
+/* The greedy-priority event loop of repro.sim.kernel, lowered to C99.
+ *
+ * Every float operation mirrors the Python kernel statement-for-statement
+ * (compile with -ffp-contract=off; no reassociation) so completion times
+ * are bit-identical.  All state lives in caller-owned arrays; the function
+ * returns a status and can be re-entered to resume (pause at `until`,
+ * segment-buffer drain).
+ */
+#include <math.h>
+#include <string.h>
+
+typedef long long i64;
+
+/* istate slots (keep in sync with kernel_jit.py) */
+#define ST_EVENTS 0
+#define ST_PENDING_PTR 1
+#define ST_ACT_LEN 2
+#define ST_DIRTY_LEN 3
+#define ST_G_LEN 4
+#define ST_FORCE_FULL 5
+#define ST_COMPLETED 6
+#define ST_SEG_LEN 7
+#define ST_MAX_EVENTS 8
+
+typedef struct {
+    i64 n, n_edges;
+    const double *size;
+    double *remaining;
+    double *completion;
+    double *start;
+    unsigned char *started;
+    const i64 *rank;
+    const i64 *csr_ptr;
+    const i64 *csr_idx;
+    const double *caps;
+    double *residual;
+    const double *pend_release;
+    const i64 *pend_rank;
+    const i64 *pend_k;
+    i64 n_pending;
+    i64 *act;
+    i64 *act_rank;
+    const i64 *ea_off;
+    i64 *ea_flow;
+    i64 *ea_rank;
+    i64 *ea_len;
+    unsigned char *flow_dirty;
+    i64 *dirty_stack;
+    i64 *g_pos;
+    double *g_rate;
+    double *rate_prev;
+    i64 *seg_flow;
+    double *seg_start;
+    double *seg_end;
+    double *seg_rate;
+    i64 seg_cap;
+    i64 *last_seg;
+    i64 *done_scratch;
+    i64 *istate;
+    double *dstate;
+    double vol_eps, time_eps;
+} ctx_t;
+
+/* bisect.bisect_right over an i64 array. */
+static i64 upper_bound(const i64 *arr, i64 len, i64 value) {
+    i64 lo = 0, hi = len;
+    while (lo < hi) {
+        i64 mid = (lo + hi) / 2;
+        if (value < arr[mid]) hi = mid; else lo = mid + 1;
+    }
+    return lo;
+}
+
+/* SimulationKernel._mark_dirty: the active lower-priority flows sharing an
+ * edge with k (plus, on release, k itself). */
+static void mark_dirty(ctx_t *c, i64 k, int include_self) {
+    if (include_self && !c->flow_dirty[k]) {
+        c->flow_dirty[k] = 1;
+        c->dirty_stack[c->istate[ST_DIRTY_LEN]++] = k;
+    }
+    i64 own = c->rank[k];
+    for (i64 p = c->csr_ptr[k]; p < c->csr_ptr[k + 1]; p++) {
+        i64 e = c->csr_idx[p];
+        i64 off = c->ea_off[e];
+        i64 len = c->ea_len[e];
+        for (i64 q = upper_bound(c->ea_rank + off, len, own); q < len; q++) {
+            i64 f = c->ea_flow[off + q];
+            if (!c->flow_dirty[f]) {
+                c->flow_dirty[f] = 1;
+                c->dirty_stack[c->istate[ST_DIRTY_LEN]++] = f;
+            }
+        }
+    }
+}
+
+/* SimulationKernel._enter_active: sorted insert into the active list and
+ * into each edge's active slab. */
+static void enter_active(ctx_t *c, i64 k, i64 rk) {
+    i64 len = c->istate[ST_ACT_LEN];
+    i64 lo = upper_bound(c->act_rank, len, rk);
+    memmove(c->act + lo + 1, c->act + lo, (size_t)(len - lo) * sizeof(i64));
+    memmove(c->act_rank + lo + 1, c->act_rank + lo,
+            (size_t)(len - lo) * sizeof(i64));
+    c->act[lo] = k;
+    c->act_rank[lo] = rk;
+    c->istate[ST_ACT_LEN] = len + 1;
+    for (i64 p = c->csr_ptr[k]; p < c->csr_ptr[k + 1]; p++) {
+        i64 e = c->csr_idx[p];
+        i64 off = c->ea_off[e];
+        i64 elen = c->ea_len[e];
+        i64 pos = upper_bound(c->ea_rank + off, elen, rk);
+        memmove(c->ea_flow + off + pos + 1, c->ea_flow + off + pos,
+                (size_t)(elen - pos) * sizeof(i64));
+        memmove(c->ea_rank + off + pos + 1, c->ea_rank + off + pos,
+                (size_t)(elen - pos) * sizeof(i64));
+        c->ea_flow[off + pos] = k;
+        c->ea_rank[off + pos] = rk;
+        c->ea_len[e] = elen + 1;
+    }
+}
+
+/* SimulationKernel._leave_active: delete-in-place from the active list and
+ * each edge slab. */
+static void leave_active(ctx_t *c, i64 k) {
+    i64 len = c->istate[ST_ACT_LEN];
+    i64 i = 0;
+    while (c->act[i] != k) i++;
+    memmove(c->act + i, c->act + i + 1, (size_t)(len - i - 1) * sizeof(i64));
+    memmove(c->act_rank + i, c->act_rank + i + 1,
+            (size_t)(len - i - 1) * sizeof(i64));
+    c->istate[ST_ACT_LEN] = len - 1;
+    for (i64 p = c->csr_ptr[k]; p < c->csr_ptr[k + 1]; p++) {
+        i64 e = c->csr_idx[p];
+        i64 off = c->ea_off[e];
+        i64 elen = c->ea_len[e];
+        i64 j = 0;
+        while (c->ea_flow[off + j] != k) j++;
+        memmove(c->ea_flow + off + j, c->ea_flow + off + j + 1,
+                (size_t)(elen - j - 1) * sizeof(i64));
+        memmove(c->ea_rank + off + j, c->ea_rank + off + j + 1,
+                (size_t)(elen - j - 1) * sizeof(i64));
+        c->ea_len[e] = elen - 1;
+    }
+}
+
+/* SimulationKernel._allocate, greedy incremental path: re-derive only the
+ * dirty flows; reuse the cached grants outright when nothing is dirty. */
+static void allocate(ctx_t *c) {
+    int force = (int)c->istate[ST_FORCE_FULL];
+    if (!force && c->istate[ST_DIRTY_LEN] == 0) return;
+    c->istate[ST_FORCE_FULL] = 0;
+    memcpy(c->residual, c->caps, (size_t)c->n_edges * sizeof(double));
+    i64 g = 0;
+    i64 alen = c->istate[ST_ACT_LEN];
+    for (i64 i = 0; i < alen; i++) {
+        i64 k = c->act[i];
+        double rate;
+        if (force || c->flow_dirty[k]) {
+            rate = INFINITY;
+            for (i64 p = c->csr_ptr[k]; p < c->csr_ptr[k + 1]; p++) {
+                double v = c->residual[c->csr_idx[p]];
+                if (v < rate) rate = v;
+            }
+            if (rate <= c->vol_eps) rate = 0.0;
+            if (rate != c->rate_prev[k]) {
+                c->rate_prev[k] = rate;
+                if (!force) mark_dirty(c, k, 0);
+            }
+        } else {
+            rate = c->rate_prev[k];
+        }
+        if (rate > 0.0) {
+            for (i64 p = c->csr_ptr[k]; p < c->csr_ptr[k + 1]; p++)
+                c->residual[c->csr_idx[p]] -= rate;
+            c->g_pos[g] = k;
+            c->g_rate[g] = rate;
+            g++;
+        }
+    }
+    for (i64 i = 0; i < c->istate[ST_DIRTY_LEN]; i++)
+        c->flow_dirty[c->dirty_stack[i]] = 0;
+    c->istate[ST_DIRTY_LEN] = 0;
+    c->istate[ST_G_LEN] = g;
+}
+
+/* SimulationKernel._record_segment: coalesce into the flow's last segment
+ * of this call's buffer, else append. */
+static void record_segment(ctx_t *c, i64 k, double s, double e, double r) {
+    i64 last = c->last_seg[k];
+    if (last >= 0 && c->seg_end[last] == s && c->seg_rate[last] == r) {
+        c->seg_end[last] = e;
+        return;
+    }
+    i64 len = c->istate[ST_SEG_LEN];
+    c->seg_flow[len] = k;
+    c->seg_start[len] = s;
+    c->seg_end[len] = e;
+    c->seg_rate[len] = r;
+    c->last_seg[k] = len;
+    c->istate[ST_SEG_LEN] = len + 1;
+}
+
+i64 repro_greedy_run(
+    i64 n, i64 n_edges,
+    const double *size, double *remaining,
+    double *completion, double *start, unsigned char *started,
+    const i64 *rank, const i64 *csr_ptr, const i64 *csr_idx,
+    const double *caps, double *residual,
+    const double *pend_release, const i64 *pend_rank, const i64 *pend_k,
+    i64 n_pending,
+    i64 *act, i64 *act_rank,
+    const i64 *ea_off, i64 *ea_flow, i64 *ea_rank, i64 *ea_len,
+    unsigned char *flow_dirty, i64 *dirty_stack,
+    i64 *g_pos, double *g_rate, double *rate_prev,
+    i64 *seg_flow, double *seg_start, double *seg_end, double *seg_rate,
+    i64 seg_cap, i64 *last_seg, i64 *done_scratch,
+    i64 *istate, double *dstate,
+    double until, double vol_eps, double time_eps)
+{
+    ctx_t C = {
+        n, n_edges, size, remaining, completion, start, started, rank,
+        csr_ptr, csr_idx, caps, residual, pend_release, pend_rank, pend_k,
+        n_pending, act, act_rank, ea_off, ea_flow, ea_rank, ea_len,
+        flow_dirty, dirty_stack, g_pos, g_rate, rate_prev, seg_flow,
+        seg_start, seg_end, seg_rate, seg_cap, last_seg, done_scratch,
+        istate, dstate, vol_eps, time_eps,
+    };
+    ctx_t *c = &C;
+    while (c->istate[ST_COMPLETED] < n) {
+        double now = c->dstate[0];
+        /* 0. Releases whose time has come join the active set. */
+        double threshold = now + c->time_eps;
+        while (c->istate[ST_PENDING_PTR] < c->n_pending &&
+               c->pend_release[c->istate[ST_PENDING_PTR]] <= threshold) {
+            i64 pp = c->istate[ST_PENDING_PTR]++;
+            i64 k = c->pend_k[pp];
+            enter_active(c, k, c->pend_rank[pp]);
+            mark_dirty(c, k, 1);
+        }
+        /* 1. Allocate rates (incremental greedy pass). */
+        allocate(c);
+        i64 glen = c->istate[ST_G_LEN];
+        /* Drain point: this event records at most glen segments; return to
+         * Python for a bigger/empty buffer before mutating anything. */
+        if (c->istate[ST_SEG_LEN] + glen > c->seg_cap) return 4;
+        /* 2. Next event: earliest projected completion vs next release. */
+        double next_completion = INFINITY;
+        for (i64 i = 0; i < glen; i++) {
+            double projected = now + c->remaining[c->g_pos[i]] / c->g_rate[i];
+            if (projected < next_completion) next_completion = projected;
+        }
+        double next_release =
+            (c->istate[ST_PENDING_PTR] < c->n_pending)
+                ? c->pend_release[c->istate[ST_PENDING_PTR]]
+                : INFINITY;
+        double next_time =
+            next_completion < next_release ? next_completion : next_release;
+        if (!isfinite(next_time)) return 2;
+        {
+            double floor_time = now + c->time_eps;
+            if (next_time < floor_time) next_time = floor_time;
+        }
+        /* 3. Pause at the splice deadline instead of crossing it. */
+        if (next_time > until) {
+            double elapsed = until - now;
+            if (elapsed > 0.0) {
+                for (i64 i = 0; i < glen; i++) {
+                    i64 k = c->g_pos[i];
+                    double rate = c->g_rate[i];
+                    double transferred = rate * elapsed;
+                    if (transferred > c->remaining[k])
+                        transferred = c->remaining[k];
+                    c->remaining[k] -= transferred;
+                    record_segment(c, k, now, until, rate);
+                    if (!c->started[k] &&
+                        c->size[k] - c->remaining[k] > c->vol_eps) {
+                        c->started[k] = 1;
+                        c->start[k] = now;
+                    }
+                }
+                c->dstate[0] = until;
+            }
+            return 1;
+        }
+        c->istate[ST_EVENTS] += 1;
+        if (c->istate[ST_EVENTS] > c->istate[ST_MAX_EVENTS]) return 3;
+        /* 4. Advance: move volume, record segments, retire completions. */
+        {
+            double elapsed = next_time - now;
+            i64 ndone = 0;
+            for (i64 i = 0; i < glen; i++) {
+                i64 k = c->g_pos[i];
+                double rate = c->g_rate[i];
+                double volume = c->remaining[k];
+                double transferred = rate * elapsed;
+                if (transferred > volume) transferred = volume;
+                double after = volume - transferred;
+                if (after <= c->vol_eps) {
+                    after = 0.0;
+                    c->done_scratch[ndone++] = k;
+                }
+                c->remaining[k] = after;
+                if (!c->started[k] && c->size[k] - after > c->vol_eps) {
+                    c->started[k] = 1;
+                    c->start[k] = now;
+                }
+                record_segment(c, k, now, next_time, rate);
+            }
+            for (i64 d = 0; d < ndone; d++) {
+                i64 k = c->done_scratch[d];
+                c->completion[k] = next_time;
+                c->istate[ST_COMPLETED] += 1;
+                leave_active(c, k);
+                c->rate_prev[k] = 0.0;
+                /* Keep the cached grant lists exact for the no-change fast
+                 * path (a completed flow always held a positive grant). */
+                i64 g2 = c->istate[ST_G_LEN];
+                i64 gi = 0;
+                while (c->g_pos[gi] != k) gi++;
+                memmove(c->g_pos + gi, c->g_pos + gi + 1,
+                        (size_t)(g2 - gi - 1) * sizeof(i64));
+                memmove(c->g_rate + gi, c->g_rate + gi + 1,
+                        (size_t)(g2 - gi - 1) * sizeof(double));
+                c->istate[ST_G_LEN] = g2 - 1;
+                mark_dirty(c, k, 0);
+            }
+            c->dstate[0] = next_time;
+        }
+    }
+    return 0;
+}
+"""
+
+
+# --------------------------------------------------------------- compilation
+
+_lib: Optional[ctypes.CDLL] = None
+_lib_error: Optional[str] = None
+_lib_path: Optional[Path] = None
+
+
+def _cache_dir() -> Path:
+    """Where compiled cores are cached (override via ``REPRO_JIT_CACHE``)."""
+    override = os.environ.get("REPRO_JIT_CACHE", "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "jit"
+
+
+def _compile(source: str, target: Path) -> None:
+    """Build ``target`` (a shared library) from the embedded C source."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    compiler = os.environ.get("CC", "cc")
+    with tempfile.TemporaryDirectory(dir=str(target.parent)) as tmp:
+        c_file = Path(tmp) / "repro_kernel.c"
+        c_file.write_text(source)
+        out = Path(tmp) / target.name
+        subprocess.run(
+            [
+                compiler,
+                "-O2",
+                "-fPIC",
+                "-shared",
+                # FMA contraction would change double rounding and break the
+                # bit-identity contract with the Python kernels.
+                "-ffp-contract=off",
+                "-o",
+                str(out),
+                str(c_file),
+                "-lm",
+            ],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        os.replace(out, target)  # atomic against concurrent builders
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    """Compile (once, disk-cached) and load the C core; ``None`` on failure."""
+    global _lib, _lib_error, _lib_path
+    if _lib is not None or _lib_error is not None:
+        return _lib
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    target = _cache_dir() / f"repro_kernel_{digest}.so"
+    try:
+        if not target.exists():
+            _compile(_C_SOURCE, target)
+        lib = ctypes.CDLL(str(target))
+        fn = lib.repro_greedy_run
+        p = ctypes.c_void_p
+        i = ctypes.c_longlong
+        d = ctypes.c_double
+        fn.restype = ctypes.c_longlong
+        fn.argtypes = [
+            i, i,                # n, n_edges
+            p, p, p, p, p,       # size, remaining, completion, start, started
+            p, p, p,             # rank, csr_ptr, csr_idx
+            p, p,                # caps, residual
+            p, p, p, i,          # pend_release, pend_rank, pend_k, n_pending
+            p, p,                # act, act_rank
+            p, p, p, p,          # ea_off, ea_flow, ea_rank, ea_len
+            p, p,                # flow_dirty, dirty_stack
+            p, p, p,             # g_pos, g_rate, rate_prev
+            p, p, p, p, i, p, p,  # seg buffers, seg_cap, last_seg, done
+            p, p,                # istate, dstate
+            d, d, d,             # until, vol_eps, time_eps
+        ]
+        _lib = lib
+        _lib_path = target
+    except (OSError, subprocess.CalledProcessError) as error:
+        detail = getattr(error, "stderr", "") or str(error)
+        _lib_error = f"could not build the compiled kernel core: {detail}"
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled (jit) backend can run on this machine."""
+    return _load() is not None
+
+
+def engine() -> Optional[str]:
+    """Name of the compiled engine in use (``"cc"``), or ``None``."""
+    return "cc" if _load() is not None else None
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the compiled backend cannot run (``None`` when it can)."""
+    _load()
+    return _lib_error
+
+
+def compiled_library_path() -> Optional[Path]:
+    """Path of the cached shared library (``None`` until built)."""
+    _load()
+    return _lib_path
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+# -------------------------------------------------------------------- kernel
+
+
+class JitSimulationKernel(SimulationKernel):
+    """:class:`SimulationKernel` whose event loop runs in the compiled core.
+
+    Construction, snapshots, diagnostics, schedule building and the Python
+    list state are all inherited; only :meth:`run` differs — it lowers the
+    current state into typed arrays, executes the C event loop (with the
+    exact pause-at-``until`` semantics of the parent), and writes the state
+    back.  Non-greedy allocators and machines without a C toolchain
+    transparently use the inherited (array-kernel) loop, so results never
+    depend on the backend.
+    """
+
+    def run(self, until: Optional[float] = None) -> bool:
+        if not self._greedy or not available():
+            return super().run(until)
+        maybe_inject("sim")
+        # The write-back materialises O(events) Python objects that are all
+        # retained; cyclic-GC passes over the (large) surrounding heap only
+        # add cost during that storm, so pause collection for the call.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run_compiled(until)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    # ------------------------------------------------------------- lowering
+    def _run_compiled(self, until: Optional[float]) -> bool:
+        lib = _load()
+        n = len(self.fids)
+        n_edges = len(self._caps)
+
+        size = np.asarray(self._size, dtype=np.float64)
+        remaining = np.asarray(self._remaining, dtype=np.float64)
+        completion = np.asarray(self._completion, dtype=np.float64)
+        start = np.asarray(self._start, dtype=np.float64)
+        started = np.asarray(self._started, dtype=np.uint8)
+        rate_prev = np.asarray(self._rate_prev, dtype=np.float64)
+
+        csr_ptr, csr_idx, rank, caps, pend = self._static_arrays()
+        pend_release, pend_rank, pend_k = pend
+        residual = np.empty(n_edges, dtype=np.float64)
+
+        act = np.zeros(n, dtype=np.int64)
+        act_rank = np.zeros(n, dtype=np.int64)
+        act[: len(self._active)] = self._active
+        act_rank[: len(self._active)] = self._active_ranks
+
+        ea_off = self._edge_slab_offsets
+        ea_flow = np.zeros(max(len(csr_idx), 1), dtype=np.int64)
+        ea_rank = np.zeros(max(len(csr_idx), 1), dtype=np.int64)
+        ea_len = np.zeros(max(n_edges, 1), dtype=np.int64)
+        for e, members in enumerate(self._edge_active):
+            if members:
+                off = int(ea_off[e])
+                ea_flow[off : off + len(members)] = members
+                ea_rank[off : off + len(members)] = self._edge_active_ranks[e]
+                ea_len[e] = len(members)
+
+        flow_dirty = np.asarray(self._flow_dirty, dtype=np.uint8)
+        dirty_stack = np.zeros(n, dtype=np.int64)
+        dirty_stack[: len(self._dirty_flows)] = self._dirty_flows
+        g_pos = np.zeros(n, dtype=np.int64)
+        g_rate = np.zeros(n, dtype=np.float64)
+        g_pos[: len(self._granted_pos)] = self._granted_pos
+        g_rate[: len(self._granted_rate)] = self._granted_rate
+
+        seg_cap = max(4 * n + 1024, 1 << 16)
+        seg_flow = np.empty(seg_cap, dtype=np.int64)
+        seg_start = np.empty(seg_cap, dtype=np.float64)
+        seg_end = np.empty(seg_cap, dtype=np.float64)
+        seg_rate = np.empty(seg_cap, dtype=np.float64)
+        last_seg = np.full(n, -1, dtype=np.int64)
+        done_scratch = np.empty(max(n, 1), dtype=np.int64)
+
+        istate = np.zeros(_ISTATE_SLOTS, dtype=np.int64)
+        istate[_EVENTS] = self.events
+        istate[_PENDING_PTR] = self._pending_ptr
+        istate[_ACT_LEN] = len(self._active)
+        istate[_DIRTY_LEN] = len(self._dirty_flows)
+        istate[_G_LEN] = len(self._granted_pos)
+        istate[_FORCE_FULL] = int(self._force_full)
+        istate[_COMPLETED] = self._completed
+        istate[_MAX_EVENTS] = self.max_events
+        dstate = np.array([self.now], dtype=np.float64)
+
+        until_c = math.inf if until is None else float(until)
+        while True:
+            status = lib.repro_greedy_run(
+                n, n_edges,
+                _ptr(size), _ptr(remaining),
+                _ptr(completion), _ptr(start), _ptr(started),
+                _ptr(rank), _ptr(csr_ptr), _ptr(csr_idx),
+                _ptr(caps), _ptr(residual),
+                _ptr(pend_release), _ptr(pend_rank), _ptr(pend_k),
+                len(pend_k),
+                _ptr(act), _ptr(act_rank),
+                _ptr(ea_off), _ptr(ea_flow), _ptr(ea_rank), _ptr(ea_len),
+                _ptr(flow_dirty), _ptr(dirty_stack),
+                _ptr(g_pos), _ptr(g_rate), _ptr(rate_prev),
+                _ptr(seg_flow), _ptr(seg_start), _ptr(seg_end), _ptr(seg_rate),
+                seg_cap, _ptr(last_seg), _ptr(done_scratch),
+                _ptr(istate), _ptr(dstate),
+                until_c, _VOLUME_EPS, _TIME_EPS,
+            )
+            self._merge_segment_buffer(seg_flow, seg_start, seg_end, seg_rate,
+                                       int(istate[_SEG_LEN]))
+            if status == _NEED_SEGMENT_SPACE:
+                istate[_SEG_LEN] = 0
+                last_seg.fill(-1)
+                continue
+            break
+
+        self._write_back(remaining, completion, start, started, rate_prev,
+                         act, act_rank, ea_off, ea_flow, ea_rank, ea_len,
+                         flow_dirty, dirty_stack, g_pos, g_rate,
+                         istate, dstate)
+        if status == _STALLED:
+            raise self._stuck_error(
+                f"simulation stalled at t={self.now:g}: no runnable "
+                "flow and no pending release"
+            )
+        if status == _EVENT_CAP:
+            raise self._stuck_error(
+                f"simulation exceeded the event cap ({self.max_events}) "
+                f"at t={self.now:g}; this indicates an internal "
+                "inconsistency"
+            )
+        return status == _FINISHED
+
+    def _static_arrays(self):
+        """Immutable per-run arrays (CSR, ranks, capacities, sorted
+        pending releases), lowered once per kernel and cached."""
+        cached = getattr(self, "_jit_static", None)
+        if cached is None:
+            csr_ptr = np.ascontiguousarray(self.flow_edge_ptr, dtype=np.int64)
+            csr_idx = np.ascontiguousarray(self.flow_edge_idx, dtype=np.int64)
+            rank = np.asarray(self._rank, dtype=np.int64)
+            caps = np.asarray(self._caps, dtype=np.float64)
+            pend_release = np.asarray(
+                [p[0] for p in self._pending], dtype=np.float64
+            )
+            pend_rank = np.asarray([p[1] for p in self._pending], dtype=np.int64)
+            pend_k = np.asarray([p[2] for p in self._pending], dtype=np.int64)
+            counts = np.bincount(csr_idx, minlength=len(self._caps))
+            self._edge_slab_offsets = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+            cached = (csr_ptr, csr_idx, rank, caps,
+                      (pend_release, pend_rank, pend_k))
+            self._jit_static = cached
+        return cached
+
+    # ------------------------------------------------------------ write-back
+    def _merge_segment_buffer(self, seg_flow, seg_start, seg_end, seg_rate,
+                              count: int) -> None:
+        """Fold the C core's segment buffer into the per-flow lists,
+        coalescing across the buffer boundary exactly like
+        :meth:`SimulationKernel._record_segment`."""
+        if count == 0:
+            return
+        flows = seg_flow[:count]
+        order = np.argsort(flows, kind="stable")  # groups flows, keeps time order
+        triples: List[List[float]] = np.column_stack(
+            (seg_start[:count][order], seg_end[:count][order],
+             seg_rate[:count][order])
+        ).tolist()
+        flows_sorted = flows[order]
+        bounds = np.flatnonzero(flows_sorted[1:] != flows_sorted[:-1]) + 1
+        chunk_starts = np.concatenate(([0], bounds))
+        chunk_ends = np.concatenate((bounds, [count]))
+        chunk_flows = flows_sorted[chunk_starts]
+        for a, b, k in zip(chunk_starts.tolist(), chunk_ends.tolist(),
+                           chunk_flows.tolist()):
+            segments = self._segments[k]
+            if segments:
+                last = segments[-1]
+                first = triples[a]
+                if last[1] == first[0] and last[2] == first[2]:
+                    last[1] = first[1]
+                    a += 1
+            segments.extend(triples[a:b])
+
+    def _write_back(self, remaining, completion, start, started, rate_prev,
+                    act, act_rank, ea_off, ea_flow, ea_rank, ea_len,
+                    flow_dirty, dirty_stack, g_pos, g_rate,
+                    istate, dstate) -> None:
+        """Restore the parent class's Python-list state from the arrays so
+        pause/resume, diagnostics and snapshots see the exact same state
+        the array kernel would hold."""
+        self._remaining = remaining.tolist()
+        self._completion = completion.tolist()
+        self._start = start.tolist()
+        self._started = started.astype(bool).tolist()
+        self._rate_prev = rate_prev.tolist()
+        alen = int(istate[_ACT_LEN])
+        self._active = act[:alen].tolist()
+        self._active_ranks = act_rank[:alen].tolist()
+        for e in range(len(self._edge_active)):
+            off = int(ea_off[e])
+            length = int(ea_len[e])
+            self._edge_active[e] = ea_flow[off : off + length].tolist()
+            self._edge_active_ranks[e] = ea_rank[off : off + length].tolist()
+        self._flow_dirty = flow_dirty.astype(bool).tolist()
+        self._dirty_flows = dirty_stack[: int(istate[_DIRTY_LEN])].tolist()
+        glen = int(istate[_G_LEN])
+        self._granted_pos = g_pos[:glen].tolist()
+        self._granted_rate = g_rate[:glen].tolist()
+        self._force_full = bool(istate[_FORCE_FULL])
+        self._completed = int(istate[_COMPLETED])
+        self._pending_ptr = int(istate[_PENDING_PTR])
+        self.events = int(istate[_EVENTS])
+        self.now = float(dstate[0])

@@ -41,7 +41,7 @@ from ..core.network import Network
 from ..core.schedule import CircuitSchedule
 from .kernel import SimulationKernel
 from .plan import SimulationPlan
-from .simulator import SimulationResult, _build_result
+from .simulator import SimulationResult, _build_result, make_kernel, validate_backend
 
 __all__ = ["ReplanContext", "Replanner", "OnlineFlowSimulator", "StaticPlanReplanner"]
 
@@ -127,6 +127,11 @@ class OnlineFlowSimulator:
         Callback invoked at every coflow arrival (see :data:`Replanner`).
     max_events:
         Optional per-epoch event cap forwarded to each kernel epoch.
+    backend:
+        Kernel backend for every epoch (``"array"``, ``"jit"``, ``"auto"``
+        or ``None`` — defer to the per-epoch plan / environment).  Epoch
+        splicing is backend-agnostic: the compiled tier pauses at arrival
+        deadlines with exactly the array kernel's semantics.
     """
 
     def __init__(
@@ -134,10 +139,13 @@ class OnlineFlowSimulator:
         network: Network,
         replanner: Replanner,
         max_events: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        validate_backend(backend)
         self.network = network
         self.replanner = replanner
         self.max_events = max_events
+        self.backend = backend
 
     # ------------------------------------------------------------------- run
     def run(
@@ -192,12 +200,13 @@ class OnlineFlowSimulator:
             for sub, orig in fid_map.items():
                 current_path[orig] = tuple(sub_plan.paths[sub])
 
-            kernel = SimulationKernel(
+            kernel = make_kernel(
                 self.network,
                 sub_instance,
                 sub_plan,
                 max_events=self.max_events,
                 start_time=now,
+                backend=self.backend,
             )
             until = arrivals[epoch + 1] if epoch + 1 < len(arrivals) else None
             kernel.run(until=until)

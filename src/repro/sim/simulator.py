@@ -31,6 +31,8 @@ tested against (``tests/sim/test_kernel_equivalence.py``).
 from __future__ import annotations
 
 import math
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
@@ -42,7 +44,14 @@ from .allocators import RateAllocator, resolve_allocator
 from .kernel import SimulationKernel, format_stuck_report
 from .plan import SimulationPlan
 
-__all__ = ["FlowLevelSimulator", "SimulationResult"]
+__all__ = [
+    "BACKENDS",
+    "FlowLevelSimulator",
+    "SimulationResult",
+    "make_kernel",
+    "resolve_backend",
+    "validate_backend",
+]
 
 Edge = Tuple[Hashable, Hashable]
 
@@ -50,6 +59,108 @@ Edge = Tuple[Hashable, Hashable]
 _VOLUME_EPS = 1e-9
 #: Minimum simulated time step (guards against event-time rounding stalls).
 _TIME_EPS = 1e-12
+
+#: Kernel backends a plan / CLI flag / environment variable may name.
+#: ``"array"`` is the Python array kernel, ``"jit"`` the compiled tier
+#: (:mod:`repro.sim.kernel_jit`), ``"auto"`` picks ``jit`` when it can run
+#: here and ``array`` otherwise.  Backends are bit-identical by contract —
+#: a speed knob only — so the choice never enters scheme signatures or
+#: run-store keys.
+BACKENDS: Tuple[str, ...] = ("array", "jit", "auto")
+
+#: Environment variable consulted when neither the caller nor the plan
+#: pins a backend (``repro run --backend`` sets it for scheme pipelines).
+_BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+_fallback_warned = False
+
+
+def validate_backend(backend: Optional[str]) -> None:
+    """Raise ``ValueError`` unless ``backend`` names a known kernel backend.
+
+    ``None`` (defer to the environment, then to ``"array"``) is valid.
+    Cheap by design — plan validation calls this on every run, and it must
+    not probe compiler availability.
+    """
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)} (or None)"
+        )
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete kernel tier.
+
+    Precedence: explicit argument > ``REPRO_SIM_BACKEND`` environment
+    variable > ``"array"``.  ``"auto"`` (from either source) resolves to
+    ``"jit"`` when the compiled tier can run on this machine and
+    ``"array"`` otherwise; an explicit ``"jit"`` is kept as-is and falls
+    back (with a warning) at kernel-construction time so the caller can
+    tell the difference between *requested* and *running*.
+    """
+    if backend is None:
+        backend = os.environ.get(_BACKEND_ENV, "").strip() or None
+    validate_backend(backend)
+    if backend is None:
+        return "array"
+    if backend == "auto":
+        from . import kernel_jit
+
+        return "jit" if kernel_jit.available() else "array"
+    return backend
+
+
+def make_kernel(
+    network: Network,
+    instance: CoflowInstance,
+    plan: SimulationPlan,
+    allocator: Optional[RateAllocator] = None,
+    max_events: Optional[int] = None,
+    start_time: float = 0.0,
+    backend: Optional[str] = None,
+) -> SimulationKernel:
+    """Build the simulation kernel for the selected backend.
+
+    ``backend`` overrides ``plan.backend``; with neither set the
+    ``REPRO_SIM_BACKEND`` environment variable and finally ``"array"``
+    apply (see :func:`resolve_backend`).  Requesting ``"jit"`` on a
+    machine without a C toolchain degrades to the array kernel with a
+    one-time ``RuntimeWarning`` — never an error, since backends are
+    bit-identical and availability is a property of the machine, not of
+    the experiment.
+    """
+    resolved = resolve_backend(backend if backend is not None else plan.backend)
+    if resolved == "jit":
+        from . import kernel_jit
+
+        if kernel_jit.available():
+            return kernel_jit.JitSimulationKernel(
+                network,
+                instance,
+                plan,
+                allocator=allocator,
+                max_events=max_events,
+                start_time=start_time,
+            )
+        global _fallback_warned
+        if not _fallback_warned:
+            _fallback_warned = True
+            warnings.warn(
+                "the 'jit' simulator backend is unavailable "
+                f"({kernel_jit.unavailable_reason()}); "
+                "falling back to the 'array' kernel (results are identical)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return SimulationKernel(
+        network,
+        instance,
+        plan,
+        allocator=allocator,
+        max_events=max_events,
+        start_time=start_time,
+    )
 
 
 @dataclass
@@ -148,10 +259,16 @@ class FlowLevelSimulator:
     ----------
     network:
         The capacitated topology.
+    backend:
+        Default kernel backend for :meth:`run` (``"array"``, ``"jit"`` or
+        ``"auto"``); ``None`` defers to the plan, then the
+        ``REPRO_SIM_BACKEND`` environment variable, then ``"array"``.
     """
 
-    def __init__(self, network: Network) -> None:
+    def __init__(self, network: Network, backend: Optional[str] = None) -> None:
+        validate_backend(backend)
         self.network = network
+        self.backend = backend
 
     # ------------------------------------------------------------------- run
     def run(
@@ -160,20 +277,25 @@ class FlowLevelSimulator:
         plan: SimulationPlan,
         max_events: Optional[int] = None,
         allocator: Optional[RateAllocator] = None,
+        backend: Optional[str] = None,
     ) -> SimulationResult:
-        """Simulate the plan on the array kernel; return the realised result.
+        """Simulate the plan on the selected kernel; return the result.
 
         ``allocator`` overrides the rate policy named by the plan (mainly
         for tests; schemes select allocators through their plans).
+        ``backend`` overrides the simulator's and the plan's kernel tier
+        for this one run; backends are bit-identical, so the result does
+        not depend on the choice.
         """
         plan = plan.normalized(instance)
         plan.validate(instance, self.network)
-        kernel = SimulationKernel(
+        kernel = make_kernel(
             self.network,
             instance,
             plan,
             allocator=allocator,
             max_events=max_events,
+            backend=backend if backend is not None else self.backend,
         )
         kernel.run()
         return _build_result(

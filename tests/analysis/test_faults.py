@@ -213,6 +213,35 @@ class TestHardeningPrimitives:
         with deadline(0):
             pass
 
+    def test_nested_deadline_restores_the_outer_timer(self):
+        """Leaving an inner deadline() must re-arm the enclosing one.
+
+        The inner context's cleanup used to run ``setitimer(ITIMER_REAL,
+        0.0)`` unconditionally, silently disarming the outer deadline — an
+        outer timeout after a quick inner section then never fired."""
+        import signal
+
+        with pytest.raises(TaskTimeoutError):
+            with deadline(0.15):
+                with deadline(5.0):
+                    pass  # quick inner work; must not cancel the outer timer
+                remaining, _interval = signal.getitimer(signal.ITIMER_REAL)
+                assert 0.0 < remaining <= 0.15, "outer deadline was disarmed"
+                while True:
+                    sum(range(1000))
+        # Fully unwound: no timer left armed.
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_nested_deadline_inner_expiry_still_fires(self):
+        import signal
+
+        with pytest.raises(TaskTimeoutError):
+            with deadline(5.0):
+                with deadline(0.05):
+                    while True:
+                        sum(range(1000))
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
 
 # ------------------------------------------------------- engine fault handling
 

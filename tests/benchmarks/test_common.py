@@ -1,0 +1,62 @@
+"""The benchmark harness's environment knobs parse defensively.
+
+``benchmarks/common.py`` maps ``REPRO_*`` environment variables onto the
+analysis layer.  A cleared-but-exported integer knob (``REPRO_TRIES=""`` —
+a common CI-matrix artefact) used to crash with ``ValueError: invalid
+literal for int()`` while the boolean knobs tolerated it; ``_env_int``
+treats empty and unset uniformly, and names the variable when a value is
+genuinely malformed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMMON = Path(__file__).resolve().parents[2] / "benchmarks" / "common.py"
+
+
+@pytest.fixture(scope="module")
+def common():
+    """The benchmarks/common.py module (not a package; loaded by path)."""
+    spec = importlib.util.spec_from_file_location("bench_common", _COMMON)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_common", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestEnvInt:
+    def test_unset_returns_the_default(self, common, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIES", raising=False)
+        assert common._env_int("REPRO_TRIES", 2) == 2
+
+    @pytest.mark.parametrize("raw", ["", "  ", "\t"])
+    def test_empty_and_whitespace_mean_unset(self, common, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRIES", raw)
+        assert common._env_int("REPRO_TRIES", 2) == 2
+
+    def test_integer_values_parse(self, common, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert common._env_int("REPRO_WORKERS", 0) == 8
+
+    def test_malformed_values_name_the_variable(self, common, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIES", "many")
+        with pytest.raises(ValueError, match="REPRO_TRIES='many' is not an integer"):
+            common._env_int("REPRO_TRIES", 2)
+
+
+class TestKnobs:
+    def test_num_tries_and_workers_tolerate_cleared_variables(self, common, monkeypatch):
+        """The original failure mode: an exported-but-empty CI variable."""
+        monkeypatch.setenv("REPRO_TRIES", "")
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert common.num_tries() == 2
+        assert common.num_workers() == 0
+
+    def test_num_tries_and_workers_read_their_variables(self, common, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIES", "7")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert common.num_tries() == 7
+        assert common.num_workers() == 3

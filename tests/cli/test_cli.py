@@ -8,6 +8,7 @@ Markdown/CSV tables from the store alone.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -96,6 +97,27 @@ class TestRun:
         assert document["topology"]["spec"] == "fat_tree(k=4)"
         assert document["metrics"]["weighted_completion_time"] > 0
         assert document["provenance"]["version"]
+
+    def test_backend_flag_is_provenance_not_identity(self, capsys, monkeypatch):
+        """``--backend`` picks the kernel tier (via ``REPRO_SIM_BACKEND``)
+        and is recorded in the document, but never changes the results."""
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        args = ["run", "--scheme", "Baseline", "--num-coflows", "2",
+                "--coflow-width", "2", "--seed", "1"]
+        documents = {}
+        for backend in ("array", "auto"):
+            assert main(args + ["--backend", backend]) == 0
+            documents[backend] = json.loads(capsys.readouterr().out)
+            # The flag travels to scheme-built simulators as the env var.
+            assert os.environ["REPRO_SIM_BACKEND"] == backend
+            monkeypatch.delenv("REPRO_SIM_BACKEND")
+        from repro.sim import kernel_jit
+
+        assert documents["array"]["simulator"]["backend"] == "array"
+        expected = "jit" if kernel_jit.available() else "array"
+        assert documents["auto"]["simulator"]["backend"] == expected
+        # Bit-identity contract: the tier is a speed knob, not a parameter.
+        assert documents["array"]["metrics"] == documents["auto"]["metrics"]
 
     def test_online_scheme_runs_its_replanning_loop(self, capsys):
         # Regression: `repro run` must dispatch through Scheme.simulate(),
@@ -305,6 +327,12 @@ class TestScenarioMatrixAcceptance:
         assert load_spec(SPECS_DIR / "fig4.yaml") == fig4_spec()
         assert load_spec(SPECS_DIR / "online.yaml") == online_spec()
         assert load_spec(SPECS_DIR / "pipeline-matrix.yaml") == pipeline_matrix_spec()
+
+    def test_checked_in_spec_pins_the_100k_bench_gate(self):
+        from repro.analysis.artifacts import load_document
+        from repro.cli.bench import _SIMULATOR_BENCH_100K
+
+        assert load_document(SPECS_DIR / "simulator-100k.yaml") == _SIMULATOR_BENCH_100K
 
     def test_smoke_sweep_two_workers_resume_and_report(self, tmp_path, capsys):
         spec = str(SPECS_DIR / "scenario-matrix.yaml")

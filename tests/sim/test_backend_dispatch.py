@@ -1,0 +1,182 @@
+"""Backend dispatch: selection precedence, fallback, and cache identity.
+
+The kernel tier (``array`` / ``jit`` / ``auto``) is a *speed* knob — the
+backends are bit-identical by contract — so the dispatch layer must (a)
+resolve the explicit argument > plan field > ``REPRO_SIM_BACKEND``
+environment variable > ``"array"`` chain deterministically, (b) degrade
+gracefully (warn, never fail) when the compiled tier cannot run, and (c)
+keep the choice *out* of scheme signatures and run-store keys: the same
+experiment simulated on either backend must hit the same cache entry.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis.runstore import run_key
+from repro.baselines import SEBFScheme
+from repro.core import topologies
+from repro.sim import (
+    BACKENDS,
+    FlowLevelSimulator,
+    JitSimulationKernel,
+    SimulationKernel,
+    SimulationPlan,
+    kernel_jit,
+    make_kernel,
+    resolve_backend,
+    validate_backend,
+)
+from repro.workloads import CoflowGenerator, WorkloadConfig
+
+
+@pytest.fixture
+def case():
+    network = topologies.leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+    config = WorkloadConfig(
+        num_coflows=2, coflow_width=3, mean_flow_size=2.0, release_rate=1.0, seed=9
+    )
+    instance = CoflowGenerator(network, config).instance()
+    plan = SEBFScheme().plan(instance, network).normalized(instance)
+    return network, config, instance, plan
+
+
+class TestResolution:
+    def test_default_is_array(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        assert resolve_backend() == "array"
+        assert resolve_backend(None) == "array"
+
+    def test_explicit_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "jit")
+        assert resolve_backend("array") == "array"
+
+    def test_environment_applies_when_unpinned(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "jit")
+        assert resolve_backend() == "jit"
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "")  # empty == unset
+        assert resolve_backend() == "array"
+
+    def test_auto_resolves_to_a_concrete_tier(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        resolved = resolve_backend("auto")
+        assert resolved == ("jit" if kernel_jit.available() else "array")
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            validate_backend("numba")
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            resolve_backend("cython")
+        for backend in BACKENDS:
+            validate_backend(backend)  # all published names are valid
+
+    def test_plan_validate_rejects_unknown_backend(self, case):
+        import dataclasses
+
+        network, _config, instance, plan = case
+        bad = dataclasses.replace(plan, backend="turbo")
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            bad.validate(instance, network)
+
+    def test_plan_backend_survives_normalization(self, case):
+        import dataclasses
+
+        _network, _config, instance, plan = case
+        pinned = dataclasses.replace(plan, backend="jit")
+        assert pinned.normalized(instance).backend == "jit"
+
+
+class TestDispatch:
+    def test_plan_backend_selects_the_kernel_class(self, case, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        import dataclasses
+
+        network, _config, instance, plan = case
+        assert type(make_kernel(network, instance, plan)) is SimulationKernel
+        if kernel_jit.available():
+            pinned = dataclasses.replace(plan, backend="jit")
+            assert isinstance(make_kernel(network, instance, pinned), JitSimulationKernel)
+
+    def test_explicit_backend_overrides_plan(self, case, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        import dataclasses
+
+        network, _config, instance, plan = case
+        pinned = dataclasses.replace(plan, backend="jit")
+        kernel = make_kernel(network, instance, pinned, backend="array")
+        assert type(kernel) is SimulationKernel
+
+    def test_environment_variable_reaches_the_kernel(self, case, monkeypatch):
+        if not kernel_jit.available():
+            pytest.skip("compiled kernel tier unavailable")
+        network, _config, instance, plan = case
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "jit")
+        assert isinstance(make_kernel(network, instance, plan), JitSimulationKernel)
+
+    def test_unavailable_jit_falls_back_with_a_warning(self, case, monkeypatch):
+        """An explicit jit request on a machine without a toolchain degrades
+        to the array kernel (identical results) instead of failing."""
+        network, _config, instance, plan = case
+        monkeypatch.setattr(kernel_jit, "available", lambda: False)
+        monkeypatch.setattr(
+            kernel_jit, "unavailable_reason", lambda: "no C compiler (test)"
+        )
+        from repro.sim import simulator as simulator_module
+
+        monkeypatch.setattr(simulator_module, "_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="falling back to the 'array'"):
+            kernel = make_kernel(network, instance, plan, backend="jit")
+        assert type(kernel) is SimulationKernel
+        # ... and only warns once per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            kernel = make_kernel(network, instance, plan, backend="jit")
+        assert type(kernel) is SimulationKernel
+
+    def test_jit_kernel_without_library_delegates_to_python_loop(self, case, monkeypatch):
+        """A constructed JitSimulationKernel still runs correctly when the
+        compiled core vanishes (e.g. cache deleted mid-process)."""
+        network, _config, instance, plan = case
+        kernel = JitSimulationKernel(network, instance, plan)
+        monkeypatch.setattr(kernel_jit, "available", lambda: False)
+        assert kernel.run()
+        reference = SimulationKernel(network, instance, plan)
+        reference.run()
+        assert kernel.flow_completion_map() == reference.flow_completion_map()
+
+    def test_simulator_constructor_validates_backend(self, case):
+        network, _config, _instance, _plan = case
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            FlowLevelSimulator(network, backend="fortran")
+
+
+class TestCacheIdentity:
+    def test_backends_share_one_run_store_key(self, case, monkeypatch):
+        """Same topology, config and scheme -> same run-store key, whatever
+        backend the environment selects: the tier must never fork the cache."""
+        network, config, _instance, _plan = case
+        scheme = SEBFScheme()
+        keys = set()
+        for backend in ("array", "jit"):
+            monkeypatch.setenv("REPRO_SIM_BACKEND", backend)
+            keys.add(run_key(network.fingerprint(), config, scheme.signature()))
+        assert len(keys) == 1
+
+    def test_scheme_signatures_do_not_encode_the_backend(self, case, monkeypatch):
+        _network, _config, _instance, _plan = case
+        scheme = SEBFScheme()
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "jit")
+        jit_signature = scheme.signature()
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "array")
+        assert scheme.signature() == jit_signature
+        assert "jit" not in jit_signature and "backend" not in jit_signature
+
+    def test_results_are_identical_across_backends(self, case, monkeypatch):
+        if not kernel_jit.available():
+            pytest.skip("compiled kernel tier unavailable")
+        network, _config, instance, plan = case
+        simulator = FlowLevelSimulator(network)
+        array = simulator.run(instance, plan, backend="array")
+        jit = simulator.run(instance, plan, backend="jit")
+        assert array.flow_completion == jit.flow_completion
+        assert array.metrics() == jit.metrics()

@@ -1,17 +1,19 @@
-"""The array kernel is numerically identical to the reference event loop.
+"""Every kernel tier is numerically identical to the reference event loop.
 
-``FlowLevelSimulator.run`` (the array kernel) and ``run_reference`` (the
-original dict-based loop, kept as the executable specification) must agree
+``FlowLevelSimulator.run`` (the array kernel and, where a C toolchain
+exists, the compiled jit kernel) and ``run_reference`` (the original
+dict-based loop, kept as the executable specification) must agree
 *exactly* — same arithmetic on the same values in the same order — across
 random topologies x workload families x every rate allocator.  These
-property tests replay seeded scenarios through both paths and compare
-completion times bit-for-bit, plus the realised schedule volumes (where
-segment coalescing legitimately reorders float additions, so a tight
-tolerance applies).
+property tests replay seeded scenarios through all paths (a 3-way check
+when the jit tier is available) and compare completion times bit-for-bit,
+plus the realised schedule volumes (where segment coalescing legitimately
+reorders float additions, so a tight tolerance applies).
 
 The online engine's anchor property rides along: online simulation under a
 scheduler that never changes the plan (``StaticPlanReplanner``) reproduces
-the static simulation up to splice-point rounding.
+the static simulation up to splice-point rounding — on every backend, since
+the jit tier implements the same pause-at-deadline splice semantics.
 """
 
 import dataclasses
@@ -26,8 +28,21 @@ from repro.sim import (
     FlowLevelSimulator,
     OnlineFlowSimulator,
     StaticPlanReplanner,
+    kernel_jit,
 )
 from repro.workloads import CoflowGenerator, WorkloadConfig
+
+#: The kernel tiers under test; the jit tier drops out (skip, not fail) on
+#: machines without a C toolchain.
+BACKENDS_UNDER_TEST = [
+    "array",
+    pytest.param(
+        "jit",
+        marks=pytest.mark.skipif(
+            not kernel_jit.available(), reason="compiled kernel tier unavailable"
+        ),
+    ),
+]
 
 #: (topology seed, size family, endpoint family, scheme) grid: every case is
 #: deterministic, so a failure reproduces from its parameter id alone.
@@ -81,23 +96,43 @@ def assert_identical(kernel, reference):
     assert kernel.coflow_slowdowns == pytest.approx(reference.coflow_slowdowns)
 
 
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
 @pytest.mark.parametrize("seed,flow_sizes,endpoints,scheme", CASES)
 @pytest.mark.parametrize("allocator", sorted(ALLOCATORS))
-def test_kernel_matches_reference(seed, flow_sizes, endpoints, scheme, allocator):
+def test_kernel_matches_reference(seed, flow_sizes, endpoints, scheme, allocator, backend):
     network, instance, plan = build_case(seed, flow_sizes, endpoints, scheme)
     plan = dataclasses.replace(plan, allocator=allocator)
     simulator = FlowLevelSimulator(network)
-    kernel = simulator.run(instance, plan)
+    kernel = simulator.run(instance, plan, backend=backend)
     reference = simulator.run_reference(instance, plan)
     assert_identical(kernel, reference)
     kernel.schedule.validate(instance, network)
 
 
 @pytest.mark.parametrize("seed,flow_sizes,endpoints,scheme", CASES)
-def test_online_with_frozen_plan_equals_static(seed, flow_sizes, endpoints, scheme):
+def test_jit_segments_are_bit_identical_to_array(seed, flow_sizes, endpoints, scheme):
+    """Beyond completion times: the realised segments agree bit-for-bit."""
+    if not kernel_jit.available():
+        pytest.skip("compiled kernel tier unavailable")
+    network, instance, plan = build_case(seed, flow_sizes, endpoints, scheme)
+    simulator = FlowLevelSimulator(network)
+    array = simulator.run(instance, plan, backend="array")
+    jit = simulator.run(instance, plan, backend="jit")
+    assert array.flow_completion == jit.flow_completion
+    assert array.flow_start == jit.flow_start
+    assert array.events == jit.events
+    for fid in instance.flow_ids():
+        assert array.schedule.segments(fid) == jit.schedule.segments(fid), fid
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("seed,flow_sizes,endpoints,scheme", CASES)
+def test_online_with_frozen_plan_equals_static(seed, flow_sizes, endpoints, scheme, backend):
     network, instance, plan = build_case(seed, flow_sizes, endpoints, scheme)
     static = FlowLevelSimulator(network).run(instance, plan)
-    online = OnlineFlowSimulator(network, StaticPlanReplanner(plan)).run(instance)
+    online = OnlineFlowSimulator(
+        network, StaticPlanReplanner(plan), backend=backend
+    ).run(instance)
     assert set(online.flow_completion) == set(static.flow_completion)
     for fid, completion in static.flow_completion.items():
         assert online.flow_completion[fid] == pytest.approx(
@@ -126,22 +161,50 @@ def test_kernel_on_leaf_spine_benchmark_shape():
     assert_identical(simulator.run(instance, plan), simulator.run_reference(instance, plan))
 
 
-def test_pause_and_resume_matches_uninterrupted_run():
-    """run(until=...) splicing reproduces an uninterrupted run of the kernel."""
-    from repro.sim.kernel import SimulationKernel
-
+def _pause_resume_case():
     network = topologies.leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
     config = WorkloadConfig(
         num_coflows=3, coflow_width=3, mean_flow_size=2.0, release_rate=1.0, seed=5
     )
     instance = CoflowGenerator(network, config).instance()
     plan = BaselineScheme(seed=0).plan(instance, network).normalized(instance)
+    return network, instance, plan
 
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+def test_pause_and_resume_matches_uninterrupted_run(backend):
+    """run(until=...) splicing reproduces an uninterrupted run of the kernel."""
+    from repro.sim import make_kernel
+    from repro.sim.kernel import SimulationKernel
+
+    network, instance, plan = _pause_resume_case()
     whole = SimulationKernel(network, instance, plan)
     whole.run()
-    paused = SimulationKernel(network, instance, plan)
+    paused = make_kernel(network, instance, plan, backend=backend)
     for deadline in (0.5, 1.0, 1.7, 2.5):
         paused.run(until=deadline)
     paused.run()
     assert paused.flow_completion_map() == pytest.approx(whole.flow_completion_map())
     assert whole.finished and paused.finished
+
+
+def test_mixed_backend_splicing_is_identical():
+    """Alternating event loops across pauses on one kernel's state produces
+    the exact uninterrupted result: the compiled core reads and writes the
+    same canonical state as the Python loop."""
+    if not kernel_jit.available():
+        pytest.skip("compiled kernel tier unavailable")
+    from repro.sim import JitSimulationKernel
+    from repro.sim.kernel import SimulationKernel
+
+    network, instance, plan = _pause_resume_case()
+    whole = SimulationKernel(network, instance, plan)
+    whole.run()
+    mixed = JitSimulationKernel(network, instance, plan)
+    mixed.run(until=0.5)                         # compiled loop
+    SimulationKernel.run(mixed, until=1.0)       # Python loop, same state
+    mixed.run(until=1.7)                         # compiled again
+    mixed.run()
+    assert mixed.flow_completion_map() == whole.flow_completion_map()
+    for fid in instance.flow_ids():
+        assert mixed.raw_segments(fid) == whole.raw_segments(fid), fid

@@ -137,6 +137,42 @@ class TestRealisedSchedule:
         assert result.average_completion_time == pytest.approx(1.5)
 
 
+class TestKernelFlowLookups:
+    """Per-flow kernel lookups are O(1) and name the flow on a miss."""
+
+    def build_kernel(self, triangle):
+        from repro.sim.kernel import SimulationKernel
+
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0), Flow("y", "z", size=1.0))),
+            ],
+            name="lookup-case",
+        )
+        plan = plan_for(instance, triangle).normalized(instance)
+        kernel = SimulationKernel(triangle, instance, plan)
+        kernel.run()
+        return kernel
+
+    def test_position_maps_every_flow(self, triangle):
+        kernel = self.build_kernel(triangle)
+        for k, fid in enumerate(kernel.fids):
+            assert kernel.position(fid) == k
+
+    def test_unknown_flow_raises_keyerror_naming_it(self, triangle):
+        kernel = self.build_kernel(triangle)
+        with pytest.raises(KeyError, match=r"unknown flow \(7, 7\).*lookup-case"):
+            kernel.position((7, 7))
+        with pytest.raises(KeyError, match=r"unknown flow \(7, 7\)"):
+            kernel.raw_segments((7, 7))
+
+    def test_raw_segments_returns_coalesced_tuples(self, triangle):
+        kernel = self.build_kernel(triangle)
+        segments = kernel.raw_segments((0, 0))
+        assert segments and all(len(seg) == 3 for seg in segments)
+        assert all(isinstance(seg, tuple) for seg in segments)
+
+
 class TestPlanValidation:
     def test_missing_path_raises(self, triangle):
         instance = CoflowInstance(coflows=[Coflow(flows=(Flow("x", "y", size=1.0),))])
