@@ -16,6 +16,12 @@ spec/engine/artifact pipeline as ``repro sweep``:
   vs the reference event loop, static vs online, on a pinned leaf-spine
   instance plus a 100k-flow gate instance; appends every run to
   ``BENCH_simulator.json`` at the repo root;
+* ``streaming``       — the streaming scheduler service: warm-started
+  batched re-planning vs cold rebuild-per-arrival on a pinned arrival
+  stream (``specs/streaming.yaml``), reporting replans/sec, arrivals per
+  planning second and p99 decision latency, with warm == cold exactness
+  and the staleness-bound invariant asserted; appends to
+  ``BENCH_simulator.json``;
 * ``pipeline-matrix`` — a router x orderer x allocator cross-product swept
   as composed ``pipeline(...)`` specs (the checked-in
   ``specs/pipeline-matrix.yaml``), one report column per composition;
@@ -66,6 +72,7 @@ SUITES = (
     "scenario-matrix",
     "online",
     "simulator",
+    "streaming",
     "pipeline-matrix",
     "pipeline",
 )
@@ -924,6 +931,201 @@ def run_simulator(
     return speedups
 
 
+# ---------------------------------------------------------- streaming suite
+
+#: The pinned streaming-service gate instance: 16 coflows x 6 flows arriving
+#: as a Poisson stream on a 24-host leaf-spine fabric — dense enough that
+#: the batched policy routinely closes batches by count.  Also pinned as
+#: ``specs/streaming.yaml`` (``--smoke`` shrinks it for CI).
+_STREAMING_BENCH = {
+    "topology": "leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=4)",
+    "num_coflows": 16,
+    "coflow_width": 6,
+    "mean_flow_size": 6.0,
+    "release_rate": 1.0,
+    "coflow_arrival_rate": 1.0,
+    "seed": 777,
+}
+_STREAMING_BENCH_SMOKE = {
+    "topology": "leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=4)",
+    "num_coflows": 5,
+    "coflow_width": 4,
+    "mean_flow_size": 6.0,
+    "release_rate": 1.0,
+    "coflow_arrival_rate": 1.0,
+    "seed": 777,
+}
+
+#: The batching policy the suite benchmarks (vs batch-size-1): close a batch
+#: at its 6th pending arrival or 6 time units after it opened.
+_STREAMING_POLICY = {"max_batch": 6, "max_delay": 6.0}
+
+
+def run_streaming(
+    out_dir: Path, smoke: bool = False, min_throughput_ratio: Optional[float] = None
+) -> Dict[str, Dict[str, float]]:
+    """Benchmark the streaming scheduler service on the pinned stream.
+
+    Runs the same arrival stream through four configurations — {cold
+    rebuild, warm-started assembly} x {re-plan per arrival, batched per
+    :data:`_STREAMING_POLICY`} — and reports each session's replans/sec,
+    arrivals per planning second, p99 decision latency and observed
+    staleness.  Three invariants are asserted on every run, smoke included:
+
+    * warm-started sessions produce **exactly** the completions of their
+      cold twins (``==``, no tolerance) at both batch sizes;
+    * every session's observed staleness respects its policy's declared
+      bound (``staleness_report()["within_bound"]``);
+    * the batch-size-1 re-plan count equals the number of distinct coflow
+      release times (the online-engine semantics).
+
+    The hard gate (full scale only, ``min_throughput_ratio``): the
+    warm-batched session processes arrivals per planning second at least
+    that multiple of the cold rebuild-per-arrival baseline.  Every run
+    appends its metrics to ``BENCH_simulator.json``.
+
+    Returns ``{configuration: streaming_metrics()}`` plus the ratio under
+    the ``"_gate"`` key.
+    """
+    from ..analysis.artifacts import strict_config_from_dict
+    from ..circuit.given_paths import _default_horizon
+    from ..sim import (
+        BatchPolicy,
+        ColdLPReplanner,
+        StreamingScheduler,
+        WarmLPReplanner,
+    )
+    from ..workloads import CoflowGenerator
+
+    base = dict(_STREAMING_BENCH_SMOKE if smoke else _STREAMING_BENCH)
+    config = strict_config_from_dict(base, "streaming bench")
+    network = config.build_network()
+    instance = CoflowGenerator(network, config).instance()
+    # Both replanners share one pinned interval grid: the full instance's
+    # default horizon (sub-instance volumes only shrink, so it stays safe).
+    routed = instance.with_paths(
+        {
+            fid: network.shortest_path(
+                instance.flow(fid).source, instance.flow(fid).destination
+            )
+            for fid in instance.flow_ids()
+        }
+    )
+    horizon = _default_horizon(routed, network)
+    batched = BatchPolicy(**_STREAMING_POLICY)
+    per_arrival = BatchPolicy(max_batch=1)
+    configurations = [
+        ("cold / per-arrival", lambda: ColdLPReplanner(network, horizon), per_arrival),
+        ("warm / per-arrival", lambda: WarmLPReplanner(network, horizon), per_arrival),
+        ("cold / batched", lambda: ColdLPReplanner(network, horizon), batched),
+        ("warm / batched", lambda: WarmLPReplanner(network, horizon), batched),
+    ]
+    headers = [
+        "configuration",
+        "replans",
+        "arrivals",
+        "plan s",
+        "replans/sec",
+        "arrivals/plan-sec",
+        "p99 decision ms",
+        "max staleness",
+    ]
+    rows: List[List[Any]] = []
+    metrics: Dict[str, Dict[str, float]] = {}
+    results: Dict[str, Any] = {}
+    for label, make_replanner, policy in configurations:
+        session = StreamingScheduler(network, make_replanner(), policy=policy)
+        results[label] = session.run(instance, plan_name=label)
+        staleness = session.staleness_report()
+        assert staleness["within_bound"] == 1.0, (
+            f"{label}: observed staleness {staleness['max_staleness']:.3f} "
+            f"exceeds the declared bound {staleness['bound']:.3f}"
+        )
+        report = session.streaming_metrics()
+        metrics[label] = report
+        rows.append(
+            [
+                label,
+                int(report["replans"]),
+                int(report["arrivals"]),
+                report["plan_seconds"],
+                report["replans_per_sec"],
+                report["arrivals_per_plan_sec"],
+                report["p99_decision_latency"] * 1e3,
+                report["max_staleness"],
+            ]
+        )
+
+    releases = sorted({c.release_time for c in instance.coflows})
+    assert metrics["cold / per-arrival"]["replans"] == float(len(releases)), (
+        "batch-size-1 must re-plan exactly once per distinct release time"
+    )
+    for policy_label in ("per-arrival", "batched"):
+        warm, cold = results[f"warm / {policy_label}"], results[f"cold / {policy_label}"]
+        assert warm.flow_completion == cold.flow_completion, (
+            f"warm-started completions diverged from the cold rebuild "
+            f"({policy_label})"
+        )
+        assert warm.flow_start == cold.flow_start, (
+            f"warm-started start times diverged from the cold rebuild "
+            f"({policy_label})"
+        )
+
+    ratio = (
+        metrics["warm / batched"]["arrivals_per_plan_sec"]
+        / metrics["cold / per-arrival"]["arrivals_per_plan_sec"]
+    )
+    metrics["_gate"] = {"throughput_ratio": ratio}
+
+    name = "streaming-smoke" if smoke else "streaming"
+    title = (
+        "Streaming scheduler benchmark — warm batched re-planning vs cold "
+        f"rebuild per arrival ({'smoke' if smoke else 'pinned'} stream: "
+        f"{base['num_coflows']} coflows x {base['coflow_width']} flows, "
+        f"batch policy {_STREAMING_POLICY['max_batch']} / "
+        f"{_STREAMING_POLICY['max_delay']:g})"
+    )
+    _write_static_report(
+        Path(out_dir) / name,
+        headers,
+        rows,
+        title,
+        {
+            "suite": name,
+            "instance": base,
+            "policy": dict(_STREAMING_POLICY),
+            "metrics": metrics,
+        },
+    )
+    bench_path = _persist_bench_run(
+        {
+            "suite": name,
+            "smoke": smoke,
+            "instance_shape": {
+                "topology": base["topology"],
+                "num_coflows": base["num_coflows"],
+                "coflow_width": base["coflow_width"],
+                "flows": base["num_coflows"] * base["coflow_width"],
+            },
+            "policy": dict(_STREAMING_POLICY),
+            "streaming": {
+                label: report
+                for label, report in metrics.items()
+                if label != "_gate"
+            },
+            "throughput_ratio": ratio,
+        }
+    )
+    print(f"perf trajectory appended -> {bench_path}")
+
+    if min_throughput_ratio is not None:
+        assert ratio >= min_throughput_ratio, (
+            f"warm batched throughput is only {ratio:.2f}x the cold "
+            f"per-arrival baseline (gate: {min_throughput_ratio:.1f}x)"
+        )
+    return metrics
+
+
 # ----------------------------------------------------------- pipeline suite
 
 #: The pinned pipeline-stage benchmark instance: 6 coflows x 8 flows each on
@@ -1126,6 +1328,26 @@ def run_suite(
                 "calibrated reference"
             )
         return 0
+    if suite == "streaming":
+        # A wall-clock service benchmark: no engine, no sweep.  The hard
+        # >= 3x throughput gate only applies at full scale — CI smoke runs
+        # are on shared, noisy machines and only require batching to win.
+        _warn_ignored(
+            suite,
+            {"--workers": workers != 0, "--paper-scale": paper_scale},
+        )
+        metrics = run_streaming(
+            out_dir, smoke=smoke, min_throughput_ratio=1.0 if smoke else 3.0
+        )
+        name = "streaming-smoke" if smoke else "streaming"
+        print((Path(out_dir) / name / "report.txt").read_text())
+        print(
+            "warm batched vs cold per-arrival throughput: "
+            f"{metrics['_gate']['throughput_ratio']:.2f}x "
+            f"(p99 decision latency "
+            f"{metrics['warm / batched']['p99_decision_latency'] * 1e3:.1f} ms)"
+        )
+        return 0
     if suite == "pipeline":
         # A wall-clock stage microbenchmark: no engine, no sweep.
         _warn_ignored(
@@ -1182,7 +1404,8 @@ def configure(subparsers: argparse._SubParsersAction) -> None:
         "bench",
         help=(
             "run a benchmark suite (fig3, fig4, table1, headline, "
-            "scenario-matrix, online, simulator, pipeline-matrix, pipeline)"
+            "scenario-matrix, online, simulator, streaming, "
+            "pipeline-matrix, pipeline)"
         ),
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,

@@ -1,0 +1,378 @@
+"""Incremental (warm-started) assembly of the given-paths interval LP.
+
+The streaming scheduler (:mod:`repro.sim.streaming`) re-solves the
+Section-2.1 LP at every re-planning epoch over a slowly-changing coflow set:
+arrivals append coflows, departures drop them, and the surviving flows shrink
+as volume drains.  Rebuilding the LP from the instance every epoch repeats
+per-flow work that never changes — path validation, bottleneck capacities,
+deduplicated edge sequences, release-interval searches.  This module keeps
+that derived structure in a per-flow cache keyed by *stable* flow identities
+(original flow ids, which survive the sub-instance renumbering of
+:class:`repro.sim.online.OnlineFlowSimulator`) and re-emits the LP each epoch
+through :func:`repro.circuit.given_paths.emit_given_paths_lp` — the *same*
+emission code the cold builder uses, which is what makes the warm-started
+matrices **byte-identical** to a cold rebuild over the same instance and
+grid.  Identical matrices into the deterministic HiGHS solve give identical
+solutions (same objective, same extracted rates, ``==`` with no tolerance) —
+the warm-start contract the property harness in
+``tests/sim/test_streaming_equivalence.py`` enforces.
+
+Why re-emit instead of patching the previous epoch's buffers in place?  The
+completion block orders columns ``[x, c]`` per flow followed by one trailing
+``C`` block — an arriving coflow's columns belong *before* the ``C`` block,
+so any append-only delta would permute columns relative to a cold build and
+break exact equality.  The generic delta layer this PR adds to
+:class:`repro.lp.LinearProgram` (:meth:`drop_constraints` /
+:meth:`drop_columns` with compaction in :meth:`matrices`) handles the
+departure-only direction exactly and is property-tested against from-scratch
+assembly for all five LP builders in ``tests/lp/test_incremental_assembly.py``;
+this module layers the arrival direction on top via cached-input re-emission.
+
+The grid is **pinned** at construction: :class:`GivenPathsLP`'s default
+horizon depends on the instance's total volume, which shrinks as flows drain,
+so successive epochs would otherwise disagree on interval boundaries and no
+two epochs' LPs would be comparable.  Pick the horizon once (e.g. from the
+full instance) and every epoch shares coefficients.
+
+Basis reuse: when the ``highspy`` bindings are installed,
+:func:`solve_warm` re-seeds each solve with the previous epoch's HiGHS basis
+(:class:`WarmStartState`); without them (this repository's pinned
+environment ships scipy's bundled HiGHS only) it falls back to the
+deterministic :func:`repro.lp.solve` path, which is also what keeps the
+exactness contract bit-for-bit.  :func:`basis_reuse_available` reports which
+tier is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.flows import CoflowInstance, FlowId
+from ..core.intervals import IntervalGrid
+from ..core.network import Network, path_edges
+from .model import LinearProgram
+from .solver import LPSolution, solve
+
+__all__ = [
+    "FlowStructure",
+    "IncrementalGivenPathsLP",
+    "WarmStartState",
+    "basis_reuse_available",
+    "solve_warm",
+]
+
+
+def basis_reuse_available() -> bool:
+    """True when the optional ``highspy`` bindings are importable.
+
+    scipy's bundled HiGHS exposes no basis I/O, so cross-solve basis reuse
+    needs the standalone bindings; environments without them (including this
+    repository's pinned image) use the deterministic fallback path.
+    """
+    try:
+        import highspy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@dataclass
+class WarmStartState:
+    """Carries solver state (the HiGHS basis) across successive solves.
+
+    On the fallback path the state only counts solves; with ``highspy``
+    installed it holds the basis object re-seeded into the next solve.
+    """
+
+    basis: Any = None
+    solves: int = 0
+    basis_reuses: int = 0
+
+
+def solve_warm(
+    lp: LinearProgram,
+    state: Optional[WarmStartState] = None,
+    use_basis: str = "auto",
+) -> LPSolution:
+    """Solve ``lp``, reusing the previous basis from ``state`` when possible.
+
+    ``use_basis``:
+
+    * ``"auto"`` (default) — reuse the basis iff ``highspy`` is installed;
+      otherwise solve through the deterministic scipy path.  This is the mode
+      the streaming scheduler uses.
+    * ``"never"`` — always the deterministic path (what the exactness
+      property tests pin, so they hold regardless of installed extras).
+    """
+    if use_basis not in ("auto", "never"):
+        raise ValueError(f"use_basis must be 'auto' or 'never', got {use_basis!r}")
+    if state is not None:
+        state.solves += 1
+    if use_basis == "auto" and state is not None and basis_reuse_available():
+        return _solve_highspy(lp, state)  # pragma: no cover - needs highspy
+    return solve(lp)
+
+
+def _solve_highspy(lp: LinearProgram, state: WarmStartState) -> LPSolution:
+    """Solve through standalone HiGHS, seeding and recapturing the basis.
+
+    Only reachable when ``highspy`` is installed (never in the pinned test
+    environment) — the streaming scheduler treats its answer as a drop-in for
+    the scipy path and the equivalence tests always pin ``use_basis="never"``.
+    """  # pragma: no cover - needs highspy
+    import highspy  # pragma: no cover
+
+    a_ub, b_ub, a_eq, b_eq = lp.matrices()  # pragma: no cover
+    lower, upper = lp.bounds_arrays()  # pragma: no cover
+    h = highspy.Highs()  # pragma: no cover
+    h.silent()  # pragma: no cover
+    num_rows = 0  # pragma: no cover
+    blocks = []  # pragma: no cover
+    row_lower: List[np.ndarray] = []  # pragma: no cover
+    row_upper: List[np.ndarray] = []  # pragma: no cover
+    if a_ub is not None:  # pragma: no cover
+        blocks.append(a_ub)  # pragma: no cover
+        row_lower.append(np.full(a_ub.shape[0], -np.inf))  # pragma: no cover
+        row_upper.append(np.asarray(b_ub, dtype=float))  # pragma: no cover
+        num_rows += a_ub.shape[0]  # pragma: no cover
+    if a_eq is not None:  # pragma: no cover
+        blocks.append(a_eq)  # pragma: no cover
+        row_lower.append(np.asarray(b_eq, dtype=float))  # pragma: no cover
+        row_upper.append(np.asarray(b_eq, dtype=float))  # pragma: no cover
+        num_rows += a_eq.shape[0]  # pragma: no cover
+    from scipy import sparse  # pragma: no cover
+
+    matrix = (
+        sparse.vstack(blocks).tocsc()
+        if blocks
+        else sparse.csc_matrix((0, lp.num_variables))
+    )  # pragma: no cover
+    model = highspy.HighsLp()  # pragma: no cover
+    model.num_col_ = lp.num_variables  # pragma: no cover
+    model.num_row_ = num_rows  # pragma: no cover
+    model.col_cost_ = lp.objective_vector()  # pragma: no cover
+    model.col_lower_ = np.asarray(lower, dtype=float)  # pragma: no cover
+    model.col_upper_ = np.asarray(upper, dtype=float)  # pragma: no cover
+    model.row_lower_ = (
+        np.concatenate(row_lower) if row_lower else np.zeros(0)
+    )  # pragma: no cover
+    model.row_upper_ = (
+        np.concatenate(row_upper) if row_upper else np.zeros(0)
+    )  # pragma: no cover
+    model.a_matrix_.start_ = matrix.indptr  # pragma: no cover
+    model.a_matrix_.index_ = matrix.indices  # pragma: no cover
+    model.a_matrix_.value_ = matrix.data  # pragma: no cover
+    h.passModel(model)  # pragma: no cover
+    if state.basis is not None:  # pragma: no cover
+        try:  # pragma: no cover
+            h.setBasis(state.basis)  # pragma: no cover
+            state.basis_reuses += 1  # pragma: no cover
+        except Exception:  # pragma: no cover
+            state.basis = None  # pragma: no cover
+    h.run()  # pragma: no cover
+    state.basis = h.getBasis()  # pragma: no cover
+    solution = h.getSolution()  # pragma: no cover
+    x = np.asarray(solution.col_value, dtype=float)  # pragma: no cover
+    x = np.where(x < 0.0, 0.0, x)  # pragma: no cover
+    keys, index = lp.solution_keys()  # pragma: no cover
+    return LPSolution(
+        objective=float(h.getObjectiveValue()),
+        status=0,
+        message="highspy warm solve",
+        iterations=int(h.getInfo().simplex_iteration_count),
+        x=x,
+        keys=keys,
+        index=index,
+    )  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class FlowStructure:
+    """Cached per-flow structure that survives across epochs.
+
+    Everything here is a pure function of the flow's path, release time, the
+    network and the pinned grid — none of it changes as the flow's remaining
+    volume drains, so it is computed once per flow lifetime.
+    """
+
+    path: Tuple[Any, ...]
+    release_time: float
+    bottleneck: float
+    edge_seq: Tuple[Tuple[Any, Any], ...]
+    release_interval: int
+
+
+class IncrementalGivenPathsLP:
+    """Warm-start assembler for the given-paths LP over a pinned grid.
+
+    Usage per epoch::
+
+        inc = IncrementalGivenPathsLP(network, horizon=H)
+        inc.sync(sub_instance, stable_ids=fid_map)   # delta-update the cache
+        relaxation = inc.relax()                     # build + solve + extract
+
+    ``sync`` replaces the tracked instance, reusing cached
+    :class:`FlowStructure` for every flow whose stable identity, path and
+    release time are unchanged (cache statistics land in
+    :attr:`last_sync_stats`).  ``build``/``relax`` then re-emit the LP through
+    the cold builder's own emission function, so the produced matrices are
+    byte-identical to ``GivenPathsLP(sub_instance, network, epsilon,
+    horizon).build()`` — identical input to a deterministic solver means the
+    solutions match exactly, which is the warm-start contract.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        horizon: float,
+        epsilon: Optional[float] = None,
+        use_basis: str = "auto",
+    ) -> None:
+        from ..circuit.given_paths import DEFAULT_EPSILON
+
+        self.network = network
+        self.grid = IntervalGrid(
+            epsilon=DEFAULT_EPSILON if epsilon is None else epsilon,
+            horizon=float(horizon),
+        )
+        self.use_basis = use_basis
+        self.warm_state = WarmStartState()
+        self._cache: Dict[Hashable, FlowStructure] = {}
+        self._instance: Optional[CoflowInstance] = None
+        self._structures: List[FlowStructure] = []
+        self._sizes = np.zeros(0)
+        self._releases = np.zeros(0)
+        self._layout = None
+        self.last_sync_stats: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------- sync
+    def sync(
+        self,
+        instance: CoflowInstance,
+        stable_ids: Optional[Mapping[FlowId, Hashable]] = None,
+    ) -> Dict[str, int]:
+        """Point the assembler at this epoch's (sub-)instance.
+
+        ``stable_ids`` maps each flow id of ``instance`` to an identity that
+        survives renumbering across epochs (the online engine's ``fid_map``);
+        when omitted the flow ids themselves are assumed stable.  Returns the
+        cache statistics, also kept in :attr:`last_sync_stats`.
+        """
+        if not instance.all_paths_given:
+            raise ValueError(
+                "IncrementalGivenPathsLP requires every flow to carry a path"
+            )
+        flows = list(instance.iter_flows())
+        fresh: Dict[Hashable, FlowStructure] = {}
+        structures: List[FlowStructure] = []
+        hits = misses = 0
+        for i, j, flow in flows:
+            key = stable_ids[(i, j)] if stable_ids is not None else (i, j)
+            if key in fresh:
+                raise ValueError(f"stable id {key!r} maps to two flows")
+            record = self._cache.get(key)
+            path = tuple(flow.path)
+            if (
+                record is None
+                or record.path != path
+                or record.release_time != flow.release_time
+            ):
+                self.network.validate_path(flow.path)
+                record = FlowStructure(
+                    path=path,
+                    release_time=flow.release_time,
+                    bottleneck=self.network.bottleneck_capacity(flow.path),
+                    edge_seq=tuple(dict.fromkeys(path_edges(flow.path))),
+                    release_interval=self.grid.release_interval(flow.release_time),
+                )
+                misses += 1
+            else:
+                hits += 1
+            fresh[key] = record
+            structures.append(record)
+        evicted = len(self._cache) - hits
+        self._cache = fresh
+        self._instance = instance
+        self._structures = structures
+        self._sizes = np.asarray([f.size for _i, _j, f in flows], dtype=float)
+        self._releases = np.asarray(
+            [f.release_time for _i, _j, f in flows], dtype=float
+        )
+        self.last_sync_stats = {
+            "flows": len(flows),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "evicted": evicted,
+        }
+        return self.last_sync_stats
+
+    # ------------------------------------------------------------------ build
+    def _transfer_rhs(self) -> np.ndarray:
+        bottlenecks = np.asarray(
+            [s.bottleneck for s in self._structures], dtype=float
+        )
+        if bottlenecks.size == 0:
+            return np.zeros(0)
+        # For zero-size flows size/bottleneck is exactly 0.0, matching the
+        # cold builder's release-only branch bit-for-bit.
+        return self._releases + self._sizes / bottlenecks
+
+    def _edge_users(self) -> Dict[Tuple[Any, Any], List[Tuple[int, float]]]:
+        edge_users: Dict[Tuple[Any, Any], List[Tuple[int, float]]] = {}
+        for pos, structure in enumerate(self._structures):
+            size = self._sizes[pos]
+            for edge in structure.edge_seq:
+                edge_users.setdefault(edge, []).append((pos, size))
+        return edge_users
+
+    def build(self) -> LinearProgram:
+        """Assemble this epoch's LP from the cached structure.
+
+        Byte-identical to a cold ``GivenPathsLP(...).build()`` over the same
+        instance, network and grid.
+        """
+        if self._instance is None:
+            raise RuntimeError("call sync() before build()")
+        from ..circuit.given_paths import emit_given_paths_lp
+
+        lp, layout = emit_given_paths_lp(
+            self._instance,
+            self.network,
+            self.grid,
+            self._transfer_rhs(),
+            self._edge_users(),
+            release_intervals=np.asarray(
+                [s.release_interval for s in self._structures], dtype=np.int64
+            ),
+        )
+        self._layout = layout
+        return lp
+
+    def relax(self):
+        """Build and solve, returning a ``GivenPathsRelaxation``.
+
+        The solve goes through :func:`solve_warm` with this assembler's
+        :attr:`warm_state`, so the HiGHS basis carries across epochs when the
+        bindings are present and the call degrades to the deterministic
+        :func:`repro.lp.solve` otherwise.
+        """
+        from ..circuit._assembly import extract_completion
+        from ..circuit.given_paths import GivenPathsRelaxation
+
+        lp = self.build()
+        solution = solve_warm(lp, state=self.warm_state, use_basis=self.use_basis)
+        fractions, flow_completion, coflow_completion = extract_completion(
+            solution, self._layout
+        )
+        return GivenPathsRelaxation(
+            instance=self._instance,
+            network=self.network,
+            grid=self.grid,
+            solution=solution,
+            fractions=fractions,
+            flow_completion=flow_completion,
+            coflow_completion=coflow_completion,
+        )

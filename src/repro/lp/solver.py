@@ -328,12 +328,13 @@ def solve(
     if clip_negative:
         x = np.where(x < 0.0, 0.0, x)
     iterations = int(getattr(result, "nit", 0) or 0)
+    keys, index = lp.solution_keys()
     return LPSolution(
         objective=float(result.fun),
         status=int(result.status),
         message=str(result.message),
         iterations=iterations,
         x=x,
-        keys=lp._keys,
-        index=lp._index,
+        keys=keys,
+        index=index,
     )

@@ -6,8 +6,11 @@ Three layers (see ``docs/simulator.md``):
 * :mod:`repro.sim.kernel_jit` — the compiled kernel tier (bit-identical,
   selected via ``backend="jit"`` / ``REPRO_SIM_BACKEND``);
 * :mod:`repro.sim.allocators` — pluggable per-event rate policies;
-* :mod:`repro.sim.online` — arrival-driven online re-planning on top of
-  the kernel.
+* :mod:`repro.sim.streaming` — the long-running scheduler service:
+  batched re-planning with a staleness bound, warm-startable LP
+  replanners, replans/sec + decision-latency metrics;
+* :mod:`repro.sim.online` — arrival-driven online re-planning, now the
+  batch-size-1 special case of the streaming service.
 
 :class:`FlowLevelSimulator` is the orchestrating entry point and keeps the
 original dict-based event loop available as ``run_reference``.
@@ -26,6 +29,13 @@ from .kernel_jit import JitSimulationKernel
 from .metrics import SchemeComparison, coflow_slowdowns, improvement_percent
 from .online import OnlineFlowSimulator, ReplanContext, StaticPlanReplanner
 from .plan import SimulationPlan
+from .streaming import (
+    BatchPolicy,
+    ColdLPReplanner,
+    StreamingError,
+    StreamingScheduler,
+    WarmLPReplanner,
+)
 from .simulator import (
     BACKENDS,
     FlowLevelSimulator,
@@ -57,4 +67,9 @@ __all__ = [
     "OnlineFlowSimulator",
     "ReplanContext",
     "StaticPlanReplanner",
+    "BatchPolicy",
+    "StreamingScheduler",
+    "StreamingError",
+    "WarmLPReplanner",
+    "ColdLPReplanner",
 ]

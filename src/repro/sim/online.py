@@ -4,8 +4,19 @@ The paper evaluates *clairvoyant offline* schedules: every scheme sees the
 whole instance up front and produces one static plan.  The systems it
 compares against (Varys-style schedulers) operate differently: coflows
 *arrive over time* and the scheduler *re-plans on every arrival*, reordering
-and re-routing the unfinished volume.  This module adds that operating mode
-on top of the array kernel:
+and re-routing the unfinished volume.
+
+Since PR 8 the engine itself lives in :mod:`repro.sim.streaming`:
+:class:`StreamingScheduler` generalises arrival-driven re-planning to
+*batched* re-planning with a staleness bound, and
+:class:`OnlineFlowSimulator` is its batch-size-1 special case — each ``run``
+opens a fresh streaming session under ``BatchPolicy(max_batch=1)``, whose
+re-plan times are exactly the distinct coflow release times.  The
+equivalence is bit-exact and property-tested
+(``tests/sim/test_streaming_equivalence.py``); this module keeps the
+original public names (:class:`ReplanContext`, :data:`Replanner`,
+:class:`StaticPlanReplanner`, :class:`OnlineFlowSimulator`) as the stable
+import surface for sweeps and pipeline schemes.
 
 * the stream of **arrival events** is derived from the instance itself —
   one event per distinct coflow release time (a coflow arrives when its
@@ -25,95 +36,27 @@ completion times, realised schedule and per-coflow slowdowns span the whole
 horizon, directly comparable with a static run of the same scheme — which is
 exactly what ``online=true`` pipeline schemes (the registry's ``Online-*``
 names, :mod:`repro.baselines.pipeline`) expose to sweeps.  With a replanner
-that
-always returns the restriction of one fixed plan
+that always returns the restriction of one fixed plan
 (:class:`StaticPlanReplanner`), online simulation reproduces the static
 simulation of that plan (property-tested up to splice-point rounding).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Optional
 
-from ..core.flows import Coflow, CoflowInstance, Flow, FlowId
+from ..core.flows import CoflowInstance
 from ..core.network import Network
-from ..core.schedule import CircuitSchedule
-from .kernel import SimulationKernel
-from .plan import SimulationPlan
-from .simulator import SimulationResult, _build_result, make_kernel, validate_backend
+from .simulator import SimulationResult, validate_backend
+from .streaming import (
+    BatchPolicy,
+    ReplanContext,
+    Replanner,
+    StaticPlanReplanner,
+    StreamingScheduler,
+)
 
 __all__ = ["ReplanContext", "Replanner", "OnlineFlowSimulator", "StaticPlanReplanner"]
-
-#: Volumes below this are considered fully transferred (numerical guard).
-_VOLUME_EPS = 1e-9
-
-
-@dataclass
-class ReplanContext:
-    """What a replanner sees at one arrival event.
-
-    Attributes
-    ----------
-    now:
-        The arrival time triggering this re-plan.
-    instance:
-        Sub-instance of all *arrived* coflows restricted to their unfinished
-        flows, with each flow's size replaced by its remaining volume.
-        Coflow positions and weights are preserved for arrived coflows;
-        flow ids are renumbered — use :attr:`fid_map` to translate.
-    network:
-        The capacitated topology.
-    fid_map:
-        Sub-instance flow id -> original instance flow id.
-    pinned_paths:
-        Original flow id -> path, for flows that already moved volume.  The
-        engine forces these paths onto the returned plan; replanners may
-        consult them (e.g. for congestion-aware routing of new flows).
-    previous:
-        The previous epoch's plan in *original* flow ids (``None`` at the
-        first arrival).
-    """
-
-    now: float
-    instance: CoflowInstance
-    network: Network
-    fid_map: Dict[FlowId, FlowId]
-    pinned_paths: Dict[FlowId, Tuple[Hashable, ...]]
-    previous: Optional[SimulationPlan] = None
-
-
-#: A replanner maps an arrival-time context to a plan over the context's
-#: sub-instance (plan paths/order are keyed by *sub-instance* flow ids).
-Replanner = Callable[[ReplanContext], SimulationPlan]
-
-
-class StaticPlanReplanner:
-    """Replanner that always answers with one fixed plan's restriction.
-
-    The degenerate online scheduler: at every arrival it returns the
-    original static plan, restricted to the unfinished flows of the arrived
-    coflows.  Online simulation under this replanner reproduces the static
-    simulation of the same plan — the anchor property of the online engine's
-    test suite.
-    """
-
-    def __init__(self, plan: SimulationPlan) -> None:
-        self.plan = plan
-
-    def __call__(self, context: ReplanContext) -> SimulationPlan:
-        """Restrict the fixed plan to the context's sub-instance."""
-        inverse = {orig: sub for sub, orig in context.fid_map.items()}
-        paths = {
-            sub: self.plan.paths[orig] for sub, orig in context.fid_map.items()
-        }
-        order = [inverse[fid] for fid in self.plan.order if fid in inverse]
-        return SimulationPlan(
-            paths=paths,
-            order=order,
-            name=self.plan.name,
-            allocator=self.plan.allocator,
-        )
 
 
 class OnlineFlowSimulator:
@@ -146,173 +89,25 @@ class OnlineFlowSimulator:
         self.replanner = replanner
         self.max_events = max_events
         self.backend = backend
+        #: The streaming session behind the most recent :meth:`run` (exposes
+        #: ``decision_log`` / ``streaming_metrics()`` for diagnostics).
+        self.last_session: Optional[StreamingScheduler] = None
 
     # ------------------------------------------------------------------- run
     def run(
         self, instance: CoflowInstance, plan_name: Optional[str] = None
     ) -> SimulationResult:
-        """Simulate the instance end-to-end; returns the spliced result."""
-        arrivals = sorted({c.release_time for c in instance.coflows})
-        remaining: Dict[FlowId, float] = {}
-        completion: Dict[FlowId, float] = {}
-        start: Dict[FlowId, float] = {}
-        segments: Dict[FlowId, List[List[float]]] = {}
-        current_path: Dict[FlowId, Tuple[Hashable, ...]] = {}
-        pinned: Dict[FlowId, Tuple[Hashable, ...]] = {}
-        for i, j, flow in instance.iter_flows():
-            fid = (i, j)
-            remaining[fid] = flow.size
-            segments[fid] = []
-            if flow.size <= _VOLUME_EPS:
-                # Zero-size flows complete at release, as in the static loop.
-                completion[fid] = flow.release_time
-        events = 0
-        previous_plan: Optional[SimulationPlan] = None
+        """Simulate the instance end-to-end; returns the spliced result.
 
-        for epoch, now in enumerate(arrivals):
-            arrived = [
-                i for i, c in enumerate(instance.coflows) if c.release_time <= now
-            ]
-            sub_instance, fid_map = self._sub_instance(
-                instance, arrived, remaining, completion, now
-            )
-            context = ReplanContext(
-                now=now,
-                instance=sub_instance,
-                network=self.network,
-                fid_map=fid_map,
-                pinned_paths=dict(pinned),
-                previous=previous_plan,
-            )
-            sub_plan = self.replanner(context)
-            sub_plan = sub_plan.normalized(sub_instance)
-            # Pin flows that already moved volume to their current path.
-            for sub, orig in fid_map.items():
-                if orig in pinned:
-                    sub_plan.paths[sub] = pinned[orig]
-            sub_plan.validate(sub_instance, self.network)
-            previous_plan = SimulationPlan(
-                paths={orig: sub_plan.paths[sub] for sub, orig in fid_map.items()},
-                order=[fid_map[sub] for sub in sub_plan.order],
-                name=sub_plan.name,
-                allocator=sub_plan.allocator,
-            )
-            for sub, orig in fid_map.items():
-                current_path[orig] = tuple(sub_plan.paths[sub])
-
-            kernel = make_kernel(
-                self.network,
-                sub_instance,
-                sub_plan,
-                max_events=self.max_events,
-                start_time=now,
-                backend=self.backend,
-            )
-            until = arrivals[epoch + 1] if epoch + 1 < len(arrivals) else None
-            kernel.run(until=until)
-            events += kernel.events
-            self._merge_epoch(kernel, fid_map, remaining, completion, start, segments, pinned, current_path)
-
-        schedule = CircuitSchedule()
-        for fid in instance.flow_ids():
-            path = current_path.get(fid)
-            if path is None:
-                # Never planned (zero-size flow in a coflow that produced no
-                # sub-instance): fall back to a shortest path for bookkeeping.
-                flow = instance.flow(fid)
-                path = tuple(self.network.shortest_path(flow.source, flow.destination))
-                current_path[fid] = path
-            schedule.set_path(fid, path)
-            if segments[fid]:
-                schedule.extend_segments(fid, [tuple(s) for s in segments[fid]])
-
-        final_plan = SimulationPlan(
-            paths=dict(current_path),
-            order=list(previous_plan.order) if previous_plan else [],
-            name=plan_name or (previous_plan.name if previous_plan else "online"),
-            allocator=previous_plan.allocator if previous_plan else "greedy",
-        )
-        return _build_result(
-            instance,
-            self.network,
-            final_plan.normalized(instance),
-            completion,
-            start,
-            schedule,
-            events,
-        )
-
-    # ---------------------------------------------------------------- pieces
-    @staticmethod
-    def _sub_instance(
-        instance: CoflowInstance,
-        arrived: Sequence[int],
-        remaining: Dict[FlowId, float],
-        completion: Dict[FlowId, float],
-        now: float,
-    ) -> Tuple[CoflowInstance, Dict[FlowId, FlowId]]:
-        """The unfinished volume of the arrived coflows, renumbered densely.
-
-        Flows whose remaining volume has dwindled below the numerical guard
-        are marked complete at ``now`` instead of entering the sub-instance.
+        Each call opens a fresh batch-size-1 :class:`StreamingScheduler`
+        session, so repeated runs stay independent and deterministic.
         """
-        coflows: List[Coflow] = []
-        fid_map: Dict[FlowId, FlowId] = {}
-        for i in arrived:
-            coflow = instance.coflows[i]
-            flows: List[Flow] = []
-            for j, flow in enumerate(coflow.flows):
-                fid = (i, j)
-                if fid in completion:
-                    continue
-                if remaining[fid] <= _VOLUME_EPS:
-                    completion[fid] = now
-                    continue
-                fid_map[(len(coflows), len(flows))] = fid
-                flows.append(
-                    Flow(
-                        source=flow.source,
-                        destination=flow.destination,
-                        size=remaining[fid],
-                        release_time=flow.release_time,
-                    )
-                )
-            if flows:
-                coflows.append(
-                    Coflow(flows=tuple(flows), weight=coflow.weight, name=coflow.name)
-                )
-        name = instance.name or "instance"
-        return CoflowInstance(coflows=coflows, name=f"{name}@{now:g}"), fid_map
-
-    @staticmethod
-    def _merge_epoch(
-        kernel: SimulationKernel,
-        fid_map: Dict[FlowId, FlowId],
-        remaining: Dict[FlowId, float],
-        completion: Dict[FlowId, float],
-        start: Dict[FlowId, float],
-        segments: Dict[FlowId, List[List[float]]],
-        pinned: Dict[FlowId, Tuple[Hashable, ...]],
-        current_path: Dict[FlowId, Tuple[Hashable, ...]],
-    ) -> None:
-        """Fold one epoch's kernel state back into the global accumulators."""
-        epoch_completion = kernel.flow_completion_map()
-        epoch_start = kernel.flow_start_map()
-        for sub_fid, volume in kernel.remaining_map().items():
-            orig = fid_map[sub_fid]
-            remaining[orig] = volume
-            if sub_fid in epoch_completion:
-                completion[orig] = epoch_completion[sub_fid]
-            if sub_fid in epoch_start and orig not in start:
-                start[orig] = epoch_start[sub_fid]
-        for sub_fid, new_segments in kernel.iter_raw_segments():
-            if not new_segments:
-                continue
-            orig = fid_map[sub_fid]
-            target = segments[orig]
-            for seg in new_segments:
-                if target and target[-1][1] == seg[0] and target[-1][2] == seg[2]:
-                    target[-1][1] = seg[1]
-                else:
-                    target.append(list(seg))
-            pinned[orig] = current_path[orig]
+        session = StreamingScheduler(
+            self.network,
+            self.replanner,
+            policy=BatchPolicy(max_batch=1),
+            max_events=self.max_events,
+            backend=self.backend,
+        )
+        self.last_session = session
+        return session.run(instance, plan_name=plan_name)

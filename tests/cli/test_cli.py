@@ -334,6 +334,12 @@ class TestScenarioMatrixAcceptance:
 
         assert load_document(SPECS_DIR / "simulator-100k.yaml") == _SIMULATOR_BENCH_100K
 
+    def test_checked_in_spec_pins_the_streaming_gate(self):
+        from repro.analysis.artifacts import load_document
+        from repro.cli.bench import _STREAMING_BENCH
+
+        assert load_document(SPECS_DIR / "streaming.yaml") == _STREAMING_BENCH
+
     def test_smoke_sweep_two_workers_resume_and_report(self, tmp_path, capsys):
         spec = str(SPECS_DIR / "scenario-matrix.yaml")
         out = tmp_path / "artifacts"
@@ -472,6 +478,62 @@ class TestBench:
         out = tmp_path / "artifacts"
         assert main(["bench", "table1", "--out", str(out), "--workers", "2"]) == 0
         assert "does not use --workers" in capsys.readouterr().err
+
+    def test_streaming_smoke_suite(self, tmp_path, capsys, monkeypatch):
+        bench_file = tmp_path / "bench.json"
+        monkeypatch.setenv("REPRO_BENCH_FILE", str(bench_file))
+        monkeypatch.setenv("REPRO_BENCH_TIMESTAMP", "2026-01-01T00:00:00Z")
+        out = tmp_path / "artifacts"
+        assert main(["bench", "streaming", "--smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        # The two first-class service metrics appear as report columns.
+        assert "replans/sec" in stdout
+        assert "p99 decision ms" in stdout
+        assert "warm batched vs cold per-arrival throughput" in stdout
+
+        metadata = run_metadata(out, "streaming-smoke")
+        assert metadata["suite"] == "streaming-smoke"
+        assert metadata["policy"]["max_batch"] >= 2
+
+        document = json.loads(bench_file.read_text())
+        (record,) = document["runs"]
+        assert record["timestamp"] == "2026-01-01T00:00:00Z"
+        assert record["suite"] == "streaming-smoke"
+        assert record["smoke"] is True
+        assert record["throughput_ratio"] > 0
+        assert set(record["streaming"]) == {
+            "cold / per-arrival",
+            "warm / per-arrival",
+            "cold / batched",
+            "warm / batched",
+        }
+        for metrics in record["streaming"].values():
+            assert {
+                "replans",
+                "replans_per_sec",
+                "arrivals_per_plan_sec",
+                "p99_decision_latency",
+                "max_staleness",
+                "staleness_bound",
+            } <= set(metrics)
+
+    def test_streaming_smoke_recovers_corrupt_bench_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        bench_file = tmp_path / "bench.json"
+        bench_file.write_text("{not json")
+        monkeypatch.setenv("REPRO_BENCH_FILE", str(bench_file))
+        out = tmp_path / "artifacts"
+        assert main(["bench", "streaming", "--smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        # The corrupt file is renamed aside, and a fresh trajectory starts
+        # with the streaming record shape.
+        assert bench_file.with_suffix(".json.bak").read_text() == "{not json"
+        document = json.loads(bench_file.read_text())
+        (record,) = document["runs"]
+        assert record["suite"] == "streaming-smoke"
+        assert "streaming" in record
+        assert "throughput_ratio" in record
 
     def test_headline_smoke_suite(self, tmp_path, capsys):
         out = tmp_path / "artifacts"

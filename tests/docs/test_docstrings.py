@@ -34,6 +34,8 @@ MODULES = [
     "repro.sim.online",
     "repro.sim.plan",
     "repro.sim.simulator",
+    "repro.sim.streaming",
+    "repro.lp.incremental",
     "repro.workloads.generator",
     "repro.workloads.serialization",
 ]

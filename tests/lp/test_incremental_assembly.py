@@ -1,0 +1,443 @@
+"""Property tests for the LP delta-edit layer and warm-started assembly.
+
+Two subjects (ISSUE 8):
+
+* the generic tombstone layer on :class:`repro.lp.LinearProgram` —
+  ``drop_constraints`` / ``drop_columns`` with compaction in ``matrices()``
+  — held identical to from-scratch assembly over the surviving structure
+  for **all five LP builders** (circuit given-paths, circuit routing in
+  both formulations, packet given-paths, packet time-expanded), plus torn
+  sequences: drop-then-restore round-trips, empty (no-change) epochs and
+  the all-rows-dropped edge;
+* :class:`repro.lp.incremental.IncrementalGivenPathsLP` — the warm-start
+  assembler's re-emitted matrices and solutions held **byte-identical** to
+  a cold ``GivenPathsLP`` over the same pinned grid, across arrival /
+  drain / departure / re-arrival epochs.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core import topologies
+from repro.lp import LinearProgram, LPError
+from repro.workloads import CoflowGenerator, WorkloadConfig
+
+
+# ----------------------------------------------------------------- helpers
+
+def snapshot(lp):
+    """Capture a pristine LP's full definition (raw, pre-drop)."""
+    return {
+        "keys": list(lp.variable_keys),
+        "bounds": list(lp.bounds()),
+        "objective": np.asarray(lp.objective_vector(), dtype=float),
+        "constraints": [
+            (list(c.indices), list(c.coefficients), c.sense, c.rhs)
+            for c in lp.iter_constraints()
+        ],
+    }
+
+
+def build_from_scratch(snap, drop_rows=(), drop_cols=()):
+    """Assemble a fresh LP holding only the surviving rows/columns."""
+    drop_rows, drop_cols = set(drop_rows), set(drop_cols)
+    fresh = LinearProgram()
+    keep = [i for i in range(len(snap["keys"])) if i not in drop_cols]
+    remap = {old: new for new, old in enumerate(keep)}
+    for old in keep:
+        lower, upper = snap["bounds"][old]
+        fresh.add_variable(
+            snap["keys"][old],
+            lower=lower,
+            upper=upper,
+            objective=float(snap["objective"][old]),
+        )
+    rows, cols, vals, senses, rhs = [], [], [], [], []
+    row_id = 0
+    for r, (indices, coefficients, sense, b) in enumerate(snap["constraints"]):
+        if r in drop_rows:
+            continue
+        for i, c in zip(indices, coefficients):
+            if i in remap:
+                rows.append(row_id)
+                cols.append(remap[i])
+                vals.append(c)
+        senses.append(sense)
+        rhs.append(b)
+        row_id += 1
+    if senses:
+        fresh.add_constraints_coo(
+            rows=rows, cols=cols, vals=vals, senses=senses, rhs=rhs
+        )
+    return fresh
+
+
+def assert_identical(lp_a, lp_b):
+    """Matrices, bounds, objective and key order all byte-identical."""
+    for a, b in zip(lp_a.matrices(), lp_b.matrices()):
+        if a is None or b is None:
+            assert a is None and b is None
+            continue
+        if sparse.issparse(a):
+            a, b = a.tocsr(), b.tocsr()
+            assert a.shape == b.shape
+            assert np.array_equal(a.indptr, b.indptr)
+            assert np.array_equal(a.indices, b.indices)
+            assert np.array_equal(a.data, b.data)
+        else:
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+    assert list(lp_a.variable_keys) == list(lp_b.variable_keys)
+    assert lp_a.bounds() == lp_b.bounds()
+    assert np.array_equal(
+        np.asarray(lp_a.objective_vector()), np.asarray(lp_b.objective_vector())
+    )
+
+
+def _routed(instance, network):
+    return instance.with_paths(
+        {
+            fid: network.shortest_path(
+                instance.flow(fid).source, instance.flow(fid).destination
+            )
+            for fid in instance.flow_ids()
+        }
+    )
+
+
+def _circuit_instance(seed=71):
+    network = topologies.leaf_spine(
+        num_leaves=2, num_spines=2, hosts_per_leaf=2
+    )
+    instance = CoflowGenerator(
+        network,
+        WorkloadConfig(num_coflows=2, coflow_width=3, mean_flow_size=4.0, seed=seed),
+    ).instance()
+    return instance, network
+
+
+def _packet_instance(seed=72):
+    network = topologies.leaf_spine(
+        num_leaves=2, num_spines=2, hosts_per_leaf=2
+    )
+    instance = CoflowGenerator(
+        network,
+        WorkloadConfig(
+            num_coflows=2,
+            coflow_width=3,
+            unit_sizes=True,
+            release_rate=None,
+            seed=seed,
+        ),
+    ).instance()
+    return instance, network
+
+
+def build_circuit_given_paths():
+    from repro.circuit.given_paths import GivenPathsLP
+
+    instance, network = _circuit_instance()
+    return GivenPathsLP(_routed(instance, network), network).build()
+
+
+def build_circuit_routing_edge():
+    from repro.circuit.routing import RoutingLP
+
+    instance, network = _circuit_instance()
+    return RoutingLP(instance, network, formulation="edge").build()
+
+
+def build_circuit_routing_path():
+    from repro.circuit.routing import RoutingLP
+
+    instance, network = _circuit_instance()
+    return RoutingLP(instance, network, formulation="path").build()
+
+
+def build_packet_given_paths():
+    from repro.packet.given_paths import PacketGivenPathsLP
+
+    instance, network = _packet_instance()
+    return PacketGivenPathsLP(_routed(instance, network), network).build()
+
+
+def build_packet_time_expanded():
+    from repro.packet.routing import PacketRoutingLP
+
+    instance, network = _packet_instance()
+    return PacketRoutingLP(instance, network).build()
+
+
+BUILDERS = {
+    "circuit-given-paths": build_circuit_given_paths,
+    "circuit-routing-edge": build_circuit_routing_edge,
+    "circuit-routing-path": build_circuit_routing_path,
+    "packet-given-paths": build_packet_given_paths,
+    "packet-time-expanded": build_packet_time_expanded,
+}
+
+
+@pytest.fixture(params=sorted(BUILDERS), ids=sorted(BUILDERS))
+def built_lp(request):
+    return BUILDERS[request.param]()
+
+
+# -------------------------------------------- delta edits vs from-scratch
+
+class TestDropMatchesFromScratch:
+    """Compacted ``matrices()`` == a fresh build of the surviving structure,
+    for every one of the five LP builders."""
+
+    def test_drop_rows(self, built_lp):
+        snap = snapshot(built_lp)
+        rows = list(range(0, built_lp.num_constraints, 3))
+        built_lp.drop_constraints(rows)
+        assert_identical(built_lp, build_from_scratch(snap, drop_rows=rows))
+
+    def test_drop_columns(self, built_lp):
+        snap = snapshot(built_lp)
+        cols = list(range(0, built_lp.num_variables, 4))
+        built_lp.drop_columns(cols)
+        assert_identical(built_lp, build_from_scratch(snap, drop_cols=cols))
+
+    def test_drop_rows_and_columns(self, built_lp):
+        snap = snapshot(built_lp)
+        rows = list(range(1, built_lp.num_constraints, 2))
+        cols = list(range(0, built_lp.num_variables, 3))
+        built_lp.drop_constraints(rows)
+        built_lp.drop_columns(cols)
+        assert_identical(
+            built_lp, build_from_scratch(snap, drop_rows=rows, drop_cols=cols)
+        )
+
+    def test_restore_round_trips_to_pristine(self, built_lp):
+        snap = snapshot(built_lp)
+        rows = list(range(0, built_lp.num_constraints, 2))
+        cols = list(range(1, built_lp.num_variables, 5))
+        built_lp.drop_constraints(rows)
+        built_lp.drop_columns(cols)
+        built_lp.restore_constraints(rows)
+        built_lp.restore_columns(cols)
+        assert_identical(built_lp, build_from_scratch(snap))
+
+
+class TestTornSequences:
+    """Drop / restore sequences that tear the structure apart and rebuild."""
+
+    def _small(self):
+        lp = LinearProgram()
+        lp.add_variables(["x", "y", "z"], lower=0.0, upper=9.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, "<=", 5.0)
+        lp.add_constraint({"y": 2.0, "z": 1.0}, ">=", 1.0)
+        lp.add_constraint({"z": 3.0}, "==", 6.0)
+        return lp
+
+    def test_drop_then_readd_same_rows_twice(self, built_lp):
+        snap = snapshot(built_lp)
+        rows = list(range(0, built_lp.num_constraints, 2))
+        for _ in range(2):
+            built_lp.drop_constraints(rows)
+            assert_identical(built_lp, build_from_scratch(snap, drop_rows=rows))
+            built_lp.restore_constraints(rows)
+            assert_identical(built_lp, build_from_scratch(snap))
+
+    def test_empty_epoch_is_stable(self, built_lp):
+        """No edits between two exports: matrices are cached and identical."""
+        first = built_lp.matrices()
+        assert built_lp.matrices() is first
+
+    def test_all_rows_dropped(self):
+        lp = self._small()
+        snap = snapshot(lp)
+        lp.drop_constraints(range(lp.num_constraints))
+        assert lp.num_constraints == 0
+        a_ub, b_ub, a_eq, b_eq = lp.matrices()
+        assert a_ub is None and b_ub is None
+        assert a_eq is None and b_eq is None
+        lp.restore_constraints(range(lp.num_raw_constraints))
+        assert_identical(lp, build_from_scratch(snap))
+
+    def test_all_columns_dropped(self):
+        lp = self._small()
+        lp.drop_columns(range(lp.num_variables))
+        assert lp.num_variables == 0
+        a_ub, _, a_eq, _ = lp.matrices()
+        assert a_ub.shape == (2, 0)  # the <= and the negated >= row
+        assert a_eq.shape == (1, 0)
+
+    def test_drop_by_variable_key(self):
+        lp = self._small()
+        snap = snapshot(lp)
+        lp.drop_variables(["y"])
+        assert_identical(lp, build_from_scratch(snap, drop_cols=[1]))
+        lp.restore_variables(["y"])
+        assert_identical(lp, build_from_scratch(snap))
+
+    def test_solution_keys_compact(self):
+        lp = self._small()
+        lp.drop_columns([1])
+        keys, index = lp.solution_keys()
+        assert keys == ["x", "z"]
+        assert index == {"x": 0, "z": 1}
+
+    def test_solve_on_dropped_lp_matches_scratch(self):
+        from repro.lp import solve
+
+        lp = self._small()
+        lp.set_objective_coefficient("x", 1.0)
+        lp.set_objective_coefficient("z", 1.0)
+        snap = snapshot(lp)
+        lp.drop_constraints([0])
+        lp.drop_columns([1])
+        scratch = build_from_scratch(snap, drop_rows=[0], drop_cols=[1])
+        warm, cold = solve(lp), solve(scratch)
+        assert warm.objective == cold.objective
+        assert np.array_equal(warm.x, cold.x)
+        assert warm.keys == cold.keys
+
+    def test_validation(self):
+        lp = self._small()
+        with pytest.raises(LPError, match="unknown"):
+            lp.drop_constraints([7])
+        with pytest.raises(LPError, match="unknown"):
+            lp.drop_columns([9])
+        lp.drop_constraints([1])
+        with pytest.raises(LPError, match="already"):
+            lp.drop_constraints([1])
+        with pytest.raises(LPError, match="not dropped"):
+            lp.restore_constraints([0])
+        lp.drop_columns([0])
+        with pytest.raises(LPError, match="already"):
+            lp.drop_columns([0])
+        with pytest.raises(LPError, match="not dropped"):
+            lp.restore_columns([2])
+
+
+# ------------------------------------------- warm-started given-paths LP
+
+class TestIncrementalGivenPaths:
+    """The warm assembler re-emits byte-identical LPs across epochs."""
+
+    def _setup(self):
+        from repro.circuit.given_paths import _default_horizon
+
+        instance, network = _circuit_instance(seed=73)
+        routed = _routed(instance, network)
+        horizon = _default_horizon(routed, network)
+        return routed, network, horizon
+
+    def _cold(self, instance, network, horizon):
+        from repro.circuit.given_paths import GivenPathsLP
+
+        return GivenPathsLP(instance, network, horizon=horizon).build()
+
+    def _sub(self, routed, coflow_indices, scale=1.0):
+        """A sub-instance of selected coflows with optionally drained sizes."""
+        from repro.core.flows import Coflow, CoflowInstance, Flow
+
+        coflows = []
+        stable = {}
+        for sub_i, i in enumerate(coflow_indices):
+            coflow = routed.coflows[i]
+            flows = [
+                Flow(
+                    source=f.source,
+                    destination=f.destination,
+                    size=f.size * scale,
+                    release_time=f.release_time,
+                    path=f.path,
+                )
+                for f in coflow.flows
+            ]
+            coflows.append(
+                Coflow(flows=tuple(flows), weight=coflow.weight, name=coflow.name)
+            )
+            for j in range(len(flows)):
+                stable[(sub_i, j)] = (i, j)
+        return CoflowInstance(coflows=coflows, name="sub"), stable
+
+    def test_epoch_sequence_byte_identical_to_cold(self):
+        from repro.lp.incremental import IncrementalGivenPathsLP
+
+        routed, network, horizon = self._setup()
+        inc = IncrementalGivenPathsLP(network, horizon=horizon)
+        # arrival -> full set -> drain -> departure -> re-arrival
+        epochs = [
+            self._sub(routed, [0]),
+            self._sub(routed, [0, 1]),
+            self._sub(routed, [0, 1], scale=0.5),
+            self._sub(routed, [1], scale=0.5),
+            self._sub(routed, [0, 1], scale=0.25),
+        ]
+        for sub, stable in epochs:
+            inc.sync(sub, stable_ids=stable)
+            assert_identical(inc.build(), self._cold(sub, network, horizon))
+
+    def test_cache_hits_and_eviction(self):
+        from repro.lp.incremental import IncrementalGivenPathsLP
+
+        routed, network, horizon = self._setup()
+        inc = IncrementalGivenPathsLP(network, horizon=horizon)
+        both, stable_both = self._sub(routed, [0, 1])
+        inc.sync(both, stable_ids=stable_both)
+        first = dict(inc.last_sync_stats)
+        assert first["cache_misses"] == first["flows"]
+        # Drained sizes keep every per-flow structure cached...
+        drained, stable_drained = self._sub(routed, [0, 1], scale=0.5)
+        stats = inc.sync(drained, stable_ids=stable_drained)
+        assert stats["cache_hits"] == stats["flows"]
+        assert stats["cache_misses"] == 0
+        # ...and a departure evicts exactly the departed coflow's flows.
+        solo, stable_solo = self._sub(routed, [1])
+        stats = inc.sync(solo, stable_ids=stable_solo)
+        assert stats["cache_hits"] == stats["flows"]
+        assert stats["evicted"] == first["flows"] - stats["flows"]
+
+    def test_duplicate_stable_id_rejected(self):
+        from repro.lp.incremental import IncrementalGivenPathsLP
+
+        routed, network, horizon = self._setup()
+        inc = IncrementalGivenPathsLP(network, horizon=horizon)
+        sub, stable = self._sub(routed, [0])
+        collide = {fid: "same" for fid in stable}
+        with pytest.raises(ValueError, match="two flows"):
+            inc.sync(sub, stable_ids=collide)
+
+    def test_paths_required(self):
+        from repro.lp.incremental import IncrementalGivenPathsLP
+
+        instance, network = _circuit_instance(seed=73)
+        inc = IncrementalGivenPathsLP(network, horizon=10.0)
+        with pytest.raises(ValueError, match="path"):
+            inc.sync(instance)
+
+    def test_warm_solution_equals_cold_exactly(self):
+        from repro.circuit.given_paths import GivenPathsLP
+        from repro.lp.incremental import IncrementalGivenPathsLP
+
+        routed, network, horizon = self._setup()
+        inc = IncrementalGivenPathsLP(network, horizon=horizon, use_basis="never")
+        for coflows, scale in ([(0,), 1.0], [(0, 1), 1.0], [(0, 1), 0.5], [(1,), 0.5]):
+            sub, stable = self._sub(routed, list(coflows), scale=scale)
+            inc.sync(sub, stable_ids=stable)
+            warm = inc.relax()
+            cold = GivenPathsLP(sub, network, horizon=horizon).relax()
+            assert warm.solution.objective == cold.solution.objective
+            assert np.array_equal(warm.solution.x, cold.solution.x)
+            assert warm.flow_completion == cold.flow_completion
+            assert warm.flow_order() == cold.flow_order()
+
+    def test_basis_reuse_is_gated_not_assumed(self):
+        from repro.lp import incremental
+
+        # The pinned environment ships scipy's HiGHS only; the hook must
+        # report unavailable rather than import-error at solve time.
+        assert incremental.basis_reuse_available() in (True, False)
+        state = incremental.WarmStartState()
+        lp = LinearProgram()
+        lp.add_variable("x", lower=0.0, upper=1.0, objective=1.0)
+        solution = incremental.solve_warm(lp, state=state, use_basis="never")
+        assert state.solves == 1
+        assert solution.objective == pytest.approx(0.0)
+        with pytest.raises(ValueError, match="use_basis"):
+            incremental.solve_warm(lp, use_basis="sometimes")

@@ -1,0 +1,398 @@
+"""Property harness for the streaming scheduler service (ISSUE 8).
+
+Four pillars:
+
+* **batch=1 == online** — a batch-size-1 :class:`StreamingScheduler`
+  session reproduces :class:`OnlineFlowSimulator` bit-identically across a
+  seeded topology × workload-family × allocator matrix (the online engine
+  is the streaming service's special case, and must stay that way);
+* **warm == cold** — :class:`WarmLPReplanner`'s warm-started LP decisions
+  match :class:`ColdLPReplanner`'s rebuild-from-scratch decisions exactly
+  (``==``, no tolerance), including after coflow departures pruned the LP;
+* **staleness bound** — under any :class:`BatchPolicy`, no coflow waits
+  longer than the policy's declared bound between arriving and being
+  planned, and the realised re-plan times equal
+  ``BatchPolicy.replan_times`` of the distinct release times;
+* **pause/resume splice** — feeding the same stream through interleaved
+  ``submit``/``advance`` calls yields the identical epoch structure and
+  result as a one-shot ``run``, with the fid-map memoization (replan count
+  and map identity) stable across the splice.
+"""
+
+import pytest
+
+from repro.baselines import SEBFScheme
+from repro.core import Coflow, CoflowInstance, Flow, topologies
+from repro.sim import (
+    BatchPolicy,
+    ColdLPReplanner,
+    OnlineFlowSimulator,
+    SimulationPlan,
+    StaticPlanReplanner,
+    StreamingError,
+    StreamingScheduler,
+    WarmLPReplanner,
+)
+from repro.workloads import CoflowGenerator, WorkloadConfig
+
+
+def assert_results_identical(a, b):
+    """Bit-exact equality of everything a simulation result asserts."""
+    assert a.flow_completion == b.flow_completion
+    assert a.flow_start == b.flow_start
+    assert a.events == b.events
+    assert a.coflow_slowdowns == b.coflow_slowdowns
+
+
+TOPOLOGIES = {
+    "leaf-spine": lambda: topologies.leaf_spine(
+        num_leaves=2, num_spines=2, hosts_per_leaf=2
+    ),
+    "fat-tree": lambda: topologies.fat_tree(4),
+}
+WORKLOADS = {
+    "poisson": {},
+    "pareto": {"flow_size_distribution": "pareto"},
+}
+
+
+def seeded_case(topology_key, workload_key, seed=11):
+    network = TOPOLOGIES[topology_key]()
+    config = WorkloadConfig(
+        num_coflows=4,
+        coflow_width=3,
+        mean_flow_size=4.0,
+        coflow_arrival_rate=0.4,
+        seed=seed,
+        **WORKLOADS[workload_key],
+    )
+    instance = CoflowGenerator(network, config).instance()
+    return network, instance
+
+
+def staircase_stream():
+    """Deterministic stream on the triangle: unit flows arriving far enough
+    apart that earlier coflows *depart* before later ones arrive."""
+    network = topologies.triangle()
+    coflows = [
+        Coflow(flows=(Flow("x", "y", size=1.0),), name="c0"),
+        Coflow(flows=(Flow("x", "y", size=1.0, release_time=3.0),), name="c1"),
+        Coflow(
+            flows=(
+                Flow("y", "z", size=1.0, release_time=6.0),
+                Flow("x", "y", size=2.0, release_time=6.0),
+            ),
+            name="c2",
+        ),
+        Coflow(flows=(Flow("z", "x", size=1.0, release_time=9.0),), name="c3"),
+    ]
+    return network, CoflowInstance(coflows=coflows, name="staircase")
+
+
+# ------------------------------------------------- batch=1 == online engine
+
+class TestBatchOneEqualsOnline:
+    @pytest.mark.parametrize("topology_key", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("workload_key", sorted(WORKLOADS))
+    @pytest.mark.parametrize("allocator", ["greedy", "max-min"])
+    def test_bit_identical_across_matrix(
+        self, topology_key, workload_key, allocator
+    ):
+        network, instance = seeded_case(topology_key, workload_key)
+        base = SEBFScheme().plan(instance, network)
+        plan = SimulationPlan(
+            paths=base.paths, order=base.order, name="sebf", allocator=allocator
+        )
+        online = OnlineFlowSimulator(network, StaticPlanReplanner(plan)).run(
+            instance
+        )
+        session = StreamingScheduler(
+            network, StaticPlanReplanner(plan), policy=BatchPolicy(max_batch=1)
+        )
+        streamed = session.run(instance)
+        assert_results_identical(streamed, online)
+        # batch=1 re-plans exactly once per distinct release time.
+        releases = sorted({c.release_time for c in instance.coflows})
+        assert [e["now"] for e in session.decision_log] == releases
+        assert session.staleness_report() == {
+            "max_staleness": 0.0,
+            "mean_staleness": 0.0,
+            "bound": 0.0,
+            "within_bound": 1.0,
+        }
+
+
+# ------------------------------------------------------------ warm == cold
+
+class TestWarmEqualsCold:
+    def _horizon(self, instance, network):
+        from repro.circuit.given_paths import _default_horizon
+
+        routed = instance.with_paths(
+            {
+                fid: network.shortest_path(
+                    instance.flow(fid).source, instance.flow(fid).destination
+                )
+                for fid in instance.flow_ids()
+            }
+        )
+        return _default_horizon(routed, network)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [BatchPolicy(max_batch=1), BatchPolicy(max_batch=2, max_delay=4.0)],
+        ids=["per-arrival", "batched"],
+    )
+    def test_exact_equality_with_departures(self, policy):
+        network, instance = staircase_stream()
+        horizon = self._horizon(instance, network)
+        warm_session = StreamingScheduler(
+            network, WarmLPReplanner(network, horizon), policy=policy
+        )
+        cold_session = StreamingScheduler(
+            network, ColdLPReplanner(network, horizon), policy=policy
+        )
+        warm = warm_session.run(instance)
+        cold = cold_session.run(instance)
+        assert_results_identical(warm, cold)
+        # The stream really exercises departures: some re-plan sees fewer
+        # active coflows than have been admitted by then.
+        admitted = 0
+        pruned = False
+        for entry in warm_session.decision_log:
+            admitted += entry["admitted"]
+            if entry["active_coflows"] < admitted:
+                pruned = True
+        assert pruned, "no coflow departed mid-stream; the case is too easy"
+
+    @pytest.mark.parametrize(
+        "policy",
+        [BatchPolicy(max_batch=1), BatchPolicy(max_batch=3, max_delay=5.0)],
+        ids=["per-arrival", "batched"],
+    )
+    def test_exact_equality_on_seeded_matrix(self, policy):
+        network, instance = seeded_case("leaf-spine", "poisson", seed=23)
+        horizon = self._horizon(instance, network)
+        warm = StreamingScheduler(
+            network, WarmLPReplanner(network, horizon), policy=policy
+        ).run(instance)
+        cold = StreamingScheduler(
+            network, ColdLPReplanner(network, horizon), policy=policy
+        ).run(instance)
+        assert_results_identical(warm, cold)
+
+    def test_warm_assembler_caches_across_epochs(self):
+        network, instance = staircase_stream()
+        horizon = self._horizon(instance, network)
+        replanner = WarmLPReplanner(network, horizon)
+        StreamingScheduler(
+            network, replanner, policy=BatchPolicy(max_batch=1)
+        ).run(instance)
+        stats = replanner.assembler.last_sync_stats
+        assert stats["flows"] >= 1
+        # Pinned mid-transfer flows keep their cached structure; only truly
+        # new arrivals miss.
+        assert replanner.assembler.warm_state.solves == 4
+
+
+# --------------------------------------------------------- staleness bound
+
+class TestStalenessBound:
+    POLICIES = [
+        BatchPolicy(max_batch=1),
+        BatchPolicy(max_batch=2, max_delay=3.0),
+        BatchPolicy(max_batch=4, max_delay=8.0),
+        BatchPolicy(max_batch=None, max_delay=5.0),
+    ]
+
+    @pytest.mark.parametrize(
+        "policy", POLICIES, ids=["one", "two", "four", "unbounded"]
+    )
+    def test_no_coflow_waits_past_the_bound(self, policy):
+        network, instance = seeded_case("leaf-spine", "poisson", seed=37)
+        base = SEBFScheme().plan(instance, network)
+        session = StreamingScheduler(
+            network, StaticPlanReplanner(base), policy=policy
+        )
+        session.run(instance)
+        report = session.staleness_report()
+        assert report["within_bound"] == 1.0
+        assert report["max_staleness"] <= policy.staleness_bound() + 1e-9
+
+        # The realised re-plan times are exactly the policy's closed-form
+        # schedule over the distinct release times.
+        releases = sorted({c.release_time for c in instance.coflows})
+        assert [e["now"] for e in session.decision_log] == pytest.approx(
+            policy.replan_times(releases)
+        )
+        # Every coflow is admitted at the first re-plan at/after its release
+        # — within the bound of its own arrival.
+        times = policy.replan_times(releases)
+        for coflow in instance.coflows:
+            admission = min(t for t in times if t >= coflow.release_time)
+            assert admission - coflow.release_time <= (
+                policy.staleness_bound() + 1e-9
+            )
+
+    def test_replan_times_closed_form(self):
+        policy = BatchPolicy(max_batch=2, max_delay=3.0)
+        assert policy.replan_times([0.0, 1.0, 2.5, 7.0, 8.0]) == [1.0, 5.5, 8.0]
+        # Suffix property: the schedule for a suffix starting at a batch
+        # boundary is the suffix of the schedule.
+        assert policy.replan_times([2.5, 7.0, 8.0]) == [5.5, 8.0]
+        assert BatchPolicy(max_batch=1).replan_times([0.0, 4.0]) == [0.0, 4.0]
+        assert BatchPolicy(max_batch=None, max_delay=2.0).replan_times(
+            [0.0, 1.0, 1.5, 5.0]
+        ) == [2.0, 7.0]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            BatchPolicy(max_batch=2, max_delay=-1.0)
+        with pytest.raises(ValueError, match="max_delay"):
+            BatchPolicy(max_batch=2, max_delay=float("inf"))
+        with pytest.raises(ValueError, match="unbounded"):
+            BatchPolicy(max_batch=None, max_delay=0.0)
+        assert BatchPolicy(max_batch=1, max_delay=9.0).staleness_bound() == 0.0
+        assert BatchPolicy(max_batch=2, max_delay=9.0).staleness_bound() == 9.0
+
+
+# ------------------------------------------------------ pause/resume splice
+
+class RecordingReplanner:
+    """SRPT on remaining volume, recording every context's fid_map."""
+
+    def __init__(self, network):
+        self.network = network
+        self.fid_maps = []
+
+    def __call__(self, context):
+        self.fid_maps.append(context.fid_map)
+        order = sorted(
+            context.instance.flow_ids(),
+            key=lambda fid: (context.instance.flow(fid).size, fid),
+        )
+        paths = {}
+        for fid in context.instance.flow_ids():
+            flow = context.instance.flow(fid)
+            paths[fid] = tuple(
+                self.network.shortest_path(flow.source, flow.destination)
+            )
+        return SimulationPlan(paths=paths, order=order, name="srpt")
+
+
+class TestPauseResumeSplice:
+    @pytest.mark.parametrize(
+        "policy",
+        [BatchPolicy(max_batch=1), BatchPolicy(max_batch=2, max_delay=4.0)],
+        ids=["per-arrival", "batched"],
+    )
+    def test_splice_is_epoch_identical_to_one_shot(self, policy):
+        network, instance = seeded_case("leaf-spine", "poisson", seed=51)
+
+        one_shot = StreamingScheduler(
+            network, RecordingReplanner(network), policy=policy
+        )
+        expected = one_shot.run(instance)
+
+        spliced = StreamingScheduler(
+            network, RecordingReplanner(network), policy=policy
+        )
+        for coflow in sorted(instance.coflows, key=lambda c: c.release_time):
+            spliced.submit(coflow)
+            spliced.advance(until=coflow.release_time)
+        result = spliced.finish()
+
+        assert_results_identical(result, expected)
+        assert spliced.replan_count == one_shot.replan_count
+        assert [e["now"] for e in spliced.decision_log] == [
+            e["now"] for e in one_shot.decision_log
+        ]
+        assert spliced.fid_map_reuses == one_shot.fid_map_reuses
+
+    def test_fid_map_object_reused_when_membership_stable(self):
+        """A re-plan whose active membership matches the previous one gets
+        the *same* fid_map dict object (the ISSUE-8 memoization fix)."""
+        network = topologies.triangle()
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=10.0),), name="elephant"),
+                # Zero-size coflow: completes at release, contributes no
+                # members — the membership signature does not change.
+                Coflow(
+                    flows=(Flow("x", "y", size=0.0, release_time=2.0),),
+                    name="ghost",
+                ),
+            ],
+            name="stable-membership",
+        )
+        replanner = RecordingReplanner(network)
+        session = StreamingScheduler(
+            network, replanner, policy=BatchPolicy(max_batch=1)
+        )
+        result = session.run(instance)
+        assert session.replan_count == 2
+        assert session.fid_map_reuses == 1
+        assert replanner.fid_maps[1] is replanner.fid_maps[0]
+        assert result.flow_completion[(1, 0)] == pytest.approx(2.0)
+        assert result.flow_completion[(0, 0)] == pytest.approx(10.0)
+
+
+# -------------------------------------------------------- service contract
+
+class TestServiceContract:
+    def _simple(self):
+        network = topologies.triangle()
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=2.0),)),
+                Coflow(flows=(Flow("x", "y", size=1.0, release_time=4.0),)),
+            ]
+        )
+        return network, instance
+
+    def test_late_arrival_rejected(self):
+        network, instance = self._simple()
+        session = StreamingScheduler(network, RecordingReplanner(network))
+        session.submit(instance.coflows[1])
+        session.advance()
+        with pytest.raises(StreamingError, match="late arrival"):
+            session.submit(instance.coflows[0])
+
+    def test_finish_is_idempotent_and_seals_the_session(self):
+        network, instance = self._simple()
+        session = StreamingScheduler(network, RecordingReplanner(network))
+        result = session.run(instance)
+        assert session.finish() is result
+        with pytest.raises(StreamingError, match="finished"):
+            session.submit(instance.coflows[0])
+        with pytest.raises(StreamingError, match="finished"):
+            session.advance()
+        with pytest.raises(StreamingError, match="fresh session"):
+            session.run(instance)
+
+    def test_metrics_shape(self):
+        network, instance = self._simple()
+        session = StreamingScheduler(network, RecordingReplanner(network))
+        session.run(instance)
+        metrics = session.streaming_metrics()
+        for key in (
+            "replans",
+            "arrivals",
+            "plan_seconds",
+            "replans_per_sec",
+            "arrivals_per_plan_sec",
+            "p50_decision_latency",
+            "p99_decision_latency",
+            "max_decision_latency",
+            "max_staleness",
+            "staleness_bound",
+            "events",
+            "fid_map_reuses",
+        ):
+            assert key in metrics
+        assert metrics["replans"] == 2.0
+        assert metrics["arrivals"] == 2.0
+        assert metrics["plan_seconds"] > 0.0
+        assert session.completed_coflows() == [0, 1]
