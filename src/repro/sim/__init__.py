@@ -24,8 +24,8 @@ from .allocators import (
     WeightedFairAllocator,
     resolve_allocator,
 )
-from .kernel import SimulationKernel
-from .kernel_jit import JitSimulationKernel
+from .kernel import ResidentSimulationKernel, SimulationKernel
+from .kernel_jit import JitSimulationKernel, ResidentJitKernel, paused_gc
 from .metrics import SchemeComparison, coflow_slowdowns, improvement_percent
 from .online import OnlineFlowSimulator, ReplanContext, StaticPlanReplanner
 from .plan import SimulationPlan
@@ -42,6 +42,7 @@ from .simulator import (
     SimulationResult,
     make_kernel,
     resolve_backend,
+    resolve_resident,
     validate_backend,
 )
 
@@ -50,10 +51,14 @@ __all__ = [
     "FlowLevelSimulator",
     "SimulationResult",
     "SimulationKernel",
+    "ResidentSimulationKernel",
     "JitSimulationKernel",
+    "ResidentJitKernel",
+    "paused_gc",
     "BACKENDS",
     "make_kernel",
     "resolve_backend",
+    "resolve_resident",
     "validate_backend",
     "SchemeComparison",
     "improvement_percent",

@@ -57,7 +57,7 @@ from ..faults import maybe_inject
 from .allocators import GreedyPriorityAllocator, RateAllocator, resolve_allocator
 from .plan import SimulationPlan
 
-__all__ = ["SimulationKernel", "format_stuck_report"]
+__all__ = ["SimulationKernel", "ResidentSimulationKernel", "format_stuck_report"]
 
 #: Volumes below this are considered fully transferred (numerical guard).
 _VOLUME_EPS = 1e-9
@@ -561,3 +561,356 @@ class SimulationKernel:
                     fid, [(s, e, r) for s, e, r in self._segments[k]]
                 )
         return schedule
+
+
+class ResidentSimulationKernel(SimulationKernel):
+    """A :class:`SimulationKernel` whose state survives re-plans.
+
+    The per-epoch rebuild path constructs a fresh kernel from a
+    sub-instance at every re-plan; this class instead keeps all per-flow
+    state resident in growable slot arrays with a free-list, so a re-plan
+    is an in-place delta:
+
+    * :meth:`ingest` appends a row (or reuses a freed slot) for each newly
+      admitted flow;
+    * :meth:`begin_epoch` tombstones departed flows, re-ranks the
+      survivors from the new plan order, rebuilds the release/active
+      bookkeeping and resets the epoch-local baselines (sizes, start
+      detection, event counter) so the inherited event loop behaves
+      exactly as a freshly built kernel would;
+    * :meth:`harvest_epoch` reports what the closing epoch changed
+      (completions, starts, touched volumes, first-moved flows) in
+      O(slots) bookkeeping scans, and :meth:`drain_all_segments` yields
+      every flow's coalesced segments keyed by its ingest-unique id.
+
+    The event loop itself is inherited unchanged, which is what makes the
+    resident session bit-identical to the rebuild reference: within an
+    epoch both run the same arithmetic on the same values in the same
+    order, and :meth:`begin_epoch` reproduces exactly the state a fresh
+    kernel construction would reach (unique ranks from the plan order, a
+    rank-sorted active set, ``(release, rank, slot)``-sorted pending
+    admissions, a forced full first allocation pass).
+
+    Contract: flows are ingested with positive sizes only (the streaming
+    engine completes zero-size ghosts at submit time, exactly like the
+    rebuild path, which never places them in a sub-instance), and
+    :meth:`ingest` / :meth:`update_path` are only called between
+    :meth:`run` returning and the next :meth:`begin_epoch`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        allocator: str = "greedy",
+        start_time: float = 0.0,
+    ) -> None:
+        self.network = network
+        self.instance = None
+        self.plan = None
+        self.allocator_name = str(allocator)
+        self.allocator = resolve_allocator(self.allocator_name)
+
+        # Slot state (grows by append; freed slots are recycled LIFO).
+        self.fids: List[Optional[FlowId]] = []
+        self._pos: Dict[FlowId, int] = {}
+        self._free: List[int] = []
+        self._sid: List[int] = []  # ingest-unique id per slot occupancy
+        self._next_sid = 0
+        self.slots_reused = 0
+        self._live: List[bool] = []
+        self._size: List[float] = []
+        self._remaining: List[float] = []
+        self._release: List[float] = []
+        self._completion: List[float] = []
+        self._start: List[float] = []
+        self._started: List[bool] = []
+        self._rate_prev: List[float] = []
+        self._rank: List[int] = []
+        self._flow_dirty: List[bool] = []
+        self._weight: List[float] = []
+        self._edges_of: List[List[int]] = []
+        self._entries: List[Tuple[int, List[int], float]] = []
+        self._segments: List[List[List[float]]] = []
+
+        # Harvest bookkeeping (what has already been reported upstream).
+        self._harvested_completed: List[bool] = []
+        self._harvest_remaining: List[float] = []
+        self._harvest_moved: List[bool] = []
+        self._archived_segments: Dict[int, List[List[float]]] = {}
+
+        # Edge indexing shared with the LP layer (fixed for the session).
+        edge_index = network.edge_index()
+        self._edge_index = edge_index
+        self.edge_list = [None] * len(edge_index)
+        for edge, idx in edge_index.items():
+            self.edge_list[idx] = edge
+        capacities = network.capacities()
+        self._caps = [0.0] * len(edge_index)
+        for edge, idx in edge_index.items():
+            self._caps[idx] = capacities[edge]
+
+        # Event-loop state (rebuilt per epoch by begin_epoch).
+        self._greedy = type(self.allocator) is GreedyPriorityAllocator
+        self._completed = 0
+        self._active: List[int] = []
+        self._active_ranks: List[int] = []
+        self._pending: List[Tuple[float, int, int]] = []
+        self._pending_ptr = 0
+        self._dirty_flows: List[int] = []
+        self._force_full = True
+        self._granted_pos: List[int] = []
+        self._granted_rate: List[float] = []
+        self._edge_active: List[List[int]] = [[] for _ in edge_index]
+        self._edge_active_ranks: List[List[int]] = [[] for _ in edge_index]
+
+        self.now = float(start_time)
+        self.events = 0
+        self.max_events = 16
+
+    # ------------------------------------------------------------ slot deltas
+    def _path_edge_ids(self, path) -> List[int]:
+        edge_index = self._edge_index
+        return [edge_index[e] for e in path_edges(list(path))]
+
+    def ingest(self, fid: FlowId, size: float, release: float, path,
+               weight: float = 1.0) -> int:
+        """Admit one flow into a (new or recycled) slot; returns the slot."""
+        if fid in self._pos:
+            raise ValueError(f"flow {fid!r} is already resident")
+        size = float(size)
+        if size <= _VOLUME_EPS:
+            raise ValueError(
+                f"flow {fid!r} has no volume ({size:g}); zero-size flows "
+                "complete at submit time and are never ingested"
+            )
+        edges = self._path_edge_ids(path)
+        sid = self._next_sid
+        self._next_sid += 1
+        if self._free:
+            k = self._free.pop()
+            self.slots_reused += 1
+            self.fids[k] = fid
+            self._sid[k] = sid
+            self._live[k] = True
+            self._size[k] = size
+            self._remaining[k] = size
+            self._release[k] = float(release)
+            self._completion[k] = math.nan
+            self._start[k] = math.nan
+            self._started[k] = False
+            self._rate_prev[k] = 0.0
+            self._rank[k] = 0
+            self._flow_dirty[k] = False
+            self._weight[k] = float(weight)
+            self._edges_of[k] = edges
+            self._entries[k] = (k, edges, float(weight))
+            self._segments[k] = []
+            self._harvested_completed[k] = False
+            self._harvest_remaining[k] = size
+            self._harvest_moved[k] = False
+        else:
+            k = len(self.fids)
+            self.fids.append(fid)
+            self._sid.append(sid)
+            self._live.append(True)
+            self._size.append(size)
+            self._remaining.append(size)
+            self._release.append(float(release))
+            self._completion.append(math.nan)
+            self._start.append(math.nan)
+            self._started.append(False)
+            self._rate_prev.append(0.0)
+            self._rank.append(0)
+            self._flow_dirty.append(False)
+            self._weight.append(float(weight))
+            self._edges_of.append(edges)
+            self._entries.append((k, edges, float(weight)))
+            self._segments.append([])
+            self._harvested_completed.append(False)
+            self._harvest_remaining.append(size)
+            self._harvest_moved.append(False)
+        self._pos[fid] = k
+        return k
+
+    def ingest_many(self, fids, sizes, releases, paths,
+                    weight: float = 1.0) -> List[int]:
+        """Admit a batch of flows; equivalent to sequential :meth:`ingest`.
+
+        The compiled tier overrides this with a vectorised version; here it
+        is the plain loop, kept so both tiers expose the same delta API.
+        """
+        return [
+            self.ingest(fid, size, release, path, weight=weight)
+            for fid, size, release, path in zip(fids, sizes, releases, paths)
+        ]
+
+    def slot_of(self, fid: FlowId) -> int:
+        """The slot currently holding ``fid`` (raises when not resident)."""
+        return self._pos[fid]
+
+    def sid_of(self, fid: FlowId) -> int:
+        """The ingest-unique id of the slot currently holding ``fid``."""
+        return self._sid[self._pos[fid]]
+
+    def update_path(self, k: int, path) -> None:
+        """Re-route slot ``k`` (only legal between epochs, and only for
+        flows that have not moved volume yet — the engine pins the path of
+        every flow with recorded segments)."""
+        edges = self._path_edge_ids(path)
+        self._edges_of[k] = edges
+        self._entries[k] = (k, edges, self._weight[k])
+
+    def _free_slot(self, k: int, tombstone_time: float) -> None:
+        if math.isnan(self._completion[k]):
+            # Dwindled below the volume epsilon under a pause: the engine
+            # records its completion at the re-plan time, mirror that here
+            # so diagnostics never list a freed slot as unfinished.
+            self._completion[k] = tombstone_time
+        segments = self._segments[k]
+        if segments:
+            self._archived_segments[self._sid[k]] = segments
+        self._segments[k] = []
+        del self._pos[self.fids[k]]
+        self.fids[k] = None
+        self._live[k] = False
+        self._free.append(k)
+
+    # ------------------------------------------------------------- epoch turn
+    def begin_epoch(
+        self,
+        now: float,
+        order: Sequence[int],
+        max_events: Optional[int] = None,
+        allocator: Optional[str] = None,
+    ) -> None:
+        """Start a new epoch at time ``now`` with slots in ``order`` (the
+        plan's priority order over every live, unfinished flow).
+
+        Live slots missing from ``order`` must be finished (completed
+        during the closing epoch, or paused below the volume epsilon) and
+        are tombstoned into the free-list.  Everything a fresh kernel
+        construction would derive — ranks, the rank-sorted active set and
+        per-edge slabs, the ``(release, rank, slot)`` pending order, the
+        epoch-local size/start baselines, the event counter and cap, the
+        forced full allocation pass — is rebuilt in place.
+        """
+        if now + _TIME_EPS < self.now:
+            raise ValueError(
+                f"epoch start t={now:g} precedes the kernel clock "
+                f"t={self.now:g}"
+            )
+        if allocator is not None and allocator != self.allocator_name:
+            self.allocator_name = str(allocator)
+            self.allocator = resolve_allocator(self.allocator_name)
+            self._greedy = type(self.allocator) is GreedyPriorityAllocator
+
+        in_order = set(order)
+        for k in range(len(self.fids)):
+            if self._live[k] and k not in in_order:
+                if (math.isnan(self._completion[k])
+                        and self._remaining[k] > _VOLUME_EPS):
+                    raise ValueError(
+                        f"slot {k} ({self.fids[k]!r}) still holds "
+                        f"{self._remaining[k]:g} volume but is absent from "
+                        "the epoch order"
+                    )
+                self._free_slot(k, now)
+
+        rank = self._rank
+        size = self._size
+        remaining = self._remaining
+        release = self._release
+        start = self._start
+        started = self._started
+        threshold = now + _TIME_EPS
+        active: List[int] = []
+        active_ranks: List[int] = []
+        pending: List[Tuple[float, int, int]] = []
+        for i, k in enumerate(order):
+            rank[k] = i
+            # Epoch-local baselines: a fresh kernel's size is the volume
+            # remaining at the epoch start, and start detection restarts
+            # (the engine keeps only the first epoch's start per flow).
+            size[k] = remaining[k]
+            started[k] = False
+            start[k] = math.nan
+            if release[k] <= threshold:
+                active.append(k)
+                active_ranks.append(i)
+            else:
+                pending.append((release[k], i, k))
+        pending.sort()
+        self._active = active
+        self._active_ranks = active_ranks
+        self._pending = pending
+        self._pending_ptr = 0
+
+        edge_active = self._edge_active = [[] for _ in self._caps]
+        edge_active_ranks = self._edge_active_ranks = [[] for _ in self._caps]
+        if self._greedy:
+            for k, rk in zip(active, active_ranks):
+                for e in self._edges_of[k]:
+                    edge_active[e].append(k)
+                    edge_active_ranks[e].append(rk)
+
+        for k in self._dirty_flows:
+            self._flow_dirty[k] = False
+        self._dirty_flows.clear()
+        self._force_full = True
+        self._granted_pos = []
+        self._granted_rate = []
+        # Freed slots count as completed so the inherited loop's
+        # ``completed < len(fids)`` termination sees only live work.
+        self._completed = len(self.fids) - len(order)
+        self.now = float(now)
+        self.events = 0
+        self.max_events = (
+            max_events if max_events is not None else 4 * len(order) + 16
+        )
+
+    # ---------------------------------------------------------------- harvest
+    def harvest_epoch(self):
+        """What the closing epoch changed, as slot-keyed deltas.
+
+        Returns ``(completions, starts, touched, moved)``:
+        ``completions`` / ``starts`` are ``(slot, time)`` pairs newly
+        observed since the previous harvest, ``touched`` is ``(slot,
+        remaining)`` for flows whose volume moved, and ``moved`` lists
+        slots that recorded their first bandwidth segment (the engine pins
+        their paths).  Call this *before* :meth:`begin_epoch` frees the
+        departed slots.
+        """
+        completions: List[Tuple[int, float]] = []
+        starts: List[Tuple[int, float]] = []
+        touched: List[Tuple[int, float]] = []
+        moved: List[int] = []
+        for k in range(len(self.fids)):
+            if not self._live[k]:
+                continue
+            if (not self._harvested_completed[k]
+                    and not math.isnan(self._completion[k])):
+                self._harvested_completed[k] = True
+                completions.append((k, self._completion[k]))
+            if self._started[k]:
+                starts.append((k, self._start[k]))
+            if self._remaining[k] != self._harvest_remaining[k]:
+                self._harvest_remaining[k] = self._remaining[k]
+                touched.append((k, self._remaining[k]))
+            if self._segments[k] and not self._harvest_moved[k]:
+                self._harvest_moved[k] = True
+                moved.append(k)
+        return completions, starts, touched, moved
+
+    def drain_all_segments(self) -> Iterator[Tuple[int, List[List[float]]]]:
+        """Yield ``(ingest id, segments)`` for every flow that ever moved
+        volume in this session (tombstoned occupancies included)."""
+        yield from self._archived_segments.items()
+        for k in range(len(self.fids)):
+            if self._live[k] and self._segments[k]:
+                yield self._sid[k], self._segments[k]
+
+    def build_schedule(self) -> CircuitSchedule:  # pragma: no cover - guard
+        raise RuntimeError(
+            "a resident kernel has no plan of its own; the streaming "
+            "engine assembles the final schedule from its session state"
+        )

@@ -75,6 +75,10 @@ class OnlineFlowSimulator:
         or ``None`` — defer to the per-epoch plan / environment).  Epoch
         splicing is backend-agnostic: the compiled tier pauses at arrival
         deadlines with exactly the array kernel's semantics.
+    resident:
+        Keep kernel state resident across re-plans instead of rebuilding a
+        kernel per arrival (``None`` defers to ``REPRO_SIM_RESIDENT``, then
+        ``False``).  Bit-identical to the rebuild path by contract.
     """
 
     def __init__(
@@ -83,12 +87,14 @@ class OnlineFlowSimulator:
         replanner: Replanner,
         max_events: Optional[int] = None,
         backend: Optional[str] = None,
+        resident: Optional[bool] = None,
     ) -> None:
         validate_backend(backend)
         self.network = network
         self.replanner = replanner
         self.max_events = max_events
         self.backend = backend
+        self.resident = resident
         #: The streaming session behind the most recent :meth:`run` (exposes
         #: ``decision_log`` / ``streaming_metrics()`` for diagnostics).
         self.last_session: Optional[StreamingScheduler] = None
@@ -108,6 +114,7 @@ class OnlineFlowSimulator:
             policy=BatchPolicy(max_batch=1),
             max_events=self.max_events,
             backend=self.backend,
+            resident=self.resident,
         )
         self.last_session = session
         return session.run(instance, plan_name=plan_name)

@@ -50,6 +50,7 @@ __all__ = [
     "SimulationResult",
     "make_kernel",
     "resolve_backend",
+    "resolve_resident",
     "validate_backend",
 ]
 
@@ -71,6 +72,13 @@ BACKENDS: Tuple[str, ...] = ("array", "jit", "auto")
 #: Environment variable consulted when neither the caller nor the plan
 #: pins a backend (``repro run --backend`` sets it for scheme pipelines).
 _BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+#: Environment variable consulted when a streaming session is not told
+#: explicitly whether to keep its kernel state resident across re-plans.
+#: Residency is orthogonal to the ``array|jit`` backend choice and — like
+#: the backend — bit-identical by contract, so it never enters scheme
+#: signatures or run-store keys.
+_RESIDENT_ENV = "REPRO_SIM_RESIDENT"
 
 _fallback_warned = False
 
@@ -109,6 +117,30 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
         return "jit" if kernel_jit.available() else "array"
     return backend
+
+
+def resolve_resident(resident: Optional[bool] = None) -> bool:
+    """Resolve the residency request of a streaming session.
+
+    Precedence: explicit argument > ``REPRO_SIM_RESIDENT`` environment
+    variable > ``False`` (rebuild a kernel per epoch).  Residency is a
+    speed knob with the same contract as the backend choice: resident
+    sessions are bit-identical to the rebuild reference, so the choice
+    never enters scheme signatures or run-store keys.
+    """
+    if resident is not None:
+        return bool(resident)
+    raw = os.environ.get(_RESIDENT_ENV, "").strip().lower()
+    if not raw:
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"unrecognised {_RESIDENT_ENV} value {raw!r}; expected a boolean "
+        "(1/0, true/false, yes/no, on/off)"
+    )
 
 
 def make_kernel(

@@ -63,12 +63,23 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.flows import Coflow, CoflowInstance, Flow, FlowId
 from ..core.network import Network
 from ..core.schedule import CircuitSchedule
-from .kernel import SimulationKernel
+from .allocators import resolve_allocator
+from .kernel import ResidentSimulationKernel, SimulationKernel
+from .kernel_jit import paused_gc
 from .plan import SimulationPlan
-from .simulator import SimulationResult, _build_result, make_kernel, validate_backend
+from .simulator import (
+    SimulationResult,
+    _build_result,
+    make_kernel,
+    resolve_backend,
+    resolve_resident,
+    validate_backend,
+)
 
 __all__ = [
     "BatchPolicy",
@@ -223,19 +234,30 @@ class StaticPlanReplanner:
 
     def __init__(self, plan: SimulationPlan) -> None:
         self.plan = plan
+        self._rank = {fid: index for index, fid in enumerate(plan.order)}
 
     def __call__(self, context: ReplanContext) -> SimulationPlan:
-        """Restrict the fixed plan to the context's sub-instance."""
-        inverse = {orig: sub for sub, orig in context.fid_map.items()}
-        paths = {
-            sub: self.plan.paths[orig] for sub, orig in context.fid_map.items()
-        }
-        order = [inverse[fid] for fid in self.plan.order if fid in inverse]
+        """Restrict the fixed plan to the context's sub-instance.
+
+        Sorting the live flows by their precomputed global rank produces
+        exactly the order of walking the full plan and keeping the live
+        entries (ranks are unique), but costs O(live log live) per re-plan
+        instead of O(full plan) — the difference between this replanner
+        being usable or not on 100k-flow streams.
+        """
+        fid_map = context.fid_map
+        plan = self.plan
+        rank = self._rank
+        paths = {sub: plan.paths[orig] for sub, orig in fid_map.items()}
+        order = sorted(
+            (sub for sub in fid_map if fid_map[sub] in rank),
+            key=lambda sub: rank[fid_map[sub]],
+        )
         return SimulationPlan(
             paths=paths,
             order=order,
-            name=self.plan.name,
-            allocator=self.plan.allocator,
+            name=plan.name,
+            allocator=plan.allocator,
         )
 
 
@@ -268,6 +290,15 @@ class StreamingScheduler:
     backend:
         Kernel backend for every epoch (``"array"``, ``"jit"``, ``"auto"``
         or ``None`` — defer to the per-epoch plan / environment).
+    resident:
+        Keep one resident kernel session across re-plans instead of
+        rebuilding a kernel per epoch: arrivals are ingested once,
+        re-plans patch priorities/paths on the live kernel, and departures
+        tombstone slots into a free-list.  ``None`` defers to the
+        ``REPRO_SIM_RESIDENT`` environment variable, then ``False``.
+        Orthogonal to ``backend`` and bit-identical to the rebuild path
+        by contract (the equivalence suite asserts it), so — like the
+        backend — it never enters scheme signatures or run-store keys.
     """
 
     def __init__(
@@ -278,6 +309,7 @@ class StreamingScheduler:
         max_events: Optional[int] = None,
         backend: Optional[str] = None,
         name: Optional[str] = None,
+        resident: Optional[bool] = None,
     ) -> None:
         validate_backend(backend)
         self.network = network
@@ -285,11 +317,13 @@ class StreamingScheduler:
         self.policy = policy
         self.max_events = max_events
         self.backend = backend
+        self.resident = resolve_resident(resident)
         self.name = name
         # ---- arrival stream state
         self._coflows: List[Coflow] = []
         self._pending: List[Tuple[float, int]] = []  # (release, idx), sorted
         self._admitted: Dict[int, float] = {}  # coflow idx -> admission time
+        self._active_arrived: List[int] = []  # admitted, not yet departed
         self._last_replan: Optional[float] = None
         # ---- accumulators (original flow ids)
         self._remaining: Dict[FlowId, float] = {}
@@ -310,9 +344,30 @@ class StreamingScheduler:
         self._fid_map_signature: Optional[Tuple] = None
         self._fid_map: Dict[FlowId, FlowId] = {}
         self._fid_map_reuses = 0
+        #: Coflows with a member whose remaining volume changed since the
+        #: previous re-plan (their memoized section must be re-derived) and
+        #: coflows whose every flow has completed (skipped outright).
+        self._dirty_coflows: set = set()
+        self._done_coflows: set = set()
+        #: Per-flow validated-path cache: original fid -> the exact tuple
+        #: object last validated against the network for that flow.  A
+        #: steady-state re-plan revalidates only flows whose path changed,
+        #: and path tuples are canonicalised to one object per flow so the
+        #: resident patch can compare paths by identity.
+        self._validated_paths: Dict[FlowId, Tuple[Hashable, ...]] = {}
+        self._validated_specs: set = set()
+        #: Re-routes observed by the last _finalize_plan pass: (orig fid,
+        #: new canonical path) for resident flows whose planned path moved
+        #: away from the session's current one.  Lets the per-epoch patch
+        #: skip the per-flow path compare entirely.
+        self._changed_paths: List[Tuple[FlowId, Tuple[Hashable, ...]]] = []
+        # ---- the resident kernel session (lazy; rebuild mode never makes one)
+        self._session_kernel: Optional[ResidentSimulationKernel] = None
+        self._sid_to_fid: Dict[int, FlowId] = {}
         # ---- observability
         self.decision_log: List[Dict[str, float]] = []
         self._staleness: List[float] = []
+        self._setup_seconds = 0.0
         self._result: Optional[SimulationResult] = None
         self._source_instance: Optional[CoflowInstance] = None
 
@@ -376,14 +431,45 @@ class StreamingScheduler:
         if self._result is not None:
             raise StreamingError("session is finished; start a new one")
         ran = 0
-        while self._pending:
-            arrivals = sorted({r for r, _i in self._pending})
-            t, _next = self.policy.next_replan_time(arrivals)
-            if until is not None and t > until:
-                break
-            self._process_replan(t)
-            ran += 1
+        max_batch = self.policy.max_batch
+        max_delay = self.policy.max_delay
+        # One GC pause spans every epoch this call processes — the compiled
+        # tier's per-run pause (kernel_jit.paused_gc) nests as a no-op.
+        with paused_gc():
+            while self._pending:
+                # next_replan_time only ever inspects distinct arrival times
+                # up to the batch deadline (or the max_batch-th), so feed it
+                # that prefix instead of sorting the whole pending set every
+                # iteration — O(batch) per re-plan, not O(pending).
+                deadline = self._pending[0][0] + max_delay
+                arrivals: List[float] = []
+                for release, _i in self._pending:
+                    if release > deadline:
+                        break
+                    if not arrivals or release != arrivals[-1]:
+                        arrivals.append(release)
+                        if max_batch is not None and len(arrivals) >= max_batch:
+                            break
+                t, _next = self.policy.next_replan_time(arrivals)
+                if until is not None and t > until:
+                    break
+                self._process_replan(t)
+                ran += 1
         return ran
+
+    def drain(self) -> None:
+        """Process every known re-plan and run the final epoch to completion.
+
+        The online phase of :meth:`finish` without the result assembly —
+        the seam the streaming bench times (both modes pay the same final
+        materialisation cost, which would otherwise dilute the comparison).
+        No-op on a finished session.
+        """
+        if self._result is not None:
+            return
+        with paused_gc():
+            self.advance()
+            self._close_open_epoch(until=None)
 
     def finish(self) -> SimulationResult:
         """Process all known re-plans, drain the last epoch, splice the result.
@@ -391,8 +477,7 @@ class StreamingScheduler:
         Idempotent: repeated calls return the same result object.
         """
         if self._result is None:
-            self.advance()
-            self._close_open_epoch(until=None)
+            self.drain()
             self._result = self._build_final()
         return self._result
 
@@ -421,13 +506,18 @@ class StreamingScheduler:
         the sub-instance, invoking the replanner and validating/pinning the
         plan (kernel simulation time is excluded; it is the part PR 7 already
         made cheap).  *Replans/sec* is ``replans / total planning seconds``.
+        *Epoch setup seconds* is the mean per-re-plan wall time spent
+        outside both the event loop and the planner — kernel construction
+        and state merging in rebuild mode, harvest/patch deltas in resident
+        mode — the cost residency exists to erase.
         """
-        import numpy as np
-
         walls = [entry["wall_seconds"] for entry in self.decision_log]
         total = float(sum(walls))
         report = self.staleness_report()
         return {
+            "epoch_setup_seconds": (
+                self._setup_seconds / len(walls) if walls else 0.0
+            ),
             "replans": float(len(walls)),
             "arrivals": float(len(self._coflows)),
             "plan_seconds": total,
@@ -470,14 +560,16 @@ class StreamingScheduler:
         arrival ≤ ``now``, build the (memoized) sub-instance, plan, pin."""
         self._close_open_epoch(until=now)
         t0 = time.perf_counter()
-        admitted = 0
+        new_coflows: List[int] = []
         while self._pending and self._pending[0][0] <= now:
             release, index = self._pending.pop(0)
             self._admitted[index] = now
+            bisect.insort(self._active_arrived, index)
             self._staleness.append(now - release)
-            admitted += 1
-        arrived = sorted(self._admitted)
-        sub_instance, fid_map = self._build_sub_instance(arrived, now)
+            new_coflows.append(index)
+        sub_instance, fid_map = self._build_sub_instance(
+            self._active_arrived, now
+        )
         context = ReplanContext(
             now=now,
             instance=sub_instance,
@@ -487,31 +579,118 @@ class StreamingScheduler:
             previous=self._previous_plan,
         )
         sub_plan = self.replanner(context)
-        sub_plan = sub_plan.normalized(sub_instance)
-        # Pin flows that already moved volume to their current path.
-        for sub, orig in fid_map.items():
-            if orig in self._pinned:
-                sub_plan.paths[sub] = self._pinned[orig]
-        sub_plan.validate(sub_instance, self.network)
+        sub_plan = self._finalize_plan(sub_plan, sub_instance, fid_map)
+        orig_order = [fid_map[sub] for sub in sub_plan.order]
         self._previous_plan = SimulationPlan(
             paths={orig: sub_plan.paths[sub] for sub, orig in fid_map.items()},
-            order=[fid_map[sub] for sub in sub_plan.order],
+            order=orig_order,
             name=sub_plan.name,
             allocator=sub_plan.allocator,
         )
-        for sub, orig in fid_map.items():
-            self._current_path[orig] = tuple(sub_plan.paths[sub])
-        wall = time.perf_counter() - t0
+        if self.resident:
+            wall = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            self._patch_resident(now, sub_plan, orig_order, new_coflows)
+            self._setup_seconds += time.perf_counter() - t1
+        else:
+            # Canonical tuples via _finalize_plan mean current_path only
+            # needs updating for flows that are new or actually re-routed.
+            current_path = self._current_path
+            validated = self._validated_paths
+            for i in new_coflows:
+                section = self._section_memo.get(i)
+                if section is None:
+                    continue
+                for orig in section.members:
+                    current_path[orig] = validated[orig]
+            for orig, path in self._changed_paths:
+                current_path[orig] = path
+            wall = time.perf_counter() - t0
         self._open_epoch = (now, sub_instance, sub_plan, fid_map)
         self._last_replan = now
         self.decision_log.append(
             {
                 "now": now,
                 "wall_seconds": wall,
-                "admitted": float(admitted),
+                "admitted": float(len(new_coflows)),
                 "active_coflows": float(len(sub_instance.coflows)),
                 "active_flows": float(len(fid_map)),
             }
+        )
+
+    def _finalize_plan(
+        self,
+        sub_plan: SimulationPlan,
+        sub_instance: CoflowInstance,
+        fid_map: Dict[FlowId, FlowId],
+    ) -> SimulationPlan:
+        """Normalise, pin and validate one re-plan's output, incrementally.
+
+        Semantically ``sub_plan.normalized(sub_instance)`` + pinning moved
+        flows + ``sub_plan.validate(sub_instance, network)``, but the
+        network walk is cached per flow: a path is checked against the
+        topology only the first time the session sees it for that flow
+        (the network is fixed for the session), so a steady-state re-plan
+        costs O(live) dict lookups instead of O(live × path length) graph
+        queries.  Paths are canonicalised to one tuple object per flow,
+        which is what lets the resident patch detect "unchanged" by
+        identity.
+        """
+        src_paths = sub_plan.paths
+        missing = [sub for sub in fid_map if sub not in src_paths]
+        if missing:
+            raise ValueError(
+                f"plan {sub_plan.name!r} missing paths for {missing}"
+            )
+        spec_key = (sub_plan.allocator, sub_plan.backend)
+        if spec_key not in self._validated_specs:
+            resolve_allocator(sub_plan.allocator)  # raises on unknown names
+            validate_backend(sub_plan.backend)
+            self._validated_specs.add(spec_key)
+        pinned = self._pinned
+        validated = self._validated_paths
+        network = self.network
+        changed = self._changed_paths
+        changed.clear()
+        paths: Dict[FlowId, Tuple[Hashable, ...]] = {}
+        for sub, orig in fid_map.items():
+            pin = pinned.get(orig)
+            if pin is not None:
+                # Flows that moved volume keep their current (already
+                # validated) path regardless of what the replanner said.
+                paths[sub] = pin
+                continue
+            path = src_paths[sub]
+            known = validated.get(orig)
+            if path is not known:
+                tpath = path if type(path) is tuple else tuple(path)
+                if tpath != known:
+                    flow = sub_instance.flow(sub)
+                    if tpath[0] != flow.source or tpath[-1] != flow.destination:
+                        raise ValueError(
+                            f"plan {sub_plan.name!r}: path endpoints for "
+                            f"{sub} do not match flow"
+                        )
+                    network.validate_path(tpath)
+                    if known is not None:
+                        # A live, unmoved flow was re-routed: remember it so
+                        # the epoch patch can skip per-flow path compares.
+                        changed.append((orig, tpath))
+                else:
+                    tpath = known
+                validated[orig] = tpath
+                path = tpath
+            paths[sub] = path
+        order = list(sub_plan.order)
+        seen = set(order)
+        order += [sub for sub in fid_map if sub not in seen]
+        return SimulationPlan(
+            paths=paths,
+            order=order,
+            name=sub_plan.name,
+            allocator=sub_plan.allocator,
+            spec=sub_plan.spec,
+            backend=sub_plan.backend,
         )
 
     def _close_open_epoch(self, until: Optional[float]) -> None:
@@ -520,6 +699,15 @@ class StreamingScheduler:
             return
         now, sub_instance, sub_plan, fid_map = self._open_epoch
         self._open_epoch = None
+        if self.resident:
+            kernel = self._session_kernel
+            kernel.run(until=until)
+            t1 = time.perf_counter()
+            self._events += kernel.events
+            self._harvest_resident(kernel)
+            self._setup_seconds += time.perf_counter() - t1
+            return
+        t1 = time.perf_counter()
         kernel = make_kernel(
             self.network,
             sub_instance,
@@ -528,9 +716,133 @@ class StreamingScheduler:
             start_time=now,
             backend=self.backend,
         )
+        setup = time.perf_counter() - t1
         kernel.run(until=until)
+        t2 = time.perf_counter()
         self._events += kernel.events
         self._merge_epoch(kernel, fid_map)
+        self._setup_seconds += setup + (time.perf_counter() - t2)
+
+    # --------------------------------------------------------------- resident
+    def _make_resident_kernel(
+        self, now: float, allocator: str
+    ) -> ResidentSimulationKernel:
+        """One resident kernel per session, chosen once at the first re-plan.
+
+        The compiled resident tier lowers only the greedy policy (like the
+        per-run jit tier); other allocators — and machines without a C
+        toolchain — use the array-resident kernel.  Both are bit-identical
+        to the rebuild path, so the choice is invisible in results.
+        """
+        resolved = resolve_backend(self.backend)
+        if resolved == "jit" and allocator == "greedy":
+            from . import kernel_jit
+
+            if kernel_jit.available():
+                return kernel_jit.ResidentJitKernel(
+                    self.network, allocator=allocator, start_time=now
+                )
+        return ResidentSimulationKernel(
+            self.network, allocator=allocator, start_time=now
+        )
+
+    def _patch_resident(
+        self,
+        now: float,
+        sub_plan: SimulationPlan,
+        orig_order: List[FlowId],
+        new_coflows: Sequence[int],
+    ) -> None:
+        """Apply one re-plan to the live kernel as an in-place delta.
+
+        New flows are ingested once (at their original size and release —
+        the kernel tracks remaining volume natively across epochs); flows
+        whose plan path changed are re-routed (only ever flows that have
+        not moved volume — moved flows arrive pre-pinned); everything else
+        is merely re-ranked by :meth:`ResidentSimulationKernel.begin_epoch`,
+        which also tombstones the slots of departed flows.
+
+        The delta is O(new + changed): _finalize_plan canonicalises every
+        path and records re-routes, and the admission loop records new
+        coflows, so steady-state flows need no per-flow python at all —
+        the order translation is a single C-level ``map`` over the
+        original-fid order the re-plan already produced.
+        """
+        kernel = self._session_kernel
+        if kernel is None:
+            kernel = self._session_kernel = self._make_resident_kernel(
+                now, sub_plan.allocator
+            )
+        slot_map = kernel._pos
+        current_path = self._current_path
+        remaining = self._remaining
+        validated = self._validated_paths
+        sid_to_fid = self._sid_to_fid
+        for i in new_coflows:
+            section = self._section_memo.get(i)
+            if section is None:
+                # Every member dwindled to completion at admission time.
+                continue
+            coflow = self._coflows[i]
+            flows = coflow.flows
+            members = section.members
+            paths = [validated[orig] for orig in members]
+            kernel.ingest_many(
+                members,
+                [remaining[orig] for orig in members],
+                [flows[orig[1]].release_time for orig in members],
+                paths,
+                weight=coflow.weight,
+            )
+            for orig, path in zip(members, paths):
+                sid_to_fid[kernel.sid_of(orig)] = orig
+                current_path[orig] = path
+        for orig, path in self._changed_paths:
+            kernel.update_path(slot_map[orig], path)
+            current_path[orig] = path
+        order = np.fromiter(
+            map(slot_map.__getitem__, orig_order),
+            dtype=np.int64,
+            count=len(orig_order),
+        )
+        kernel.begin_epoch(
+            now, order, max_events=self.max_events, allocator=sub_plan.allocator
+        )
+
+    def _harvest_resident(self, kernel: ResidentSimulationKernel) -> None:
+        """Fold the closing epoch's deltas into the global accumulators.
+
+        The resident twin of :meth:`_merge_epoch`: instead of walking every
+        sub-instance flow it applies only what actually changed —
+        completions, epoch starts, touched volumes (which also dirty the
+        owning coflow's memoized section) and first-ever segment recordings
+        (which pin the flow's path, exactly like the rebuild merge).
+        """
+        completions, starts, touched, moved = kernel.harvest_epoch()
+        fids = kernel.fids
+        pinned = self._pinned
+        current_path = self._current_path
+        for k in moved:
+            orig = fids[k]
+            pinned[orig] = current_path[orig]
+        completion = self._completion
+        for k, t in completions:
+            orig = fids[k]
+            completion[orig] = t
+            # A completed flow never re-enters a plan: drop its pin so the
+            # per-re-plan pinned snapshot stays O(live), not O(history).
+            pinned.pop(orig, None)
+        start = self._start
+        for k, t in starts:
+            orig = fids[k]
+            if orig not in start:
+                start[orig] = t
+        remaining = self._remaining
+        dirty = self._dirty_coflows
+        for k, volume in touched:
+            orig = fids[k]
+            remaining[orig] = volume
+            dirty.add(orig[0])
 
     def _build_sub_instance(
         self, arrived: Sequence[int], now: float
@@ -543,11 +855,31 @@ class StreamingScheduler:
         outright when the active membership matches the previous re-plan.
         Flows whose remaining volume has dwindled below the numerical guard
         are marked complete at ``now`` instead of entering the sub-instance.
+
+        Coflows with no member change since the previous re-plan (not in
+        ``_dirty_coflows``) reuse their section without touching per-flow
+        state, and fully-departed coflows (``_done_coflows``) are skipped
+        outright — so one re-plan costs O(changed), not O(arrived).
         """
         coflows: List[Coflow] = []
         signature: List[Tuple[int, Tuple[FlowId, ...]]] = []
         sections: List[Tuple[int, Tuple[FlowId, ...]]] = []
+        dirty = self._dirty_coflows
+        done = self._done_coflows
+        departed: List[int] = []
         for i in arrived:
+            if i in done:
+                departed.append(i)
+                continue
+            section = self._section_memo.get(i)
+            if section is not None and i not in dirty:
+                # No member completed, dwindled or changed volume since the
+                # previous re-plan: membership and sizes are unchanged, so
+                # the memoized section is exact.
+                coflows.append(section.coflow)
+                signature.append((i, section.members))
+                sections.append((len(coflows) - 1, section.members))
+                continue
             coflow = self._coflows[i]
             members: List[FlowId] = []
             for j in range(len(coflow.flows)):
@@ -556,14 +888,16 @@ class StreamingScheduler:
                     continue
                 if self._remaining[fid] <= _VOLUME_EPS:
                     self._completion[fid] = now
+                    self._pinned.pop(fid, None)
                     continue
                 members.append(fid)
             if not members:
                 self._section_memo.pop(i, None)
+                done.add(i)
+                departed.append(i)
                 continue
             member_key = tuple(members)
             sizes = tuple(self._remaining[fid] for fid in members)
-            section = self._section_memo.get(i)
             if section is None or section.members != member_key or section.sizes != sizes:
                 flows = []
                 for fid in members:
@@ -592,6 +926,12 @@ class StreamingScheduler:
             coflows.append(section.coflow)
             signature.append((i, member_key))
             sections.append((len(coflows) - 1, member_key))
+        dirty.clear()
+        if departed and arrived is self._active_arrived:
+            # Departed coflows never rejoin a plan; drop them from the
+            # active-arrived list so re-plans stay O(live), not O(arrived).
+            for i in departed:
+                self._active_arrived.remove(i)
         sig = tuple(signature)
         if sig == self._fid_map_signature:
             self._fid_map_reuses += 1
@@ -624,11 +964,12 @@ class StreamingScheduler:
         segments = self._segments
         epoch_completion = kernel.flow_completion_map()
         epoch_start = kernel.flow_start_map()
+        dirty = self._dirty_coflows
         for sub_fid, volume in kernel.remaining_map().items():
             orig = fid_map[sub_fid]
-            remaining[orig] = volume
-            if sub_fid in epoch_completion:
-                completion[orig] = epoch_completion[sub_fid]
+            if remaining[orig] != volume:
+                remaining[orig] = volume
+                dirty.add(orig[0])
             if sub_fid in epoch_start and orig not in start:
                 start[orig] = epoch_start[sub_fid]
         for sub_fid, new_segments in kernel.iter_raw_segments():
@@ -642,6 +983,13 @@ class StreamingScheduler:
                 else:
                     target.append(list(seg))
             self._pinned[orig] = self._current_path[orig]
+        pinned = self._pinned
+        for sub_fid, finished_at in epoch_completion.items():
+            orig = fid_map[sub_fid]
+            completion[orig] = finished_at
+            # Completed flows never re-enter a plan: drop their pins so the
+            # per-re-plan pinned snapshot stays O(live), not O(history).
+            pinned.pop(orig, None)
 
     # ------------------------------------------------------------------ final
     def _full_instance(self) -> CoflowInstance:
@@ -654,6 +1002,14 @@ class StreamingScheduler:
 
     def _build_final(self) -> SimulationResult:
         instance = self._full_instance()
+        if self._session_kernel is not None:
+            # Resident sessions accumulate segments inside the kernel
+            # (attributed by ingest-unique slot ids so the free-list can
+            # recycle slots); drain them into the per-flow map once.
+            segments = self._segments
+            sid_to_fid = self._sid_to_fid
+            for sid, segs in self._session_kernel.drain_all_segments():
+                segments[sid_to_fid[sid]] = segs
         schedule = CircuitSchedule()
         for fid in instance.flow_ids():
             path = self._current_path.get(fid)

@@ -340,6 +340,15 @@ class TestScenarioMatrixAcceptance:
 
         assert load_document(SPECS_DIR / "streaming.yaml") == _STREAMING_BENCH
 
+    def test_checked_in_spec_pins_the_streaming_resident_gate(self):
+        from repro.analysis.artifacts import load_document
+        from repro.cli.bench import _STREAMING_BENCH_100K
+
+        assert (
+            load_document(SPECS_DIR / "streaming-100k.yaml")
+            == _STREAMING_BENCH_100K
+        )
+
     def test_smoke_sweep_two_workers_resume_and_report(self, tmp_path, capsys):
         spec = str(SPECS_DIR / "scenario-matrix.yaml")
         out = tmp_path / "artifacts"
@@ -486,10 +495,13 @@ class TestBench:
         out = tmp_path / "artifacts"
         assert main(["bench", "streaming", "--smoke", "--out", str(out)]) == 0
         stdout = capsys.readouterr().out
-        # The two first-class service metrics appear as report columns.
+        # The first-class service metrics appear as report columns.
         assert "replans/sec" in stdout
         assert "p99 decision ms" in stdout
+        assert "setup ms/replan" in stdout
+        assert "online events/sec" in stdout
         assert "warm batched vs cold per-arrival throughput" in stdout
+        assert "resident session vs rebuild-per-replan" in stdout
 
         metadata = run_metadata(out, "streaming-smoke")
         assert metadata["suite"] == "streaming-smoke"
@@ -501,11 +513,16 @@ class TestBench:
         assert record["suite"] == "streaming-smoke"
         assert record["smoke"] is True
         assert record["throughput_ratio"] > 0
+        # Both residency modes are recorded on every run, smoke included,
+        # so the perf trajectory always carries the gate's two rates.
+        assert record["resident_speedup"] > 0
         assert set(record["streaming"]) == {
             "cold / per-arrival",
             "warm / per-arrival",
             "cold / batched",
             "warm / batched",
+            "resident / 100k",
+            "rebuild / 100k",
         }
         for metrics in record["streaming"].values():
             assert {
@@ -515,6 +532,8 @@ class TestBench:
                 "p99_decision_latency",
                 "max_staleness",
                 "staleness_bound",
+                "epoch_setup_seconds",
+                "online_events_per_sec",
             } <= set(metrics)
 
     def test_streaming_smoke_recovers_corrupt_bench_file(

@@ -18,13 +18,17 @@ from repro.baselines import SEBFScheme
 from repro.core import topologies
 from repro.sim import (
     BACKENDS,
+    BatchPolicy,
     FlowLevelSimulator,
     JitSimulationKernel,
     SimulationKernel,
     SimulationPlan,
+    StaticPlanReplanner,
+    StreamingScheduler,
     kernel_jit,
     make_kernel,
     resolve_backend,
+    resolve_resident,
     validate_backend,
 )
 from repro.workloads import CoflowGenerator, WorkloadConfig
@@ -148,6 +152,77 @@ class TestDispatch:
         network, _config, _instance, _plan = case
         with pytest.raises(ValueError, match="unknown simulator backend"):
             FlowLevelSimulator(network, backend="fortran")
+
+
+class TestResidentResolution:
+    """Streaming-session residency is a speed knob with the backend's
+    contract: explicit argument > ``REPRO_SIM_RESIDENT`` environment
+    variable > off, bit-identical either way, never in cache keys."""
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_RESIDENT", raising=False)
+        assert resolve_resident() is False
+        assert resolve_resident(None) is False
+
+    def test_explicit_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_RESIDENT", "1")
+        assert resolve_resident(False) is False
+        monkeypatch.setenv("REPRO_SIM_RESIDENT", "0")
+        assert resolve_resident(True) is True
+
+    def test_environment_spellings(self, monkeypatch):
+        for raw, expected in [
+            ("1", True), ("true", True), ("yes", True), ("on", True),
+            ("0", False), ("false", False), ("no", False), ("off", False),
+            ("TRUE", True), ("Off", False), (" on ", True),
+        ]:
+            monkeypatch.setenv("REPRO_SIM_RESIDENT", raw)
+            assert resolve_resident() is expected, raw
+        monkeypatch.setenv("REPRO_SIM_RESIDENT", "")  # empty == unset
+        assert resolve_resident() is False
+
+    def test_unrecognised_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_RESIDENT", "maybe")
+        with pytest.raises(ValueError, match="REPRO_SIM_RESIDENT"):
+            resolve_resident()
+
+    def test_environment_reaches_the_streaming_session(self, case, monkeypatch):
+        network, _config, instance, plan = case
+        monkeypatch.setenv("REPRO_SIM_RESIDENT", "on")
+        session = StreamingScheduler(
+            network, StaticPlanReplanner(plan), policy=BatchPolicy(max_batch=1)
+        )
+        assert session.resident is True
+        session.run(instance)
+        assert session._session_kernel is not None
+
+    def test_explicit_off_beats_environment_in_the_session(
+        self, case, monkeypatch
+    ):
+        network, _config, instance, plan = case
+        monkeypatch.setenv("REPRO_SIM_RESIDENT", "1")
+        session = StreamingScheduler(
+            network,
+            StaticPlanReplanner(plan),
+            policy=BatchPolicy(max_batch=1),
+            resident=False,
+        )
+        assert session.resident is False
+        session.run(instance)
+        assert session._session_kernel is None
+
+    def test_residency_never_forks_the_run_store_key(self, case, monkeypatch):
+        network, config, _instance, _plan = case
+        scheme = SEBFScheme()
+        keys = set()
+        signatures = set()
+        for raw in ("0", "1"):
+            monkeypatch.setenv("REPRO_SIM_RESIDENT", raw)
+            keys.add(run_key(network.fingerprint(), config, scheme.signature()))
+            signatures.add(scheme.signature())
+        assert len(keys) == 1
+        assert len(signatures) == 1
+        assert all("resident" not in s for s in signatures)
 
 
 class TestCacheIdentity:

@@ -1,6 +1,6 @@
-"""Property harness for the streaming scheduler service (ISSUE 8).
+"""Property harness for the streaming scheduler service (ISSUE 8/9).
 
-Four pillars:
+Five pillars:
 
 * **batch=1 == online** — a batch-size-1 :class:`StreamingScheduler`
   session reproduces :class:`OnlineFlowSimulator` bit-identically across a
@@ -16,8 +16,16 @@ Four pillars:
 * **pause/resume splice** — feeding the same stream through interleaved
   ``submit``/``advance`` calls yields the identical epoch structure and
   result as a one-shot ``run``, with the fid-map memoization (replan count
-  and map identity) stable across the splice.
+  and map identity) stable across the splice;
+* **resident == rebuild** — a session holding one resident kernel across
+  every re-plan (``resident=True`` / ``REPRO_SIM_RESIDENT``) reproduces
+  the rebuild-per-epoch reference bit-identically (``==``, no tolerance)
+  on both kernel tiers, including under departures (free-list recycling),
+  buffer growth past the initial capacities, zero-size ghosts and
+  pause/resume splices.
 """
+
+import gc
 
 import pytest
 
@@ -27,13 +35,21 @@ from repro.sim import (
     BatchPolicy,
     ColdLPReplanner,
     OnlineFlowSimulator,
+    ResidentJitKernel,
+    ResidentSimulationKernel,
     SimulationPlan,
     StaticPlanReplanner,
     StreamingError,
     StreamingScheduler,
     WarmLPReplanner,
+    kernel_jit,
+    paused_gc,
 )
 from repro.workloads import CoflowGenerator, WorkloadConfig
+
+needs_jit = pytest.mark.skipif(
+    not kernel_jit.available(), reason="compiled kernel tier unavailable"
+)
 
 
 def assert_results_identical(a, b):
@@ -390,9 +406,291 @@ class TestServiceContract:
             "staleness_bound",
             "events",
             "fid_map_reuses",
+            "epoch_setup_seconds",
         ):
             assert key in metrics
         assert metrics["replans"] == 2.0
         assert metrics["arrivals"] == 2.0
         assert metrics["plan_seconds"] > 0.0
+        assert metrics["epoch_setup_seconds"] >= 0.0
         assert session.completed_coflows() == [0, 1]
+
+
+# ------------------------------------------------------ resident == rebuild
+
+class TestResidentEqualsRebuild:
+    """The resident session (ISSUE 9) is a speed knob: one kernel survives
+    every re-plan — arrivals are ingested as deltas, re-plans patch
+    priorities and paths in place, departures tombstone slots into a
+    free-list — and the results must stay bit-identical (``==``, no
+    tolerance) to the rebuild-per-epoch reference."""
+
+    def _sessions(self, network, plan, policy=None, backend=None):
+        policy = policy or BatchPolicy(max_batch=1)
+        make = lambda resident: StreamingScheduler(
+            network,
+            StaticPlanReplanner(plan),
+            policy=policy,
+            backend=backend,
+            resident=resident,
+        )
+        return make(True), make(False)
+
+    @pytest.mark.parametrize("topology_key", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("workload_key", sorted(WORKLOADS))
+    @pytest.mark.parametrize("allocator", ["greedy", "max-min"])
+    def test_bit_identical_across_matrix(
+        self, topology_key, workload_key, allocator
+    ):
+        network, instance = seeded_case(topology_key, workload_key)
+        base = SEBFScheme().plan(instance, network)
+        plan = SimulationPlan(
+            paths=base.paths, order=base.order, name="sebf", allocator=allocator
+        )
+        resident_session, rebuild_session = self._sessions(network, plan)
+        resident = resident_session.run(instance)
+        rebuild = rebuild_session.run(instance)
+        assert_results_identical(resident, rebuild)
+        # Residency really engaged — and only on the resident session.
+        assert resident_session._session_kernel is not None
+        assert rebuild_session._session_kernel is None
+        assert [e["now"] for e in resident_session.decision_log] == [
+            e["now"] for e in rebuild_session.decision_log
+        ]
+
+    @needs_jit
+    @pytest.mark.parametrize("topology_key", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("workload_key", sorted(WORKLOADS))
+    def test_bit_identical_on_the_compiled_tier(
+        self, topology_key, workload_key
+    ):
+        network, instance = seeded_case(topology_key, workload_key)
+        plan = SEBFScheme().plan(instance, network)
+        resident_session, rebuild_session = self._sessions(
+            network, plan, backend="jit"
+        )
+        resident = resident_session.run(instance)
+        rebuild = rebuild_session.run(instance)
+        assert_results_identical(resident, rebuild)
+        assert isinstance(resident_session._session_kernel, ResidentJitKernel)
+        # ... and both agree with the array-resident session.
+        array_session, _ = self._sessions(network, plan, backend="array")
+        assert_results_identical(array_session.run(instance), resident)
+
+    def test_departures_recycle_slots(self):
+        """The staircase stream departs coflows mid-session: the resident
+        kernel must tombstone their slots and hand them to later arrivals
+        (the free list is load-bearing, not decorative)."""
+        network, instance = staircase_stream()
+        rebuild = StreamingScheduler(
+            network, RecordingReplanner(network), policy=BatchPolicy(max_batch=1)
+        ).run(instance)
+        session = StreamingScheduler(
+            network,
+            RecordingReplanner(network),
+            policy=BatchPolicy(max_batch=1),
+            resident=True,
+        )
+        result = session.run(instance)
+        assert_results_identical(result, rebuild)
+        assert session._session_kernel.slots_reused > 0
+
+    def test_zero_size_ghost_never_reaches_the_session(self):
+        """Zero-size coflows complete at submit time; the resident kernel
+        must never see them (ingesting one is an error by contract)."""
+        network = topologies.triangle()
+        instance = CoflowInstance(
+            coflows=[
+                Coflow(flows=(Flow("x", "y", size=10.0),), name="elephant"),
+                Coflow(
+                    flows=(Flow("x", "y", size=0.0, release_time=2.0),),
+                    name="ghost",
+                ),
+            ],
+            name="stable-membership",
+        )
+        rebuild = StreamingScheduler(
+            network, RecordingReplanner(network), policy=BatchPolicy(max_batch=1)
+        ).run(instance)
+        session = StreamingScheduler(
+            network,
+            RecordingReplanner(network),
+            policy=BatchPolicy(max_batch=1),
+            resident=True,
+        )
+        result = session.run(instance)
+        assert_results_identical(result, rebuild)
+        assert result.flow_completion[(1, 0)] == pytest.approx(2.0)
+        kernel = session._session_kernel
+        assert all(fid != (1, 0) for fid in kernel.fids if fid is not None)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [BatchPolicy(max_batch=1), BatchPolicy(max_batch=2, max_delay=4.0)],
+        ids=["per-arrival", "batched"],
+    )
+    def test_pause_resume_splice_stays_identical(self, policy):
+        network, instance = seeded_case("leaf-spine", "poisson", seed=51)
+        one_shot = StreamingScheduler(
+            network, RecordingReplanner(network), policy=policy, resident=True
+        )
+        expected = one_shot.run(instance)
+
+        spliced = StreamingScheduler(
+            network, RecordingReplanner(network), policy=policy, resident=True
+        )
+        for coflow in sorted(instance.coflows, key=lambda c: c.release_time):
+            spliced.submit(coflow)
+            spliced.advance(until=coflow.release_time)
+        result = spliced.finish()
+
+        assert_results_identical(result, expected)
+        assert spliced.replan_count == one_shot.replan_count
+        # The spliced resident stream also matches the rebuild reference.
+        rebuild = StreamingScheduler(
+            network, RecordingReplanner(network), policy=policy
+        ).run(instance)
+        assert_results_identical(result, rebuild)
+
+
+@needs_jit
+class TestResidentBufferGrowth:
+    """Drive the compiled resident tier directly — ingest → begin_epoch →
+    run → harvest cycles — with pathologically small initial buffers, the
+    growable array tier as the correctness twin: slot rows, the edge pool
+    and the segment log must all grow past their initial capacities
+    mid-session (the segment buffer mid-*run*) without disturbing results,
+    and tombstoned slots must come back through the free list."""
+
+    def _drive(self, kernel, batches, path):
+        """Run one epoch per batch to completion; fold harvests the way the
+        streaming engine does (earliest start wins)."""
+        completions, starts = {}, {}
+        live = []
+        now = 0.0
+        for new_flows in batches:
+            for fid, size, release in new_flows:
+                kernel.ingest(fid, size, now + release, path)
+                live.append(fid)
+            kernel.begin_epoch(now, [kernel.slot_of(fid) for fid in live])
+            assert kernel.run() is True
+            done, started, _touched, _moved = kernel.harvest_epoch()
+            for k, t in done:
+                completions[kernel.fids[k]] = t
+            for k, t in started:
+                starts.setdefault(kernel.fids[k], t)
+            live = [fid for fid in live if fid not in completions]
+            now = kernel.now
+        return completions, starts
+
+    def _batches(self):
+        # 20 same-edge flows: >16 bandwidth segments in epoch 0, so the
+        # segment buffer grows mid-run; 20 + 8 concurrent rows grow the
+        # slot columns past initial_capacity=1; batch 3 recycles the 20
+        # slots freed when batch 1's flows were tombstoned.
+        first = [(("a", i), 1.0 + 0.5 * i, 0.25 * i) for i in range(20)]
+        second = [(("b", i), 2.0 + 0.25 * i, 0.0) for i in range(8)]
+        third = [(("c", i), 1.0 + 0.125 * i, 0.5 * i) for i in range(25)]
+        return [first, second, third]
+
+    def test_growth_and_reuse_match_the_array_twin(self):
+        network = topologies.triangle()
+        path = network.shortest_path("x", "y")
+        jit = ResidentJitKernel(
+            network, initial_capacity=1, initial_segment_capacity=16
+        )
+        twin = ResidentSimulationKernel(network)
+        batches = self._batches()
+        jit_completions, jit_starts = self._drive(jit, batches, path)
+        twin_completions, twin_starts = self._drive(twin, batches, path)
+        assert jit_completions == twin_completions
+        assert jit_starts == twin_starts
+        assert dict(jit.drain_all_segments()) == dict(twin.drain_all_segments())
+        # The tiny initial buffers really grew, and slots really recycled.
+        assert jit._cap > 1
+        assert jit._seg_cap > 16
+        assert jit.slots_reused == twin.slots_reused == 20
+
+    def test_ingest_many_matches_sequential_ingest(self):
+        """The vectorised batch ingest is defined as ``ingest`` in a loop:
+        same slots, same sids, same epoch outcome."""
+        network = topologies.triangle()
+        path = network.shortest_path("x", "y")
+        batch = ResidentJitKernel(
+            network, initial_capacity=1, initial_segment_capacity=16
+        )
+        seq = ResidentJitKernel(
+            network, initial_capacity=1, initial_segment_capacity=16
+        )
+        fids = [("a", i) for i in range(9)]
+        sizes = [1.0 + 0.5 * i for i in range(9)]
+        releases = [0.5 * i for i in range(9)]
+        ks = batch.ingest_many(fids, sizes, releases, [path] * 9)
+        ks_seq = [
+            seq.ingest(fid, size, release, path)
+            for fid, size, release in zip(fids, sizes, releases)
+        ]
+        assert list(ks) == ks_seq
+        assert [batch.sid_of(fid) for fid in fids] == [
+            seq.sid_of(fid) for fid in fids
+        ]
+        for kernel in (batch, seq):
+            kernel.begin_epoch(0.0, [kernel.slot_of(fid) for fid in fids])
+            assert kernel.run() is True
+        done_batch, starts_batch, _, _ = batch.harvest_epoch()
+        done_seq, starts_seq, _, _ = seq.harvest_epoch()
+        assert done_batch == done_seq
+        assert starts_batch == starts_seq
+
+    def test_zero_volume_flow_is_rejected_by_both_tiers(self):
+        network = topologies.triangle()
+        path = network.shortest_path("x", "y")
+        kernels = [
+            ResidentJitKernel(
+                network, initial_capacity=1, initial_segment_capacity=16
+            ),
+            ResidentSimulationKernel(network),
+        ]
+        for kernel in kernels:
+            with pytest.raises(ValueError, match="no volume"):
+                kernel.ingest(("ghost", 0), 0.0, 0.0, path)
+            with pytest.raises(ValueError, match="no volume"):
+                kernel.ingest_many([("ghost", 1)], [0.0], [0.0], [path])
+            # A rejected batch admits nothing at all.
+            assert all(fid is None for fid in kernel.fids)
+
+
+# -------------------------------------------------------------- GC pausing
+
+class TestPausedGC:
+    """``paused_gc`` hoists the GC pause around the compiled event loop; it
+    must restore whatever collector state it found — including when the
+    guarded block raises — and nest as a no-op."""
+
+    def test_restores_on_exception(self):
+        was_enabled = gc.isenabled()
+        gc.enable()
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                with paused_gc():
+                    assert not gc.isenabled()
+                    raise RuntimeError("boom")
+            assert gc.isenabled()
+        finally:
+            gc.enable() if was_enabled else gc.disable()
+
+    def test_nested_and_already_disabled(self):
+        was_enabled = gc.isenabled()
+        try:
+            gc.disable()
+            with paused_gc():
+                assert not gc.isenabled()
+            assert not gc.isenabled()  # found disabled: left disabled
+            gc.enable()
+            with paused_gc():
+                with paused_gc():
+                    assert not gc.isenabled()
+                assert not gc.isenabled()  # inner exit keeps the outer pause
+            assert gc.isenabled()
+        finally:
+            gc.enable() if was_enabled else gc.disable()
