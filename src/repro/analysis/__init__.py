@@ -23,6 +23,15 @@ from .artifacts import (
     stats_summary,
 )
 from .engine import EngineRunStats, ExperimentEngine, ExperimentSweep, ExperimentTask
+from .fabric import (
+    MergeStats,
+    ShardedRunStore,
+    Worker,
+    WorkerStats,
+    expand_sources,
+    merge_stores,
+    write_merged,
+)
 from .report import (
     csv_report,
     failure_rows,
@@ -68,4 +77,11 @@ __all__ = [
     "stats_summary",
     "provenance",
     "export_artifacts",
+    "ShardedRunStore",
+    "Worker",
+    "WorkerStats",
+    "MergeStats",
+    "expand_sources",
+    "merge_stores",
+    "write_merged",
 ]

@@ -509,6 +509,7 @@ def run_spec(
         stats.failed += engine.last_run_stats.failed
         stats.retried += engine.last_run_stats.retried
         stats.pool_restarts += engine.last_run_stats.pool_restarts
+    stats.skipped_records = store.skipped_lines
     extras = (
         results_from_store(spec, store, spec.extra_metrics)[0]
         if spec.extra_metrics
@@ -605,6 +606,8 @@ def stats_summary(stats: EngineRunStats) -> str:
         trouble.append(f"{stats.retried} retried")
     if stats.pool_restarts:
         trouble.append(f"{stats.pool_restarts} pool restart(s)")
+    if stats.skipped_records:
+        trouble.append(f"{stats.skipped_records} skipped record(s)")
     if trouble:
         line += " [" + ", ".join(trouble) + "]"
     return line
@@ -673,6 +676,7 @@ def export_artifacts(
     fingerprints: Optional[Mapping[str, str]] = None,
     store: Optional[RunStore] = None,
     extras: Optional[Mapping[str, SweepResult]] = None,
+    extra_metadata: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Path]:
     """Write a sweep's durable artifacts under ``out_dir/<spec.name>/``.
 
@@ -684,6 +688,10 @@ def export_artifacts(
     * ``report.txt`` / ``report.md`` / ``report.csv`` — the paper-style
       tables in every format of
       :data:`~repro.analysis.report.REPORT_FORMATS`.
+
+    ``extra_metadata`` entries are merged into ``run.json`` top-level —
+    the sharded sweep coordinator records its fleet accounting there
+    (shard count, per-shard stats, lost shards).
     """
     target = Path(out_dir) / spec.name
     target.mkdir(parents=True, exist_ok=True)
@@ -696,6 +704,8 @@ def export_artifacts(
         "store": str(store.path) if store is not None and store.path else None,
         "total_tasks": spec.total_tasks(),
     }
+    if extra_metadata:
+        metadata.update(dict(extra_metadata))
     if stats is not None:
         metadata["engine"] = {
             "total_tasks": stats.total_tasks,
@@ -706,6 +716,7 @@ def export_artifacts(
             "failed": stats.failed,
             "retried": stats.retried,
             "pool_restarts": stats.pool_restarts,
+            "skipped_records": stats.skipped_records,
             "coverage": round(stats.coverage, 6),
         }
     paths["run"] = target / "run.json"

@@ -104,6 +104,9 @@ class EngineRunStats:
     retried: int = 0
     #: worker pools respawned after a ``BrokenProcessPool``.
     pool_restarts: int = 0
+    #: corrupt or torn store lines skipped while loading/merging the run
+    #: store(s) backing this run (sharded merges count every shard's tail).
+    skipped_records: int = 0
 
     @property
     def all_cached(self) -> bool:
@@ -380,24 +383,7 @@ class ExperimentEngine:
             workers=self.workers or 1,
         )
         if pending:
-            injector = (
-                _faults_module.FaultInjector(self.fault_config)
-                if self.fault_config is not None
-                else None
-            )
-            previous_injector = _faults_module.active_injector()
-            _faults_module.install(injector)
-            previous_limit = lp_solver.DEFAULT_TIME_LIMIT
-            if self.lp_time_limit is not None:
-                lp_solver.DEFAULT_TIME_LIMIT = self.lp_time_limit
-            try:
-                if (self.workers or 1) >= 2:
-                    self._run_pool(pending, self.workers)
-                else:
-                    self._run_serial(pending)
-            finally:
-                _faults_module.install(previous_injector)
-                lp_solver.DEFAULT_TIME_LIMIT = previous_limit
+            self.execute_pending(pending)
 
         result = SweepResult(metric=self.metric)
         result.points = [SweepPoint(label=label) for label, _ in points]
@@ -422,6 +408,38 @@ class ExperimentEngine:
         return result
 
     # ----------------------------------------------------------- execution
+    def execute_pending(self, pending: Sequence[ExperimentTask]) -> None:
+        """Execute ``pending`` tasks through the hardened per-task path.
+
+        This is the execution half of :meth:`run_points` — fault injector
+        installed, LP time limit applied, serial-or-pool dispatch with
+        retries, deadlines and failure records — without the cache lookup
+        or aggregation around it.  The sweep fabric's shard workers call it
+        directly on the chunks they claim, so distributed execution
+        composes with every robustness guarantee of PR 6 unchanged.
+        Results stream into ``self.store`` as they complete.
+        """
+        if not pending:
+            return
+        injector = (
+            _faults_module.FaultInjector(self.fault_config)
+            if self.fault_config is not None
+            else None
+        )
+        previous_injector = _faults_module.active_injector()
+        _faults_module.install(injector)
+        previous_limit = lp_solver.DEFAULT_TIME_LIMIT
+        if self.lp_time_limit is not None:
+            lp_solver.DEFAULT_TIME_LIMIT = self.lp_time_limit
+        try:
+            if (self.workers or 1) >= 2:
+                self._run_pool(pending, self.workers)
+            else:
+                self._run_serial(pending)
+        finally:
+            _faults_module.install(previous_injector)
+            lp_solver.DEFAULT_TIME_LIMIT = previous_limit
+
     def _store_put(self, task: ExperimentTask, record: Dict[str, Any]) -> None:
         """Persist a record, retrying transient (injected) append failures."""
         for attempt in range(self.max_retries + 1):

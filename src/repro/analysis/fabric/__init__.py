@@ -1,0 +1,35 @@
+"""Distributed sweep fabric: sharded stores, claimable tasks, shard merge.
+
+The fabric turns one sweep spec into work that N independent workers —
+processes today, hosts on a shared filesystem tomorrow — execute
+cooperatively, with the same resume, determinism and fault-tolerance
+guarantees as a single-process run:
+
+* :class:`~repro.analysis.fabric.store.ShardedRunStore` — per-shard JSONL
+  files under one directory, content-addressed by the engine's run keys,
+  with an advisory lock-free claim protocol;
+* :class:`~repro.analysis.fabric.worker.Worker` — the claim/execute/steal
+  loop, driving claimed chunks through the engine's hardened per-task
+  path;
+* :func:`~repro.analysis.fabric.merge.merge_stores` /
+  :func:`~repro.analysis.fabric.merge.write_merged` — streaming fold of
+  any subset of shard stores into report rows or a plain run-store file,
+  without re-simulation.
+
+CLI surface: ``repro sweep --shards N [--shard-id K]`` and
+``repro merge <store>...``.  See ``docs/fabric.md`` for the protocol.
+"""
+
+from .merge import MergeStats, expand_sources, merge_stores, write_merged
+from .store import ShardedRunStore
+from .worker import Worker, WorkerStats
+
+__all__ = [
+    "ShardedRunStore",
+    "Worker",
+    "WorkerStats",
+    "MergeStats",
+    "expand_sources",
+    "merge_stores",
+    "write_merged",
+]

@@ -1,0 +1,396 @@
+"""Sharded, content-addressed run store with a lock-free claim protocol.
+
+One sweep, N independent writers.  A :class:`ShardedRunStore` is a directory
+of per-shard JSONL files (``shard-0000.jsonl``, ``shard-0001.jsonl``, ...):
+every worker appends *only* to its own shard file and reads all the others,
+so no byte is ever written by two processes and no file lock is needed.
+Records keep the exact :func:`~repro.analysis.runstore.run_key` content
+addressing of the single-file :class:`~repro.analysis.runstore.RunStore` —
+``(topology fingerprint, config incl. seed, scheme signature)`` — which is
+what makes the whole design safe:
+
+* **claims are advisory, not locks.**  Before executing a task a worker
+  appends an idempotent *claim marker* (``{"key": ..., "claim": <shard>}``)
+  to its own shard file.  Other workers that see the claim prefer untaken
+  work, but a claim never *forbids* execution: results under the same key
+  are bit-identical (every task derives all randomness from its config
+  seed), so the worst race outcome is one redundant simulation whose record
+  merges away;
+* **the task queue is the grid itself.**  Every worker derives the same
+  (point x try x scheme) task list from the spec and pulls whatever is
+  neither recorded nor claimed — workers join, die and resume freely, with
+  no partitioning step and no coordinator state;
+* **merging is a fold.**  Any subset of shard files merges into one record
+  map without re-simulation; conflicting records cannot exist, only
+  duplicates (dropped) and failure records (superseded by a success for
+  the same key, which is how ``--retry-failed`` heals across shards).
+
+Crash tolerance matches the single-file store per shard: a worker killed
+mid-append leaves a torn tail in *its* file only.  On resume the owning
+shard truncates back to its last intact line before appending (claims are
+intact lines too); readers simply never consume an unterminated tail — a
+live writer may still be completing it — and a *final* (merge-time) refresh
+skips it with a warning instead of aborting the merge, counting it in
+``skipped_lines`` so reports can surface the loss.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from ...faults import maybe_inject
+from ..runstore import RunStore
+
+__all__ = [
+    "ShardedRunStore",
+    "SHARD_GLOB",
+    "MANIFEST_NAME",
+    "shard_filename",
+    "parse_shard_entry",
+]
+
+#: Glob matching the per-shard record files inside a store directory.
+SHARD_GLOB = "shard-*.jsonl"
+
+#: Fleet manifest file inside the store directory: ``{"shards": N}``,
+#: written once so later readers know how many shards were *expected* and
+#: can name the missing ones instead of rendering a silently partial report.
+MANIFEST_NAME = "fleet.json"
+
+
+def shard_filename(shard_id: int) -> str:
+    """The record file name owned by shard ``shard_id`` (zero-padded)."""
+    return f"shard-{shard_id:04d}.jsonl"
+
+
+def parse_shard_entry(stripped: bytes) -> Optional[Dict[str, Any]]:
+    """Parse one shard line into an entry dict, ``None`` when corrupt.
+
+    Valid entries carry a ``key`` plus either a ``record`` (a run result or
+    failure record, exactly as the single-file store writes them) or a
+    ``claim`` (the claiming shard id).
+    """
+    try:
+        parsed = json.loads(stripped)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(parsed, dict) or "key" not in parsed:
+        return None
+    if "record" in parsed or "claim" in parsed:
+        return parsed
+    return None
+
+
+class ShardedRunStore(RunStore):
+    """A run store sharded across per-worker JSONL files in one directory.
+
+    Drop-in for :class:`~repro.analysis.runstore.RunStore` everywhere the
+    engine and artifact layers accept one (``get``/``peek``/``put`` plus
+    the hit/miss counters), with the sharding surface on top:
+    :meth:`refresh` folds the other shards' new records in, :meth:`claim`
+    appends an advisory claim marker, and :meth:`claimed_by_other` is what
+    the worker loop consults before picking a task.
+
+    Parameters
+    ----------
+    root:
+        The store directory.  Created (with a fleet manifest) when opened
+        for writing; merely read when opened as a merge view.
+    shard_id:
+        This process's shard number — the one file this instance may append
+        to.  ``None`` opens a read-only *merge view* over every shard file
+        present (used by ``repro report`` and ``repro merge``), performing
+        a final refresh that warns about torn shard tails instead of
+        aborting.
+    shards:
+        Expected fleet size, recorded in the manifest so partial fleets are
+        detectable later.  Optional for merge views (the manifest, when
+        present, supplies it).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        shard_id: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        if shard_id is not None and shard_id < 0:
+            raise ValueError("shard_id must be non-negative")
+        if shards is not None and shards < 1:
+            raise ValueError("need at least one shard")
+        if shard_id is not None and shards is not None and shard_id >= shards:
+            raise ValueError(
+                f"shard_id {shard_id} out of range for {shards} shard(s)"
+            )
+        super().__init__(None)  # in-memory base: records + hit/miss counters
+        self.root = Path(root)
+        #: exposed as the store's location for provenance (run.json).
+        self.path = self.root
+        self.shard_id = shard_id
+        self.declared_shards = shards
+        #: key -> shard ids that claimed it (advisory markers seen so far).
+        self._claims: Dict[str, Set[int]] = {}
+        #: key -> shard file that supplied the current record (merge rule:
+        #: later wins within a file, success beats failure across files).
+        self._record_source: Dict[str, str] = {}
+        #: shard file name -> byte offset consumed so far (terminated lines).
+        self._cursors: Dict[str, int] = {}
+        #: duplicate result records observed across shards (safe: identical).
+        self.duplicate_records = 0
+        #: claim markers observed (own and foreign).
+        self.claim_markers = 0
+        self._own_resync: Optional[int] = None
+        if self.shard_id is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._ensure_manifest()
+            self._load_own_shard()
+            # An idle shard (everything cached or ceded) still leaves its
+            # file behind, so missing_shards() means "never started", not
+            # "had nothing to write".
+            own = self.own_path
+            assert own is not None
+            own.touch(exist_ok=True)
+        self.refresh(final=self.shard_id is None)
+
+    # -------------------------------------------------------------- identity
+    @property
+    def own_path(self) -> Optional[Path]:
+        """The one shard file this instance appends to (``None`` read-only)."""
+        if self.shard_id is None:
+            return None
+        return self.root / shard_filename(self.shard_id)
+
+    @property
+    def expected_shards(self) -> Optional[int]:
+        """Fleet size: the constructor's ``shards`` or the manifest's."""
+        if self.declared_shards is not None:
+            return self.declared_shards
+        manifest = self.root / MANIFEST_NAME
+        if manifest.exists():
+            try:
+                declared = json.loads(manifest.read_text()).get("shards")
+                if isinstance(declared, int) and declared >= 1:
+                    return declared
+            except (OSError, json.JSONDecodeError):
+                return None
+        return None
+
+    def shard_paths(self) -> List[Path]:
+        """Every shard record file currently present, sorted by shard id."""
+        return sorted(self.root.glob(SHARD_GLOB)) if self.root.exists() else []
+
+    def missing_shards(self) -> List[int]:
+        """Expected shard ids with no record file on disk (lost shards)."""
+        expected = self.expected_shards
+        if expected is None:
+            return []
+        return [
+            k
+            for k in range(expected)
+            if not (self.root / shard_filename(k)).exists()
+        ]
+
+    def _ensure_manifest(self) -> None:
+        """Write the fleet manifest once (idempotent, atomic rename)."""
+        if self.declared_shards is None:
+            return
+        manifest = self.root / MANIFEST_NAME
+        if manifest.exists():
+            return
+        tmp = manifest.with_suffix(f".tmp-{self.shard_id}")
+        tmp.write_text(json.dumps({"shards": self.declared_shards}) + "\n")
+        tmp.replace(manifest)
+
+    # --------------------------------------------------------------- loading
+    def _apply(self, entry: Dict[str, Any], source: str) -> None:
+        """Fold one parsed shard entry into the merged in-memory view."""
+        key = entry["key"]
+        if "claim" in entry:
+            self.claim_markers += 1
+            claimant = entry["claim"]
+            if isinstance(claimant, int):
+                self._claims.setdefault(key, set()).add(claimant)
+            return
+        record = entry["record"]
+        existing = self._records.get(key)
+        if existing is None:
+            self._records[key] = record
+            self._record_source[key] = source
+            return
+        self.duplicate_records += 1
+        if self._record_source.get(key) == source:
+            # Later wins within one shard file — exactly the single-file
+            # store's semantics (how --retry-failed heals a failure).
+            self._records[key] = record
+        elif existing.get("failed") and not record.get("failed"):
+            # Across shards the only meaningful conflict is failure vs
+            # success (a peer re-ran a failed task): the success wins.
+            self._records[key] = record
+            self._record_source[key] = source
+
+    def _load_own_shard(self) -> None:
+        """Load this shard's own file, arming truncate-on-append resync.
+
+        Identical contract to the single-file store's loader, with claim
+        markers counting as intact lines: a torn or corrupt tail is skipped
+        with a warning and the next append truncates back to the last
+        intact line, so this shard's crashes can never corrupt its file.
+        """
+        path = self.own_path
+        assert path is not None
+        if not path.exists():
+            self._cursors[path.name] = 0
+            return
+        data = path.read_bytes()
+        clean_end = 0
+        offset = 0
+        for raw in data.splitlines(keepends=True):
+            line_end = offset + len(raw)
+            terminated = raw.endswith(b"\n")
+            stripped = raw.strip()
+            if not stripped:
+                if terminated:
+                    clean_end = line_end
+                offset = line_end
+                continue
+            entry = parse_shard_entry(stripped)
+            if entry is not None and terminated:
+                self._apply(entry, source=path.name)
+                clean_end = line_end
+            else:
+                self.skipped_lines += 1
+            offset = line_end
+        self._cursors[path.name] = clean_end
+        if clean_end < len(data):
+            self._own_resync = clean_end
+            print(
+                f"sharded run store {path}: skipped "
+                f"{len(data) - clean_end} torn/corrupt trailing byte(s); "
+                "the next append truncates back to the last intact line",
+                file=sys.stderr,
+            )
+
+    def refresh(self, final: bool = False) -> int:
+        """Fold other shards' newly appended lines into the merged view.
+
+        Incremental and cheap: each shard file is read only past the byte
+        offset already consumed.  An *unterminated* trailing line is left
+        for the next refresh — a live writer may still be completing it —
+        unless ``final`` is true (a merge, not a poll), in which case the
+        torn tail is skipped with a warning naming the shard file and
+        counted in ``skipped_lines`` instead of aborting the merge.
+        Returns the number of new result records folded in.
+        """
+        own = self.own_path
+        folded = 0
+        for path in self.shard_paths():
+            if own is not None and path.name == own.name:
+                continue  # in-memory state is authoritative for own shard
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            offset = self._cursors.get(path.name, 0)
+            if size <= offset:
+                continue
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+            consumed = 0
+            for raw in data.splitlines(keepends=True):
+                if not raw.endswith(b"\n"):
+                    break  # torn or in-flight tail: do not consume
+                stripped = raw.strip()
+                if stripped:
+                    entry = parse_shard_entry(stripped)
+                    if entry is None:
+                        self.skipped_lines += 1
+                    else:
+                        if "record" in entry and entry["key"] not in self._records:
+                            folded += 1
+                        self._apply(entry, source=path.name)
+                consumed += len(raw)
+            self._cursors[path.name] = offset + consumed
+            if final and offset + consumed < size:
+                self.skipped_lines += 1
+                print(
+                    f"sharded run store {path}: skipped torn tail "
+                    f"({size - offset - consumed} byte(s)) — shard writer "
+                    "crashed mid-append; merge continues without it",
+                    file=sys.stderr,
+                )
+                self._cursors[path.name] = size
+        return folded
+
+    # ------------------------------------------------------------ the queue
+    def claimants(self, key: str) -> Set[int]:
+        """Shard ids that have appended a claim marker for ``key``."""
+        return set(self._claims.get(key, ()))
+
+    def claimed_by_other(self, key: str) -> bool:
+        """True when only *other* shards have claimed ``key``.
+
+        A key this shard has claimed itself is never "other": resume must
+        treat our own stale claims as ours to finish.
+        """
+        claimants = self._claims.get(key)
+        if not claimants:
+            return False
+        return self.shard_id not in claimants
+
+    def claim(self, key: str) -> None:
+        """Append an advisory claim marker for ``key`` to our shard file.
+
+        Idempotent: re-claiming a key this shard already claimed appends
+        nothing.  Claims are hints for load balancing, not locks — see the
+        module docstring for why double execution is safe.
+        """
+        if self.shard_id is None:
+            raise RuntimeError("merge views are read-only; open with shard_id")
+        if self.shard_id in self._claims.get(key, ()):
+            return
+        self._claims.setdefault(key, set()).add(self.shard_id)
+        self._append({"key": key, "claim": self.shard_id})
+
+    # ----------------------------------------------------------------- write
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Insert a record and append it to this worker's own shard file.
+
+        Single flushed write of record + newline, same crash contract as
+        the single-file store; the fault-injection ``store`` site fires
+        here too, so chaos sweeps exercise the sharded path unchanged.
+        """
+        maybe_inject("store")
+        if self.shard_id is None:
+            raise RuntimeError("merge views are read-only; open with shard_id")
+        self._records[key] = record
+        self._record_source[key] = shard_filename(self.shard_id)
+        self._append({"key": key, "record": record})
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        """Append one JSONL entry to our shard file (resync-then-append)."""
+        path = self.own_path
+        assert path is not None
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, default=repr) + "\n"
+        if self._own_resync is not None:
+            with path.open("r+") as handle:
+                handle.truncate(self._own_resync)
+            self._cursors[path.name] = self._own_resync
+            self._own_resync = None
+        with path.open("a") as handle:
+            handle.write(line)
+            handle.flush()
+        self._cursors[path.name] = self._cursors.get(path.name, 0) + len(
+            line.encode()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        who = "merge-view" if self.shard_id is None else f"shard {self.shard_id}"
+        return (
+            f"ShardedRunStore({self.root}, {who}, records={len(self)}, "
+            f"claims={len(self._claims)})"
+        )

@@ -46,6 +46,7 @@ import argparse
 import json
 import sys
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -647,34 +648,68 @@ def _bench_json_path() -> Path:
     return cwd / "BENCH_simulator.json"
 
 
+@contextmanager
+def _bench_file_lock(path: Path):
+    """Exclusive advisory lock serializing bench-file read-modify-write.
+
+    Concurrent recorders (parallel bench jobs, shard workers benchmarking
+    on one host) would otherwise interleave the load/append/rewrite cycle
+    and drop each other's runs.  Locks a ``.lock`` sibling rather than the
+    data file, so the atomic-rename rewrite never swaps the inode being
+    locked.  On platforms without ``fcntl`` (Windows) it degrades to the
+    historical unlocked behaviour.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with lock_path.open("w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def _persist_bench_run(record: Dict[str, Any]) -> Path:
     """Append one bench run's metrics to ``BENCH_simulator.json``.
 
     The file holds ``{"runs": [...]}`` — every recorded run, oldest first —
     so the perf trajectory accumulates across commits.  A corrupt or
-    foreign file is renamed aside rather than overwritten.
+    foreign file is renamed aside rather than overwritten.  The whole
+    read-modify-write runs under an exclusive file lock and the rewrite is
+    a temp-file + atomic rename, so concurrent recorders append instead of
+    clobbering each other and a crash mid-write never corrupts the file.
     """
     import os
     import time
 
     path = _bench_json_path()
-    document: Dict[str, Any] = {"runs": []}
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
-                document = loaded
-            else:
+    with _bench_file_lock(path):
+        document: Dict[str, Any] = {"runs": []}
+        if path.exists():
+            try:
+                loaded = json.loads(path.read_text())
+                if isinstance(loaded, dict) and isinstance(
+                    loaded.get("runs"), list
+                ):
+                    document = loaded
+                else:
+                    path.rename(path.with_suffix(".json.bak"))
+            except (OSError, json.JSONDecodeError):
                 path.rename(path.with_suffix(".json.bak"))
-        except (OSError, json.JSONDecodeError):
-            path.rename(path.with_suffix(".json.bak"))
-    # The harness (CI, a sweep driver) may pass the run's timestamp in so
-    # recorded trajectories line up with its own logs.
-    stamp = os.environ.get("REPRO_BENCH_TIMESTAMP", "").strip()
-    if not stamp:
-        stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    document["runs"].append({"timestamp": stamp, **record})
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        # The harness (CI, a sweep driver) may pass the run's timestamp in
+        # so recorded trajectories line up with its own logs.
+        stamp = os.environ.get("REPRO_BENCH_TIMESTAMP", "").strip()
+        if not stamp:
+            stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        document["runs"].append({"timestamp": stamp, **record})
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
     return path
 
 

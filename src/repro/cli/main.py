@@ -16,7 +16,7 @@ from ..analysis.artifacts import provenance_lines
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the complete ``repro`` argument parser (all subcommands)."""
-    from . import bench, report, run, sweep
+    from . import bench, merge, report, run, sweep
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -32,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
         "deviations from the paper included), then exit",
     )
     subparsers = parser.add_subparsers(dest="command", metavar="command")
-    for module in (run, sweep, report, bench):
+    for module in (run, sweep, report, merge, bench):
         module.configure(subparsers)
     return parser
 

@@ -10,6 +10,12 @@ the sweep wrote.
 A partially filled store — an interrupted sweep — still renders: missing
 grid cells are reported on stderr and contribute no values (schemes absent
 at a point show as ``nan``).
+
+Sharded sweeps report the same way: when ``--store`` names a directory (or
+``<out>/<spec name>/shards/`` exists and no single-file store does), the
+shard files are merged in memory with the fabric's semantics — torn shard
+tails skipped with a warning, claim markers dropped — and any shard the
+fleet manifest expects but whose file is absent is named on stderr.
 """
 
 from __future__ import annotations
@@ -23,9 +29,15 @@ from typing import Optional
 
 from ..analysis.artifacts import export_artifacts, results_from_store
 from ..analysis.engine import EngineRunStats
+from ..analysis.fabric import ShardedRunStore
 from ..analysis.report import REPORT_FORMATS, render_report
 from ..analysis.runstore import RunStore
-from .sweep import add_spec_arguments, resolve_spec, resolve_store_path
+from .sweep import (
+    add_spec_arguments,
+    resolve_shard_root,
+    resolve_spec,
+    resolve_store_path,
+)
 
 
 def configure(subparsers: argparse._SubParsersAction) -> None:
@@ -71,15 +83,41 @@ def _recorded_stats(args: argparse.Namespace, spec) -> Optional[EngineRunStats]:
     return EngineRunStats(**{k: v for k, v in recorded.items() if k in known})
 
 
+def _open_store(args: argparse.Namespace, spec) -> Optional[RunStore]:
+    """Open the spec's store: single-file, sharded directory, or neither.
+
+    Resolution order: an explicit ``--store`` (file or directory), the
+    default single-file location, then the default sharded fleet directory
+    — so ``repro report`` works on a ``--shards`` sweep with no extra
+    flags.  Returns ``None`` (after a stderr message) when nothing exists.
+    """
+    store_path = resolve_store_path(args, spec)
+    if store_path.is_dir():
+        return ShardedRunStore(store_path)
+    if store_path.exists():
+        return RunStore(store_path)
+    shard_root = resolve_shard_root(args, spec)
+    if args.store is None and shard_root.is_dir():
+        return ShardedRunStore(shard_root)
+    print(f"repro report: no run store at {store_path}", file=sys.stderr)
+    print("run `repro sweep` first, or pass --store", file=sys.stderr)
+    return None
+
+
 def execute(args: argparse.Namespace) -> int:
     """Render the store; exit 1 when the store is empty or absent."""
     spec = resolve_spec(args)
-    store_path = resolve_store_path(args, spec)
-    if not store_path.exists():
-        print(f"repro report: no run store at {store_path}", file=sys.stderr)
-        print("run `repro sweep` first, or pass --store", file=sys.stderr)
+    store = _open_store(args, spec)
+    if store is None:
         return 1
-    store = RunStore(store_path)
+    store_path = store.path
+    if isinstance(store, ShardedRunStore):
+        for shard_id in store.missing_shards():
+            print(
+                f"repro report: shard {shard_id} of {store.root} is missing "
+                "(lost worker?); its tasks render as nan",
+                file=sys.stderr,
+            )
     if len(store) == 0:
         print(f"repro report: run store {store_path} is empty", file=sys.stderr)
         print("run `repro sweep` first, or pass --store", file=sys.stderr)

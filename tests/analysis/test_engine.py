@@ -180,3 +180,71 @@ class TestEngineApi:
         b = ExperimentEngine(network, [BaselineScheme(seed=0)], tries=1, store=store)
         b.run(config, "coflow_width", [2])
         assert b.last_run_stats.all_cached
+
+
+class TestShardClaimRaces:
+    """The fabric's safety argument, checked at the engine level: two shard
+    workers racing on the *same* keys — both claiming, both executing —
+    merge to exactly one record per key, bit-identical to what a serial
+    single-store run produces."""
+
+    def test_double_execution_merges_to_the_serial_records(
+        self, tmp_path, network, schemes, config
+    ):
+        from repro.analysis import ShardedRunStore, merge_stores
+
+        serial = ExperimentEngine(network, schemes, tries=2)
+        serial_result = serial.run(config, "coflow_width", [2, 4])
+
+        root = tmp_path / "shards"
+        # Open both shard stores BEFORE either executes: neither sees the
+        # other's records, so both claim and execute the full grid — the
+        # worst-case claim race, every key double-executed.
+        stores = [
+            ShardedRunStore(root, shard_id=shard_id, shards=2)
+            for shard_id in range(2)
+        ]
+        engines = [
+            ExperimentEngine(network, schemes, tries=2, store=store)
+            for store in stores
+        ]
+        for store, engine in zip(stores, engines):
+            for task in engine.tasks_for(
+                [("2 flows", [config.with_seed(config.seed + k) for k in range(2)])]
+            ):
+                store.claim(task.key)
+        sharded_results = [
+            engine.run(config, "coflow_width", [2, 4]) for engine in engines
+        ]
+
+        # Both racers saw identical aggregates, equal to the serial run's.
+        assert sweep_values(sharded_results[0]) == sweep_values(serial_result)
+        assert sweep_values(sharded_results[1]) == sweep_values(serial_result)
+
+        # The merge collapses the double-executed keys to ONE record each,
+        # bit-identical to the serial engine's store contents.
+        records, stats = merge_stores([root])
+        serial_records = {
+            key: serial.store.peek(key) for key in serial.store._records
+        }
+        assert records == serial_records
+        assert stats.records == len(serial_records)
+        assert stats.duplicates > 0  # the race really happened
+
+    def test_racing_engines_skip_peer_records_after_refresh(
+        self, tmp_path, network, schemes, config
+    ):
+        from repro.analysis import ShardedRunStore
+
+        root = tmp_path / "shards"
+        first = ShardedRunStore(root, shard_id=0, shards=2)
+        ExperimentEngine(network, schemes, tries=2, store=first).run(
+            config, "coflow_width", [2, 4]
+        )
+        second = ShardedRunStore(root, shard_id=1, shards=2)
+        engine = ExperimentEngine(network, schemes, tries=2, store=second)
+        engine.run(config, "coflow_width", [2, 4])
+        # Shard 1 opened after shard 0 finished: everything is a cache hit
+        # across shard files, nothing re-executes.
+        assert engine.last_run_stats.all_cached
+        assert second.hits == engine.last_run_stats.total_tasks

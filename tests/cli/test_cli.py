@@ -839,3 +839,327 @@ class TestCrashResume:
             assert (out / "crashy" / name).read_text() == (
                 ref_out / "crashy" / name
             ).read_text()
+
+
+class TestShardedSweep:
+    """The fabric's CLI surface: ``sweep --shards N`` fleets, shard-worker
+    mode, ``merge``, and the lost-shard exit-code degradation."""
+
+    def test_shard_worker_mode_drains_the_grid(self, tmp_path, capsys):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        root = tmp_path / "shards"
+        code = main(
+            [
+                "sweep", str(spec), "--out", str(out),
+                "--shards", "1", "--shard-id", "0", "--store", str(root),
+                "--steal-after", "0.2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "shard 0/1: 4 tasks" in captured.out
+        assert "4 executed" in captured.out
+        assert (root / "shard-0000.jsonl").exists()
+        assert json.loads((root / "fleet.json").read_text()) == {"shards": 1}
+        stats = json.loads((root / "shard-0000.stats.json").read_text())
+        assert stats["executed"] == 4
+
+    def test_three_shard_fleet_matches_single_shard_reference(
+        self, tmp_path, capsys
+    ):
+        spec = tiny_spec_path(tmp_path)
+        ref_out = tmp_path / "ref"
+        out = tmp_path / "fleet"
+        assert main(["sweep", str(spec), "--out", str(ref_out)]) == 0
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "3", "--steal-after", "0.5",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for name in ("report.txt", "report.md", "report.csv"):
+            assert (out / "tiny" / name).read_text() == (
+                ref_out / "tiny" / name
+            ).read_text()
+        metadata = run_metadata(out, "tiny")
+        fleet = metadata["fleet"]
+        assert fleet["shards"] == 3
+        assert fleet["lost_shards"] == []
+        assert metadata["engine"]["executed"] == 4
+        assert metadata["engine"]["skipped_records"] == 0
+
+        # Fleet resume: every task is already recorded, no shard simulates
+        # anything, and run.json proves it.
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "3", "--steal-after", "0.5",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        resumed = run_metadata(out, "tiny")
+        assert resumed["engine"]["executed"] == 0
+        assert resumed["engine"]["cached"] == 4
+        for shard_stats in resumed["fleet"]["shard_stats"].values():
+            assert shard_stats["executed"] == 0
+            assert shard_stats["cached"] == 4
+
+    def test_lost_shard_degrades_to_exit_3_naming_the_shard(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import sys as _sys
+
+        from repro.cli import sweep as sweep_module
+
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        real_command = sweep_module._shard_command
+
+        def sabotaged(args, root, shard_id):
+            if shard_id == 1:
+                return [_sys.executable, "-c", "raise SystemExit(9)"]
+            return real_command(args, root, shard_id)
+
+        monkeypatch.setattr(sweep_module, "_shard_command", sabotaged)
+        code = main(
+            [
+                "sweep", str(spec), "--out", str(out),
+                "--shards", "2", "--steal-after", "0.2",
+            ]
+        )
+        captured = capsys.readouterr()
+        # The survivor stole the dead shard's claims, so the report is
+        # complete — but the lost shard still degrades the exit status and
+        # is named on stderr, never silently absorbed.
+        assert code == 3
+        assert "shard 1 was lost" in captured.err
+        assert run_metadata(out, "tiny")["fleet"]["lost_shards"] == [1]
+        # --min-coverage 0 is the explicit opt-in to a partial fleet.
+        monkeypatch.setattr(sweep_module, "_shard_command", real_command)
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "2", "--steal-after", "0.2",
+                    "--min-coverage", "0",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_merge_cli_produces_a_reportable_plain_store(
+        self, tmp_path, capsys
+    ):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        root = tmp_path / "shards"
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "1", "--shard-id", "0", "--store", str(root),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge", str(root), "-o", str(merged)]) == 0
+        captured = capsys.readouterr()
+        assert "merged 1 store(s): 4 record(s)" in captured.out
+        assert main(["report", str(spec), "--store", str(merged)]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_merge_cli_missing_input_fails_cleanly(self, tmp_path, capsys):
+        assert main(["merge", str(tmp_path / "nope")]) == 1
+        assert "repro merge:" in capsys.readouterr().err
+
+    def test_report_reads_the_shard_directory_and_names_missing_shards(
+        self, tmp_path, capsys
+    ):
+        spec = tiny_spec_path(tmp_path)
+        out = tmp_path / "artifacts"
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "2", "--steal-after", "0.2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # No runstore.jsonl exists; report falls back to <out>/tiny/shards/.
+        assert main(["report", str(spec), "--out", str(out)]) == 0
+        capsys.readouterr()
+        # A lost shard file is called out by id, not silently skipped.
+        (out / "tiny" / "shards" / "shard-0001.jsonl").unlink()
+        assert main(["report", str(spec), "--out", str(out)]) == 0
+        assert "shard 1" in capsys.readouterr().err
+
+    def test_shard_id_out_of_range_exits_cleanly(self, tmp_path):
+        spec = tiny_spec_path(tmp_path)
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["sweep", str(spec), "--shards", "2", "--shard-id", "2"])
+
+
+class TestShardCrashResume:
+    """kill -9 one shard worker mid-sweep: the surviving shard steals its
+    claims and finishes, the killed shard resumes executing nothing, and
+    the merged artifacts are bit-identical to an uninterrupted run."""
+
+    def test_kill_nine_a_shard_worker_then_resume(self, tmp_path, capsys):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        spec = tiny_spec_path(tmp_path)
+        ref_out = tmp_path / "reference"
+        out = tmp_path / "interrupted"
+        root = out / "tiny" / "shards"
+        assert main(["sweep", str(spec), "--out", str(ref_out)]) == 0
+        capsys.readouterr()
+
+        # Shard 1 of 2, slowed by injected delays (the kill window).
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        shard_file = root / "shard-0001.jsonl"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "sweep", str(spec),
+                "--out", str(out), "--shards", "2", "--shard-id", "1",
+                "--store", str(root), "--min-coverage", "0",
+                "--inject-faults", "rate=1.0,kinds=slow,delay=0.4,seed=1",
+            ],
+            env=env,
+            cwd=str(ROOT),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break
+                if shard_file.exists() and any(
+                    '"record"' in line
+                    for line in shard_file.read_text().splitlines()
+                ):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("shard worker never wrote a record")
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+
+        recorded = sum(
+            1
+            for line in shard_file.read_text().splitlines()
+            if '"record"' in line
+        )
+        assert 1 <= recorded < 4, "kill did not land mid-flight"
+
+        # Shard 0 drains the rest, stealing the dead shard's claims.
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "2", "--shard-id", "0", "--store", str(root),
+                    "--steal-after", "0.2", "--min-coverage", "0",
+                ]
+            )
+            == 0
+        )
+        survivor = capsys.readouterr().out
+        assert f"{4 - recorded} executed" in survivor
+
+        # The killed shard resumes: every task is already recorded, so it
+        # executes nothing — the no-re-simulation proof, via hit counts.
+        assert (
+            main(
+                [
+                    "sweep", str(spec), "--out", str(out),
+                    "--shards", "2", "--shard-id", "1", "--store", str(root),
+                    "--steal-after", "0.2",
+                ]
+            )
+            == 0
+        )
+        resumed = capsys.readouterr().out
+        assert "resuming from" in resumed
+        assert "0 executed" in resumed
+        assert "4 cached" in resumed
+
+        # Merged artifacts are bit-identical to the uninterrupted run.
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge", str(root), "-o", str(merged)]) == 0
+        assert (
+            main(
+                [
+                    "report", str(spec), "--out", str(out),
+                    "--store", str(merged), "--export",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for name in ("report.csv", "report.txt", "report.md"):
+            assert (out / "tiny" / name).read_text() == (
+                ref_out / "tiny" / name
+            ).read_text()
+
+
+class TestBenchFileLock:
+    """Concurrent bench recorders must serialize on the file lock instead
+    of interleaving read-modify-write cycles and dropping runs."""
+
+    def test_concurrent_recorders_lose_no_runs(self, tmp_path, monkeypatch):
+        import threading
+
+        from repro.cli.bench import _persist_bench_run
+
+        bench_file = tmp_path / "bench.json"
+        monkeypatch.setenv("REPRO_BENCH_FILE", str(bench_file))
+        barrier = threading.Barrier(8)
+
+        def record(i):
+            barrier.wait()
+            _persist_bench_run({"suite": "lock-test", "worker": i})
+
+        threads = [
+            threading.Thread(target=record, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        document = json.loads(bench_file.read_text())
+        assert len(document["runs"]) == 8
+        assert sorted(run["worker"] for run in document["runs"]) == list(
+            range(8)
+        )
+
+    def test_crash_safe_rewrite_leaves_no_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.cli.bench import _persist_bench_run
+
+        bench_file = tmp_path / "bench.json"
+        monkeypatch.setenv("REPRO_BENCH_FILE", str(bench_file))
+        _persist_bench_run({"suite": "lock-test"})
+        assert json.loads(bench_file.read_text())["runs"]
+        assert not bench_file.with_suffix(".json.tmp").exists()

@@ -16,6 +16,10 @@ import pytest
 MODULES = [
     "repro.analysis.artifacts",
     "repro.analysis.engine",
+    "repro.analysis.fabric",
+    "repro.analysis.fabric.merge",
+    "repro.analysis.fabric.store",
+    "repro.analysis.fabric.worker",
     "repro.analysis.report",
     "repro.analysis.runstore",
     "repro.analysis.sweep",
@@ -27,6 +31,7 @@ MODULES = [
     "repro.cli.run",
     "repro.cli.sweep",
     "repro.cli.report",
+    "repro.cli.merge",
     "repro.cli.bench",
     "repro.sim.allocators",
     "repro.sim.kernel",
